@@ -1,0 +1,257 @@
+// Package warpedslicer_bench holds one benchmark per table and figure of
+// the paper (plus microbenchmarks of the partitioning algorithm and the
+// raw simulator). Benchmarks use reduced windows; regenerate the full
+// evaluation with `go run ./cmd/wslicer all`.
+package warpedslicer_bench
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/core"
+	"warpedslicer/internal/experiments"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/policy"
+	"warpedslicer/internal/power"
+	"warpedslicer/internal/sm"
+)
+
+func benchOptions() experiments.Options { return experiments.Quick() }
+
+// BenchmarkTable2 regenerates Table II (per-benchmark utilization).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		rows := experiments.Table2(s)
+		if len(rows) != 10 {
+			b.Fatal("table2 incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the stall-cycle breakdown of Figure 1.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		if len(experiments.Figure1(s)) != 10 {
+			b.Fatal("figure1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure3 measures one compute and one cache-sensitive occupancy
+// curve (Figure 3a's axes).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		img := s.OccupancyCurve(kernels.ByAbbr("IMG"))
+		nn := s.OccupancyCurve(kernels.ByAbbr("NN"))
+		if img.MaxCTAs != 8 || nn.MaxCTAs != 4 {
+			b.Fatal("unexpected occupancy limits")
+		}
+	}
+}
+
+// BenchmarkFigure3b regenerates the IMG+NN sweet-spot search (Figure 3b).
+func BenchmarkFigure3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		if _, err := s.Figure3b(kernels.ByAbbr("IMG"), kernels.ByAbbr("NN")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6Pair runs one pair under all four policies (one row of
+// Figure 6, without the oracle).
+func BenchmarkFigure6Pair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		rows := experiments.Figure6From(s, experiments.Pairs()[:1], false)
+		if rows[0].Dynamic <= 0 {
+			b.Fatal("dynamic policy produced no IPC")
+		}
+	}
+}
+
+// BenchmarkFigure6Oracle runs one pair's exhaustive oracle search.
+func BenchmarkFigure6Oracle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		specs := []*kernels.Spec{kernels.ByAbbr("IMG"), kernels.ByAbbr("BLK")}
+		if s.Oracle(specs).IPC <= 0 {
+			b.Fatal("oracle produced no IPC")
+		}
+	}
+}
+
+// BenchmarkTable3 derives the partition table from a two-pair sweep.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		rows := experiments.Figure6From(s, experiments.Pairs()[:2], false)
+		if len(experiments.Table3(s, rows)) != 2 {
+			b.Fatal("table3 incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure7 computes utilization/miss/stall aggregates from a
+// two-pair sweep (Figure 7's three panels).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		rows := experiments.Figure6From(s, experiments.Pairs()[:2], false)
+		a := experiments.Figure7aFrom(s, rows)
+		_ = experiments.Figure7bFrom(rows)
+		c := experiments.Figure7cFrom(rows)
+		if a.ALU <= 0 || len(c) != 4 {
+			b.Fatal("figure7 aggregates incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure8Triple runs one three-kernel workload across policies.
+func BenchmarkFigure8Triple(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		rows := experiments.Figure6From(s, experiments.Triples()[:1], false)
+		if rows[0].Dynamic <= 0 {
+			b.Fatal("triple dynamic produced no IPC")
+		}
+	}
+}
+
+// BenchmarkFigure9 computes fairness and ANTT from pair+triple runs.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		pairRows := experiments.Figure6From(s, experiments.Pairs()[:1], false)
+		tripleRows := experiments.Figure6From(s, experiments.Triples()[:1], false)
+		if len(experiments.Figure9(s, pairRows, tripleRows)) != 4 {
+			b.Fatal("figure9 incomplete")
+		}
+	}
+}
+
+// BenchmarkEnergy evaluates the §V-G energy model over one pair sweep.
+func BenchmarkEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		rows := experiments.Figure6From(s, experiments.Pairs()[:1], false)
+		if len(experiments.Energy(s, rows)) != 4 {
+			b.Fatal("energy incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure10a sweeps profiling parameters on one pair.
+func BenchmarkFigure10a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure10a(benchOptions(), experiments.Pairs()[:1])
+		if len(rows) != 8 {
+			b.Fatal("figure10a incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure10b compares warp schedulers on one pair.
+func BenchmarkFigure10b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure10b(benchOptions(), experiments.Pairs()[:1])
+		if len(rows) != 2 {
+			b.Fatal("figure10b incomplete")
+		}
+	}
+}
+
+// BenchmarkBigSM evaluates the §V-H large-SM configuration on one pair.
+func BenchmarkBigSM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Cfg = config.LargeSM()
+		r := experiments.BigSM(o, experiments.Pairs()[:1])
+		if r.PerfNorm <= 0 {
+			b.Fatal("bigsm produced nothing")
+		}
+	}
+}
+
+// BenchmarkOverhead evaluates the §V-I analytic overhead model.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if power.Overhead(16).TotalMM2 <= 0 {
+			b.Fatal("overhead model broken")
+		}
+	}
+}
+
+// --- Microbenchmarks -----------------------------------------------------
+
+func algDemands() []core.Demand {
+	mk := func(n int, peak int) []float64 {
+		p := make([]float64, n+1)
+		for j := 1; j <= n; j++ {
+			if j <= peak {
+				p[j] = float64(j)
+			} else {
+				p[j] = float64(peak) - 0.3*float64(j-peak)
+			}
+		}
+		return p
+	}
+	return []core.Demand{
+		{Perf: mk(8, 6), Need: sm.Quota{Regs: 2304, Shm: 2048, Threads: 64, CTAs: 1}},
+		{Perf: mk(4, 3), Need: sm.Quota{Regs: 7605, Threads: 169, CTAs: 1}},
+		{Perf: mk(5, 1), Need: sm.Quota{Regs: 6360, Threads: 120, CTAs: 1}},
+	}
+}
+
+// BenchmarkWaterFill measures Algorithm 1's O(K·N) partitioner.
+func BenchmarkWaterFill(b *testing.B) {
+	d := algDemands()
+	total := sm.Quota{Regs: 32768, Shm: 48 * 1024, Threads: 1536, CTAs: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.WaterFill(d, total); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBruteForce measures the O(N^K) reference optimizer (the
+// complexity comparison of §IV).
+func BenchmarkBruteForce(b *testing.B) {
+	d := algDemands()
+	total := sm.Quota{Regs: 32768, Shm: 48 * 1024, Threads: 1536, CTAs: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BruteForce(d, total); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorCycle measures raw simulator throughput: one GPU cycle
+// with all 16 SMs fully occupied.
+func BenchmarkSimulatorCycle(b *testing.B) {
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	g.AddKernel(kernels.ByAbbr("MM"), 0)
+	g.RunCycles(1000) // fill and warm
+	b.ResetTimer()
+	g.RunCycles(int64(b.N))
+}
+
+// BenchmarkStreamNext measures synthetic instruction generation.
+func BenchmarkStreamNext(b *testing.B) {
+	spec := kernels.ByAbbr("BLK")
+	st := kernels.NewStream(spec, 1<<40, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if st.Done() {
+			st = kernels.NewStream(spec, 1<<40, i, 0)
+		}
+		_ = st.Next()
+	}
+}

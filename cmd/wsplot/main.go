@@ -1,0 +1,96 @@
+// Command wsplot renders SVG charts from a wslicer -json results file:
+// the Figure 3a occupancy curves and the Figure 6 policy comparison.
+//
+//	go run ./cmd/wslicer -quick -json results.json fig3
+//	go run ./cmd/wslicer -quick -json results.json fig6
+//	go run ./cmd/wsplot -in results.json -out .
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"warpedslicer/internal/experiments"
+	"warpedslicer/internal/plot"
+)
+
+type resultsFile struct {
+	Figure3 []experiments.Curve      `json:"figure3"`
+	Figure6 []experiments.Figure6Row `json:"figure6"`
+}
+
+func main() {
+	in := flag.String("in", "results.json", "wslicer -json output file")
+	out := flag.String("out", ".", "directory for the SVG files")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var res resultsFile
+	if err := json.Unmarshal(raw, &res); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *in, err))
+	}
+
+	wrote := 0
+	if len(res.Figure3) > 0 {
+		var series []plot.Series
+		for _, c := range res.Figure3 {
+			if c.MaxCTAs < 1 {
+				continue
+			}
+			series = append(series, plot.Series{
+				Name: fmt.Sprintf("%s (%s)", c.Abbr, c.Category),
+				Y:    c.Norm[1:],
+			})
+		}
+		svg := plot.LineChart("Figure 3a: performance vs CTA occupancy",
+			"CTAs per SM", "IPC normalized to peak", series)
+		if err := write(filepath.Join(*out, "fig3a.svg"), svg); err != nil {
+			fatal(err)
+		}
+		wrote++
+	}
+	if len(res.Figure6) > 0 {
+		names := []string{"Spatial", "Even", "Dynamic"}
+		withOracle := res.Figure6[0].Oracle > 0
+		if withOracle {
+			names = append(names, "Oracle")
+		}
+		var groups []plot.BarGroup
+		for _, r := range res.Figure6 {
+			vals := []float64{r.Spatial, r.Even, r.Dynamic}
+			if withOracle {
+				vals = append(vals, r.Oracle)
+			}
+			groups = append(groups, plot.BarGroup{Label: r.Workload, Values: vals})
+		}
+		svg := plot.BarChart("Figure 6: IPC normalized to Left-Over",
+			"normalized IPC", names, groups)
+		if err := write(filepath.Join(*out, "fig6.svg"), svg); err != nil {
+			fatal(err)
+		}
+		wrote++
+	}
+	if wrote == 0 {
+		fatal(fmt.Errorf("%s contains neither figure3 nor figure6 results", *in))
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d chart(s) to %s\n", wrote, *out)
+}
+
+func write(path, content string) error {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Println(path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsplot:", err)
+	os.Exit(1)
+}

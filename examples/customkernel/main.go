@@ -1,0 +1,73 @@
+// Customkernel: define a brand-new synthetic kernel (outside the built-in
+// Table II suite), measure its occupancy-scaling curve, and co-schedule it
+// with a built-in kernel under Warped-Slicer.
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warpedslicer/internal/experiments"
+	"warpedslicer/internal/isa"
+	"warpedslicer/internal/kernels"
+)
+
+func main() {
+	// A "stencil-reduce" kernel: shared-memory staging, a barrier, a
+	// transcendental, and a strided global read over a modest tile.
+	custom := &kernels.Spec{
+		Name: "Stencil Reduce", Abbr: "STR",
+		GridDim: 4096, BlockDim: 192,
+		RegsPerThread:  24,
+		SharedMemPerTA: 3 * 1024,
+		Body: []kernels.Op{
+			{Kind: isa.LDG, Pattern: kernels.PatTiled, Lines: 1},
+			{Kind: isa.LDS, DependsPrev: true},
+			{Kind: isa.ALU, DependsPrev: true},
+			{Kind: isa.ALU, DependsPrev: true},
+			{Kind: isa.SFU, DependsPrev: true},
+			{Kind: isa.BAR},
+			{Kind: isa.STG, Pattern: kernels.PatTiled, Lines: 1, DependsPrev: true},
+		},
+		Iterations:    220,
+		TileBytes:     8 * 1024,
+		ICacheMissPct: 2,
+		Class:         kernels.Compute,
+	}
+	if err := custom.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	o := experiments.Defaults()
+	o.IsolationCycles = 30_000
+	o.Warmup = 10_000
+	s := experiments.NewSession(o)
+
+	// Occupancy behaviour of the new kernel.
+	curve := s.OccupancyCurve(custom)
+	fmt.Printf("%s: category=%s, peak at %d/%d CTAs per SM\n",
+		custom.Name, curve.Category, curve.PeakCTAs, curve.MaxCTAs)
+	for j := 1; j <= curve.MaxCTAs; j++ {
+		fmt.Printf("  %d CTAs -> normalized IPC %.2f\n", j, curve.Norm[j])
+	}
+
+	// Co-schedule with the memory-bound LBM under every policy.
+	lbm := kernels.ByAbbr("LBM")
+	pair := []*kernels.Spec{custom, lbm}
+	lo := s.CoRun(pair, "leftover")
+	fmt.Printf("\nSTR+LBM co-run (baseline left-over IPC %.1f):\n", lo.IPC)
+	for _, p := range []string{"spatial", "even", "dynamic"} {
+		r := s.CoRun(pair, p)
+		note := ""
+		if p == "dynamic" {
+			if r.ChoseSpatial {
+				note = "  [spatial fallback]"
+			} else {
+				note = fmt.Sprintf("  [partition %v]", r.Partition)
+			}
+		}
+		fmt.Printf("  %-8s %.2fx%s\n", p, r.IPC/lo.IPC, note)
+	}
+}

@@ -1,0 +1,59 @@
+// Multikernel: share every SM among THREE kernels (Figure 8's scenario)
+// and compare spatial multitasking, even partitioning and Warped-Slicer
+// against the Left-Over baseline.
+//
+//	go run ./examples/multikernel [A B C]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"warpedslicer/internal/experiments"
+	"warpedslicer/internal/kernels"
+)
+
+func main() {
+	names := []string{"NN", "MM", "IMG"} // a Figure 8 combination
+	if len(os.Args) == 4 {
+		names = os.Args[1:4]
+	}
+	var specs []*kernels.Spec
+	for _, n := range names {
+		spec := kernels.ByAbbr(n)
+		if spec == nil {
+			fmt.Fprintf(os.Stderr, "unknown kernel %q\n", n)
+			os.Exit(1)
+		}
+		specs = append(specs, spec)
+	}
+
+	o := experiments.Defaults()
+	o.IsolationCycles = 30_000
+	o.Warmup = 10_000
+	s := experiments.NewSession(o)
+
+	fmt.Printf("workload: %s\n", experiments.WorkloadName(specs))
+	lo := s.CoRun(specs, "leftover")
+	fmt.Printf("%-12s IPC %7.1f  (baseline)\n", "left-over", lo.IPC)
+	for _, p := range []string{"spatial", "even", "dynamic"} {
+		r := s.CoRun(specs, p)
+		extra := ""
+		if p == "dynamic" {
+			if r.ChoseSpatial {
+				extra = "  [fell back to spatial]"
+			} else {
+				extra = fmt.Sprintf("  [partition %v]", r.Partition)
+			}
+		}
+		fmt.Printf("%-12s IPC %7.1f  (%.2fx)%s\n", p, r.IPC, r.IPC/lo.IPC, extra)
+	}
+
+	// Per-kernel turnaround detail for the dynamic policy.
+	dy := s.CoRun(specs, "dynamic")
+	fmt.Println("\nper-kernel completion (dynamic):")
+	for i, spec := range specs {
+		fmt.Printf("  %-4s target=%9d insts, finished at cycle %d\n",
+			spec.Abbr, dy.Targets[i], dy.FinishCycles[i])
+	}
+}

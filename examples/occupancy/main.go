@@ -1,0 +1,41 @@
+// Occupancy: reproduce the Figure 3a occupancy-scaling study for a chosen
+// set of kernels, printing normalized-IPC curves and their empirical
+// categories as ASCII bar charts.
+//
+//	go run ./examples/occupancy [ABBR ...]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"warpedslicer/internal/experiments"
+	"warpedslicer/internal/kernels"
+)
+
+func main() {
+	abbrs := os.Args[1:]
+	if len(abbrs) == 0 {
+		abbrs = []string{"HOT", "IMG", "BLK", "NN", "MVP"} // Figure 3a's five
+	}
+
+	o := experiments.Defaults()
+	o.IsolationCycles = 40_000
+	s := experiments.NewSession(o)
+
+	for _, a := range abbrs {
+		spec := kernels.ByAbbr(a)
+		if spec == nil {
+			fmt.Fprintf(os.Stderr, "unknown kernel %q (try: BLK BFS DXT HOT IMG KNN LBM MM MVP NN)\n", a)
+			os.Exit(1)
+		}
+		c := s.OccupancyCurve(spec)
+		fmt.Printf("%s (%s), peak at %d/%d CTAs\n", spec.Name, c.Category, c.PeakCTAs, c.MaxCTAs)
+		for j := 1; j <= c.MaxCTAs; j++ {
+			bar := strings.Repeat("#", int(c.Norm[j]*40))
+			fmt.Printf("  %d CTA %-40s %.2f\n", j, bar, c.Norm[j])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,38 @@
+// Pairsweep: a miniature Figure 6 — sweep a handful of kernel pairs across
+// all multiprogramming policies (including the exhaustive oracle) and
+// report IPC normalized to the Left-Over baseline.
+//
+//	go run ./examples/pairsweep [n]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"warpedslicer/internal/experiments"
+)
+
+func main() {
+	n := 4
+	if len(os.Args) > 1 {
+		if v, err := strconv.Atoi(os.Args[1]); err == nil && v > 0 {
+			n = v
+		}
+	}
+	pairs := experiments.Pairs()
+	if n > len(pairs) {
+		n = len(pairs)
+	}
+
+	o := experiments.Quick()
+	o.Progress = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+	}
+	s := experiments.NewSession(o)
+
+	rows := experiments.Figure6From(s, pairs[:n], true)
+	fmt.Print(experiments.FormatFigure6(rows))
+	fmt.Println()
+	fmt.Print(experiments.FormatTable3(experiments.Table3(s, rows)))
+}

@@ -1,0 +1,3 @@
+module warpedslicer
+
+go 1.22

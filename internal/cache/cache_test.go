@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTest() *Cache { return New(1024, 64, 4, 4) } // 4 sets, 4-way
+
+func TestMissThenHit(t *testing.T) {
+	c := newTest()
+	if got := c.Access(0x100, false); got != Miss {
+		t.Fatalf("first access = %v, want Miss", got)
+	}
+	c.Fill(0x100)
+	if got := c.Access(0x100, false); got != Hit {
+		t.Fatalf("after fill = %v, want Hit", got)
+	}
+	if got := c.Access(0x13f, false); got != Hit {
+		t.Fatalf("same line other byte = %v, want Hit", got)
+	}
+}
+
+func TestMissMerge(t *testing.T) {
+	c := newTest()
+	if got := c.Access(0x200, false); got != Miss {
+		t.Fatalf("first = %v, want Miss", got)
+	}
+	if got := c.Access(0x200, false); got != MissMerged {
+		t.Fatalf("second = %v, want MissMerged", got)
+	}
+	if c.Stats.Merged != 1 {
+		t.Fatalf("merged count = %d, want 1", c.Stats.Merged)
+	}
+}
+
+func TestMSHRExhaustion(t *testing.T) {
+	c := newTest() // 4 MSHRs
+	for i := 0; i < 4; i++ {
+		if got := c.Access(uint64(i)*64, false); got != Miss {
+			t.Fatalf("access %d = %v, want Miss", i, got)
+		}
+	}
+	if !c.MSHRFull() {
+		t.Fatal("MSHRFull should be true")
+	}
+	if got := c.Access(5*64, false); got != ReservationFail {
+		t.Fatalf("fifth distinct miss = %v, want ReservationFail", got)
+	}
+	// Merges still allowed when full.
+	if got := c.Access(0, false); got != MissMerged {
+		t.Fatalf("merge while full = %v, want MissMerged", got)
+	}
+	c.Fill(0)
+	if c.MSHRFull() {
+		t.Fatal("fill should release an MSHR")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One set: line addresses that map to set 0 are multiples of 4*64=256.
+	c := newTest()
+	for i := 0; i < 4; i++ {
+		c.Access(uint64(i)*256, false)
+		c.Fill(uint64(i) * 256)
+	}
+	// Touch lines 1..3 so line 0 is LRU.
+	for i := 1; i < 4; i++ {
+		if got := c.Access(uint64(i)*256, false); got != Hit {
+			t.Fatalf("line %d should hit", i)
+		}
+	}
+	c.Access(4*256, false)
+	c.Fill(4 * 256)
+	if got := c.Access(0, false); got != Miss {
+		t.Fatalf("evicted LRU line should miss, got %v", got)
+	}
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats.Evictions)
+	}
+}
+
+func TestStoresWriteThroughNoAllocate(t *testing.T) {
+	c := newTest()
+	if got := c.Access(0x300, true); got != Miss {
+		t.Fatalf("store miss = %v, want Miss", got)
+	}
+	if c.MSHRInUse() != 0 {
+		t.Fatal("store must not allocate an MSHR")
+	}
+	// Store to a resident line hits and refreshes LRU.
+	c.Access(0x400, false)
+	c.Fill(0x400)
+	if got := c.Access(0x400, true); got != Hit {
+		t.Fatalf("store to resident line = %v, want Hit", got)
+	}
+	if c.Stats.Stores != 2 {
+		t.Fatalf("stores = %d, want 2", c.Stats.Stores)
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := newTest()
+	if c.Probe(0x500) {
+		t.Fatal("probe of absent line reported present")
+	}
+	if c.Stats.Loads != 0 || c.MSHRInUse() != 0 {
+		t.Fatal("probe mutated state")
+	}
+	c.Access(0x500, false)
+	c.Fill(0x500)
+	if !c.Probe(0x500) {
+		t.Fatal("probe of resident line reported absent")
+	}
+}
+
+func TestHasMSHR(t *testing.T) {
+	c := newTest()
+	c.Access(0x600, false)
+	if !c.HasMSHR(0x600) || !c.HasMSHR(0x63f) {
+		t.Fatal("HasMSHR should see outstanding line")
+	}
+	c.Fill(0x600)
+	if c.HasMSHR(0x600) {
+		t.Fatal("HasMSHR should clear after fill")
+	}
+}
+
+func TestFillIdempotentWhenPresent(t *testing.T) {
+	c := newTest()
+	c.Access(0x700, false)
+	c.Fill(0x700)
+	c.Fill(0x700) // racing fill: must not duplicate the line
+	present := 0
+	for i := 0; i < 4; i++ {
+		if c.Probe(0x700) {
+			present = 1
+		}
+	}
+	if present != 1 {
+		t.Fatal("line not present exactly once")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newTest()
+	c.Access(0x100, false)
+	c.Fill(0x100)
+	c.Reset()
+	if c.Probe(0x100) || c.MSHRInUse() != 0 || c.Stats.Loads != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := newTest()
+	c.Access(0x100, false) // miss
+	c.Fill(0x100)
+	c.Access(0x100, false) // hit
+	if mr := c.Stats.MissRate(); mr != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", mr)
+	}
+	var empty Stats
+	if empty.MissRate() != 0 {
+		t.Fatal("empty stats miss rate should be 0")
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1000, 64, 3, 4) // 1000 not divisible by 192
+}
+
+// Property: after Fill(addr), Access(addr) hits, for arbitrary addresses.
+func TestFillThenHitProperty(t *testing.T) {
+	c := New(16*1024, 128, 4, 64)
+	f := func(addr uint64) bool {
+		switch c.Access(addr, false) {
+		case Hit:
+			return true
+		case Miss, MissMerged:
+			c.Fill(addr)
+			return c.Access(addr, false) == Hit
+		default: // ReservationFail
+			c.Fill(addr)
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MSHR occupancy never exceeds the configured maximum.
+func TestMSHRBoundProperty(t *testing.T) {
+	c := New(4096, 64, 2, 8)
+	f := func(addrs []uint64) bool {
+		for _, a := range addrs {
+			c.Access(a, false)
+			if c.MSHRInUse() > 8 {
+				return false
+			}
+			if c.MSHRInUse() == 8 {
+				// Drain one arbitrary MSHR to keep making progress.
+				c.Fill(a)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: working sets no larger than one way-count per set never evict
+// under repeated access (LRU retention).
+func TestSmallWorkingSetAlwaysHitsProperty(t *testing.T) {
+	c := New(1024, 64, 4, 16) // 4 sets x 4 ways
+	// 4 lines in distinct sets, accessed repeatedly after initial fill.
+	lines := []uint64{0, 64, 128, 192}
+	for _, a := range lines {
+		c.Access(a, false)
+		c.Fill(a)
+	}
+	for round := 0; round < 50; round++ {
+		for _, a := range lines {
+			if got := c.Access(a, false); got != Hit {
+				t.Fatalf("round %d addr %#x = %v, want Hit", round, a, got)
+			}
+		}
+	}
+}

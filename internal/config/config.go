@@ -1,0 +1,204 @@
+// Package config defines the GPU hardware configuration used by the
+// simulator. The default configuration reproduces Table I of the
+// Warped-Slicer paper (ISCA 2016): a 16-SM Fermi-class GPU as modeled by
+// GPGPU-Sim v3.2.2.
+package config
+
+import "fmt"
+
+// GPU describes the full simulated device.
+type GPU struct {
+	// NumSMs is the number of streaming multiprocessors ("Compute Units"
+	// in Table I).
+	NumSMs int
+	// CoreClockMHz is the SM clock (1400 MHz in Table I).
+	CoreClockMHz int
+	// MemClockMHz is the memory clock (924 MHz in Table I).
+	MemClockMHz int
+
+	SM     SM
+	L1     Cache
+	L2     Cache
+	Memory Memory
+	Icnt   Interconnect
+}
+
+// SM describes per-SM execution resources (Table I, "Resources / Core").
+type SM struct {
+	// MaxThreads is the per-SM thread limit (1536).
+	MaxThreads int
+	// WarpSize is the number of threads per warp (32).
+	WarpSize int
+	// Registers is the per-SM register file size in 32-bit registers (32768).
+	Registers int
+	// MaxCTAs is the per-SM concurrent thread-block limit (8).
+	MaxCTAs int
+	// SharedMemBytes is the per-SM shared memory (48 KB).
+	SharedMemBytes int
+	// Schedulers is the number of warp schedulers per SM (2).
+	Schedulers int
+	// SIMTWidth is the number of lanes fed per cycle (16x2 in Table I; a
+	// 32-thread warp issues over WarpSize/SIMTWidth cycles).
+	SIMTWidth int
+
+	// ALULatency, SFULatency, LDSLatency are result latencies in core
+	// cycles for arithmetic, special-function, and shared-memory ops.
+	ALULatency int
+	SFULatency int
+	LDSLatency int
+	// SFUInitInterval is the initiation interval of the SFU pipeline: a
+	// new warp instruction may enter only every this many cycles (SFUs are
+	// narrower than ALUs).
+	SFUInitInterval int
+	// ALUUnits is the number of ALU pipelines that can each accept one
+	// warp instruction per cycle.
+	ALUUnits int
+
+	// FetchDelay is the added delay, in cycles, when a warp's next
+	// instruction misses in the instruction cache model.
+	FetchDelay int
+}
+
+// Cache describes one cache level.
+type Cache struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the cache-line (sector) size.
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// MSHRs is the number of miss-status holding registers.
+	MSHRs int
+	// HitLatency is the access latency on a hit, in core cycles.
+	HitLatency int
+}
+
+// Memory describes the DRAM subsystem (Table I, GDDR5 timing).
+type Memory struct {
+	// Channels is the number of memory controllers (6 in Table I).
+	Channels int
+	// BanksPerChannel models DRAM banks for row-buffer locality.
+	BanksPerChannel int
+	// Timings are in memory-clock cycles. The simplified controller
+	// timing model consumes TCL/TRP/TRCD/TRRD; TRC and TRAS are carried
+	// for Table I fidelity and bound the others (TRC >= TRAS + TRP).
+	TCL, TRP, TRC, TRAS, TRCD, TRRD int
+	// BurstCycles is the data-bus occupancy per 128B transaction in
+	// memory-clock cycles.
+	BurstCycles int
+	// QueueDepth is the per-channel scheduling window of the FR-FCFS
+	// controller.
+	QueueDepth int
+}
+
+// Interconnect describes the SM<->memory-partition network.
+type Interconnect struct {
+	// LatencyCycles is the one-way traversal latency.
+	LatencyCycles int
+	// FlitsPerCycle is the total request (and, independently, reply)
+	// bandwidth in packets per core cycle.
+	FlitsPerCycle int
+}
+
+// Baseline returns the Table I configuration of the paper.
+func Baseline() GPU {
+	return GPU{
+		NumSMs:       16,
+		CoreClockMHz: 1400,
+		MemClockMHz:  924,
+		SM: SM{
+			MaxThreads:      1536,
+			WarpSize:        32,
+			Registers:       32768,
+			MaxCTAs:         8,
+			SharedMemBytes:  48 * 1024,
+			Schedulers:      2,
+			SIMTWidth:       16,
+			ALULatency:      10,
+			SFULatency:      20,
+			LDSLatency:      24,
+			SFUInitInterval: 4,
+			ALUUnits:        2,
+			FetchDelay:      12,
+		},
+		L1: Cache{
+			SizeBytes:  16 * 1024,
+			LineBytes:  128,
+			Assoc:      4,
+			MSHRs:      64,
+			HitLatency: 28,
+		},
+		L2: Cache{
+			// 128KB per memory channel (Table I).
+			SizeBytes:  128 * 1024,
+			LineBytes:  128,
+			Assoc:      8,
+			MSHRs:      128,
+			HitLatency: 120,
+		},
+		Memory: Memory{
+			Channels:        6,
+			BanksPerChannel: 8,
+			TCL:             12,
+			TRP:             12,
+			TRC:             40,
+			TRAS:            28,
+			TRCD:            12,
+			TRRD:            6,
+			BurstCycles:     4,
+			QueueDepth:      32,
+		},
+		Icnt: Interconnect{
+			LatencyCycles: 8,
+			FlitsPerCycle: 12,
+		},
+	}
+}
+
+// LargeSM returns the §V-H sensitivity configuration: 256KB register file,
+// 96KB shared memory, 32 max CTAs and 64 max warps per SM.
+func LargeSM() GPU {
+	g := Baseline()
+	g.SM.Registers = 256 * 1024 / 4 // 256KB of 32-bit registers
+	g.SM.SharedMemBytes = 96 * 1024
+	g.SM.MaxCTAs = 32
+	g.SM.MaxThreads = 64 * g.SM.WarpSize
+	return g
+}
+
+// MaxWarps returns the per-SM warp limit implied by MaxThreads.
+func (s SM) MaxWarps() int { return s.MaxThreads / s.WarpSize }
+
+// MemClockRatio returns memory-clock cycles per core-clock cycle.
+func (g GPU) MemClockRatio() float64 {
+	return float64(g.MemClockMHz) / float64(g.CoreClockMHz)
+}
+
+// Validate reports an error if the configuration is internally inconsistent.
+func (g GPU) Validate() error {
+	switch {
+	case g.NumSMs <= 0:
+		return fmt.Errorf("config: NumSMs must be positive, got %d", g.NumSMs)
+	case g.SM.WarpSize <= 0:
+		return fmt.Errorf("config: WarpSize must be positive, got %d", g.SM.WarpSize)
+	case g.SM.MaxThreads%g.SM.WarpSize != 0:
+		return fmt.Errorf("config: MaxThreads %d not a multiple of WarpSize %d", g.SM.MaxThreads, g.SM.WarpSize)
+	case g.SM.Schedulers <= 0:
+		return fmt.Errorf("config: Schedulers must be positive, got %d", g.SM.Schedulers)
+	case g.SM.Registers <= 0 || g.SM.SharedMemBytes < 0:
+		return fmt.Errorf("config: invalid SM storage (regs=%d shm=%d)", g.SM.Registers, g.SM.SharedMemBytes)
+	case g.SM.MaxCTAs <= 0:
+		return fmt.Errorf("config: MaxCTAs must be positive, got %d", g.SM.MaxCTAs)
+	case g.L1.LineBytes <= 0 || g.L2.LineBytes <= 0:
+		return fmt.Errorf("config: cache line sizes must be positive")
+	case g.L1.SizeBytes%(g.L1.LineBytes*g.L1.Assoc) != 0:
+		return fmt.Errorf("config: L1 size %d not divisible by line*assoc", g.L1.SizeBytes)
+	case g.L2.SizeBytes%(g.L2.LineBytes*g.L2.Assoc) != 0:
+		return fmt.Errorf("config: L2 size %d not divisible by line*assoc", g.L2.SizeBytes)
+	case g.Memory.Channels <= 0:
+		return fmt.Errorf("config: Channels must be positive, got %d", g.Memory.Channels)
+	case g.Icnt.FlitsPerCycle <= 0:
+		return fmt.Errorf("config: FlitsPerCycle must be positive, got %d", g.Icnt.FlitsPerCycle)
+	}
+	return nil
+}

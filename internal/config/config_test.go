@@ -1,0 +1,92 @@
+package config
+
+import "testing"
+
+func TestBaselineMatchesTableI(t *testing.T) {
+	g := Baseline()
+	if g.NumSMs != 16 {
+		t.Errorf("NumSMs = %d, want 16", g.NumSMs)
+	}
+	if g.CoreClockMHz != 1400 || g.MemClockMHz != 924 {
+		t.Errorf("clocks = %d/%d, want 1400/924", g.CoreClockMHz, g.MemClockMHz)
+	}
+	if g.SM.MaxThreads != 1536 || g.SM.Registers != 32768 {
+		t.Errorf("threads/regs = %d/%d, want 1536/32768", g.SM.MaxThreads, g.SM.Registers)
+	}
+	if g.SM.MaxCTAs != 8 || g.SM.SharedMemBytes != 48*1024 {
+		t.Errorf("ctas/shm = %d/%d, want 8/48K", g.SM.MaxCTAs, g.SM.SharedMemBytes)
+	}
+	if g.SM.Schedulers != 2 {
+		t.Errorf("schedulers = %d, want 2", g.SM.Schedulers)
+	}
+	if g.L1.SizeBytes != 16*1024 || g.L1.Assoc != 4 || g.L1.MSHRs != 64 {
+		t.Errorf("L1 = %+v, want 16KB 4-way 64 MSHR", g.L1)
+	}
+	if g.L2.SizeBytes != 128*1024 || g.L2.Assoc != 8 {
+		t.Errorf("L2 = %+v, want 128KB 8-way per channel", g.L2)
+	}
+	if g.Memory.Channels != 6 {
+		t.Errorf("channels = %d, want 6", g.Memory.Channels)
+	}
+	tm := g.Memory
+	if tm.TCL != 12 || tm.TRP != 12 || tm.TRC != 40 || tm.TRAS != 28 || tm.TRCD != 12 || tm.TRRD != 6 {
+		t.Errorf("GDDR5 timing %+v does not match Table I", tm)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSMMatchesSectionVH(t *testing.T) {
+	g := LargeSM()
+	if g.SM.Registers != 256*1024/4 {
+		t.Errorf("regs = %d, want 64K (256KB)", g.SM.Registers)
+	}
+	if g.SM.SharedMemBytes != 96*1024 {
+		t.Errorf("shm = %d, want 96KB", g.SM.SharedMemBytes)
+	}
+	if g.SM.MaxCTAs != 32 {
+		t.Errorf("max CTAs = %d, want 32", g.SM.MaxCTAs)
+	}
+	if g.SM.MaxWarps() != 64 {
+		t.Errorf("max warps = %d, want 64", g.SM.MaxWarps())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxWarps(t *testing.T) {
+	if got := Baseline().SM.MaxWarps(); got != 48 {
+		t.Fatalf("baseline max warps = %d, want 48", got)
+	}
+}
+
+func TestMemClockRatio(t *testing.T) {
+	r := Baseline().MemClockRatio()
+	if r < 0.65 || r > 0.67 {
+		t.Fatalf("mem clock ratio = %v, want ~0.66", r)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mutations := map[string]func(*GPU){
+		"no SMs":         func(g *GPU) { g.NumSMs = 0 },
+		"zero warp":      func(g *GPU) { g.SM.WarpSize = 0 },
+		"ragged threads": func(g *GPU) { g.SM.MaxThreads = 100 },
+		"no scheds":      func(g *GPU) { g.SM.Schedulers = 0 },
+		"no regs":        func(g *GPU) { g.SM.Registers = 0 },
+		"no ctas":        func(g *GPU) { g.SM.MaxCTAs = 0 },
+		"bad L1":         func(g *GPU) { g.L1.SizeBytes = 1000 },
+		"bad L2":         func(g *GPU) { g.L2.SizeBytes = 1000 },
+		"no channels":    func(g *GPU) { g.Memory.Channels = 0 },
+		"no flits":       func(g *GPU) { g.Icnt.FlitsPerCycle = 0 },
+	}
+	for name, mutate := range mutations {
+		g := Baseline()
+		mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}

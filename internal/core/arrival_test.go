@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+)
+
+// TestThirdKernelArrivalRepartitions reproduces Figure 2e: two kernels
+// co-run, a third arrives later, and the controller launches a new
+// repartitioning phase covering all three.
+func TestThirdKernelArrivalRepartitions(t *testing.T) {
+	c := fastController()
+	// This test exercises arrival mechanics, not the fallback: tolerate
+	// any loss so the intra-SM partition is always chosen.
+	c.LossThresholdScale = 10
+	g := gpu.New(config.Baseline(), c)
+	// Short-iteration variants so resident CTAs drain quickly after the
+	// repartition (the late kernel can only start on freed resources).
+	img, mm := *kernels.ByAbbr("IMG"), *kernels.ByAbbr("MM")
+	img.Iterations, mm.Iterations = 40, 40
+	g.AddKernel(&img, 0)
+	g.AddKernel(&mm, 0)
+	third := g.AddKernelAt(kernels.ByAbbr("BLK"), 0, 15000)
+
+	// Phase 1: decide for the first two kernels.
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 500)
+	if !c.Decided() {
+		t.Fatal("initial decision missing")
+	}
+	if c.ChoseSpatial {
+		t.Skip("initial phase chose spatial; partition-size checks not applicable")
+	}
+	if len(c.Partition) != 2 {
+		t.Fatalf("initial partition %v, want 2 kernels", c.Partition)
+	}
+	if third.Arrived() {
+		t.Fatal("third kernel arrived too early")
+	}
+
+	// Phase 2: arrival at 15000 restarts profiling; after warm-up +
+	// sample the controller must have a 3-way decision.
+	g.RunCycles(15000 + c.ArrivalWarmup + c.SampleCycles + 2000 - g.Now())
+	if !third.Arrived() {
+		t.Fatal("third kernel never arrived")
+	}
+	if !c.Decided() {
+		t.Fatal("controller stuck after arrival")
+	}
+	if !c.ChoseSpatial && len(c.Partition) != 3 {
+		t.Fatalf("post-arrival partition %v, want 3 kernels", c.Partition)
+	}
+
+	// The late kernel must make progress under the new partition.
+	g.RunCycles(20000)
+	if g.KernelInsts(third.Slot) == 0 {
+		t.Fatal("third kernel starved after repartitioning")
+	}
+}
+
+func TestUnarrivedKernelDoesNotLaunch(t *testing.T) {
+	c := fastController()
+	g := gpu.New(config.Baseline(), c)
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	late := g.AddKernelAt(kernels.ByAbbr("DXT"), 0, 50000)
+	g.RunCycles(5000)
+	for _, s := range g.SMs {
+		if s.ResidentCTAs(late.Slot) != 0 {
+			t.Fatal("unarrived kernel has resident CTAs")
+		}
+	}
+	// The profiling layout must cover only the arrived kernel: every SM
+	// belongs to IMG.
+	total := 0
+	for _, s := range g.SMs {
+		total += s.ResidentCTAs(0)
+	}
+	if total == 0 {
+		t.Fatal("arrived kernel not profiled anywhere")
+	}
+}
+
+func TestArrivalBeforeFirstDecisionIsAbsorbed(t *testing.T) {
+	c := fastController()
+	g := gpu.New(config.Baseline(), c)
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	// Arrives mid-warm-up of the first profiling phase.
+	g.AddKernelAt(kernels.ByAbbr("MM"), 0, c.WarmupCycles/2)
+	g.RunCycles(c.WarmupCycles/2 + c.ArrivalWarmup + c.SampleCycles + 2000)
+	if !c.Decided() {
+		t.Fatal("controller never decided after mid-warmup arrival")
+	}
+	if !c.ChoseSpatial && len(c.Partition) != 2 {
+		t.Fatalf("partition %v, want both kernels covered", c.Partition)
+	}
+}

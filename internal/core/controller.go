@@ -1,0 +1,364 @@
+package core
+
+import (
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/policy"
+	"warpedslicer/internal/sm"
+)
+
+// controller phases.
+const (
+	phaseWarmup = iota
+	phaseSample
+	phaseDelay
+	phaseDecided
+)
+
+// Controller is the Warped-Slicer runtime: a gpu.Dispatcher that profiles
+// each kernel at staggered CTA counts on disjoint SM groups (Figure 4),
+// estimates performance-vs-occupancy curves with the bandwidth-imbalance
+// correction of Eq. 2-4, partitions SM resources with WaterFill, and falls
+// back to spatial multitasking when any kernel's predicted loss exceeds the
+// threshold of §IV.
+type Controller struct {
+	// WarmupCycles precede the sampling window (paper: 20K).
+	WarmupCycles int64
+	// SampleCycles is the profiling window length (paper: 5K).
+	SampleCycles int64
+	// AlgorithmDelay models the partitioning computation time between the
+	// end of sampling and the repartition (paper Fig. 10a: 1K-10K has
+	// <1.5% impact).
+	AlgorithmDelay int64
+	// UseScaledIPC enables the Eq. 3-4 bandwidth correction (ablation
+	// point; the paper always enables it).
+	UseScaledIPC bool
+	// SymmetricScaling also scales DOWN samples from SMs profiled below
+	// the average occupancy (the literal reading of Eq. 4, where ψ goes
+	// negative). The default applies the correction only as the paper
+	// motivates it — offsetting the bandwidth-contention penalty of
+	// above-average SMs — which keeps bandwidth-saturated kernels' curves
+	// flat instead of artificially rising.
+	SymmetricScaling bool
+	// LossThresholdScale sets the spatial-fallback threshold to
+	// Scale/K (paper: 1.2, i.e. 120%/K maximum tolerated loss).
+	LossThresholdScale float64
+
+	// ArrivalWarmup is the shortened warm-up used when a newly arrived
+	// kernel triggers re-profiling (the machine is already warm).
+	ArrivalWarmup int64
+
+	// RepeatOnPhaseChange enables §IV-B phase monitoring: when the
+	// device IPC shifts by more than PhaseDeltaFrac between consecutive
+	// PhaseWindow-cycle windows after the decision, profiling restarts.
+	RepeatOnPhaseChange bool
+	PhaseWindow         int64
+	PhaseDeltaFrac      float64
+
+	// Results (valid once Decided).
+	Partition    []int
+	ChoseSpatial bool
+	Curves       [][]float64 // Curves[i][j]: kernel i scaled IPC at j CTAs
+
+	state       int
+	warmupEnd   int64
+	sampleStart int64
+	decideAt    int64
+
+	// profiled is the set of kernels covered by the current profiling
+	// layout (arrived and not yet finished).
+	profiled []*gpu.Kernel
+
+	owner []int // SM -> profiled kernel index
+	cap   []int // SM -> CTA cap during profiling
+
+	baseInsts    []uint64
+	baseSlots    []uint64
+	baseStallMem []uint64
+
+	lastPhaseInsts uint64
+	lastPhaseIPC   float64
+	nextPhaseCheck int64
+	reprofiles     int
+}
+
+// NewController returns a controller with the paper's defaults.
+func NewController() *Controller {
+	return &Controller{
+		WarmupCycles:       20000,
+		SampleCycles:       5000,
+		ArrivalWarmup:      5000,
+		UseScaledIPC:       true,
+		LossThresholdScale: 1.2,
+		PhaseWindow:        5000,
+		PhaseDeltaFrac:     0.5,
+	}
+}
+
+// Decided reports whether the partition has been installed.
+func (c *Controller) Decided() bool { return c.state == phaseDecided }
+
+// Reprofiles returns how many times phase monitoring restarted profiling.
+func (c *Controller) Reprofiles() int { return c.reprofiles }
+
+// Setup implements gpu.Dispatcher: installs the profiling layout.
+func (c *Controller) Setup(g *gpu.GPU) {
+	c.state = phaseWarmup
+	c.warmupEnd = c.WarmupCycles
+	c.applyProfilingLayout(g)
+}
+
+// OnKernelArrival implements gpu.ArrivalAware: a kernel entering a busy
+// GPU launches a new repartitioning phase covering all resident kernels
+// (Figure 2e).
+func (c *Controller) OnKernelArrival(g *gpu.GPU, _ *gpu.Kernel) {
+	c.state = phaseWarmup
+	c.warmupEnd = g.Now() + c.ArrivalWarmup
+	c.applyProfilingLayout(g)
+}
+
+// applyProfilingLayout splits SMs into one group per kernel and assigns
+// sequentially increasing CTA caps within each group.
+func (c *Controller) applyProfilingLayout(g *gpu.GPU) {
+	c.profiled = c.profiled[:0]
+	for _, kn := range g.Kernels {
+		if kn.Arrived() && !kn.Done {
+			c.profiled = append(c.profiled, kn)
+		}
+	}
+	k := len(c.profiled)
+	if k == 0 {
+		return
+	}
+	n := len(g.SMs)
+	c.owner = make([]int, n)
+	c.cap = make([]int, n)
+	for i, s := range g.SMs {
+		ki := i * k / n
+		if ki >= k {
+			ki = k - 1
+		}
+		// Position within the kernel's group determines the CTA cap.
+		groupStart := (ki*n + k - 1) / k
+		pos := i - groupStart
+		spec := c.profiled[ki].Spec
+		maxC := spec.MaxCTAs(g.Cfg.SM.Registers, g.Cfg.SM.SharedMemBytes,
+			g.Cfg.SM.MaxThreads, g.Cfg.SM.MaxCTAs)
+		cp := pos + 1
+		if cp > maxC {
+			cp = maxC
+		}
+		if cp < 1 {
+			cp = 1
+		}
+		c.owner[i] = ki
+		c.cap[i] = cp
+
+		s.SetAllowed(map[int]bool{c.profiled[ki].Slot: true})
+		q := sm.Unlimited()
+		q.CTAs = cp
+		s.SetQuota(c.profiled[ki].Slot, q)
+	}
+}
+
+// Fill implements gpu.Dispatcher.
+func (c *Controller) Fill(g *gpu.GPU) { policy.FillInterleaved(g) }
+
+// Tick implements gpu.Dispatcher: drives the profiling state machine.
+func (c *Controller) Tick(g *gpu.GPU) {
+	now := g.Now()
+	switch c.state {
+	case phaseWarmup:
+		if now >= c.warmupEnd {
+			c.snapshot(g)
+			c.sampleStart = now
+			c.state = phaseSample
+		}
+	case phaseSample:
+		if now >= c.sampleStart+c.SampleCycles {
+			c.computeCurves(g)
+			c.decideAt = now + c.AlgorithmDelay
+			c.state = phaseDelay
+		}
+	case phaseDelay:
+		if now >= c.decideAt {
+			c.decide(g)
+			c.state = phaseDecided
+			c.nextPhaseCheck = now + c.PhaseWindow
+			c.lastPhaseInsts = totalInsts(g)
+			c.lastPhaseIPC = -1
+			c.Fill(g)
+		}
+	case phaseDecided:
+		if !c.RepeatOnPhaseChange || now < c.nextPhaseCheck {
+			return
+		}
+		insts := totalInsts(g)
+		ipc := float64(insts-c.lastPhaseInsts) / float64(c.PhaseWindow)
+		c.lastPhaseInsts = insts
+		c.nextPhaseCheck = now + c.PhaseWindow
+		if c.lastPhaseIPC > 0 {
+			delta := ipc - c.lastPhaseIPC
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > c.PhaseDeltaFrac*c.lastPhaseIPC {
+				// Sustained shift: re-profile.
+				c.reprofiles++
+				c.applyProfilingLayout(g)
+				c.sampleStart = now
+				c.snapshot(g)
+				c.state = phaseSample
+				c.Fill(g)
+				return
+			}
+		}
+		c.lastPhaseIPC = ipc
+	}
+}
+
+// ScaledIPC applies the paper's bandwidth-imbalance correction (Eq. 2-4):
+// an SM profiled with more CTAs than the device average under-received
+// memory bandwidth during sampling, so its IPC is scaled up in proportion
+// to its memory-stall fraction phiMem; SMs below the average are scaled
+// down symmetrically. ψ ≈ CTA_i/CTA_avg − 1 and factor = 1 + φmem·ψ,
+// clamped to stay positive.
+func ScaledIPC(ipcSampled, phiMem float64, ctas int, ctaAvg float64) float64 {
+	if ctaAvg <= 0 {
+		return ipcSampled
+	}
+	psi := float64(ctas)/ctaAvg - 1
+	factor := 1 + phiMem*psi
+	if factor < 0.1 {
+		factor = 0.1
+	}
+	return ipcSampled * factor
+}
+
+func totalInsts(g *gpu.GPU) uint64 {
+	var t uint64
+	for _, k := range g.Kernels {
+		t += g.KernelInsts(k.Slot)
+	}
+	return t
+}
+
+// snapshot records per-SM counters at the start of the sampling window.
+func (c *Controller) snapshot(g *gpu.GPU) {
+	n := len(g.SMs)
+	c.baseInsts = make([]uint64, n)
+	c.baseSlots = make([]uint64, n)
+	c.baseStallMem = make([]uint64, n)
+	for i, s := range g.SMs {
+		st := s.Stats()
+		c.baseInsts[i] = st.PerKernel[c.profiled[c.owner[i]].Slot%sm.MaxKernels].ThreadInsts
+		c.baseSlots[i] = st.Slots
+		c.baseStallMem[i] = st.StallMem
+	}
+}
+
+// computeCurves turns window deltas into per-kernel scaled IPC curves.
+func (c *Controller) computeCurves(g *gpu.GPU) {
+	k := len(c.profiled)
+	c.Curves = make([][]float64, k)
+	for i, kn := range c.profiled {
+		maxC := kn.Spec.MaxCTAs(g.Cfg.SM.Registers, g.Cfg.SM.SharedMemBytes,
+			g.Cfg.SM.MaxThreads, g.Cfg.SM.MaxCTAs)
+		c.Curves[i] = make([]float64, maxC+1)
+	}
+
+	// CTAavg across all profiled SMs (Eq. 4 denominator).
+	sumCap := 0
+	for _, cp := range c.cap {
+		sumCap += cp
+	}
+	ctaAvg := float64(sumCap) / float64(len(c.cap))
+
+	for i, s := range g.SMs {
+		st := s.Stats()
+		ki := c.owner[i]
+		slot := c.profiled[ki].Slot % sm.MaxKernels
+		dInsts := st.PerKernel[slot].ThreadInsts - c.baseInsts[i]
+		dSlots := st.Slots - c.baseSlots[i]
+		dMem := st.StallMem - c.baseStallMem[i]
+
+		ipc := float64(dInsts) / float64(c.SampleCycles)
+		if c.UseScaledIPC && dSlots > 0 {
+			phiMem := float64(dMem) / float64(dSlots)
+			if c.SymmetricScaling || float64(c.cap[i]) >= ctaAvg {
+				ipc = ScaledIPC(ipc, phiMem, c.cap[i], ctaAvg)
+			}
+		}
+		j := c.cap[i]
+		if j < len(c.Curves[ki]) && ipc > c.Curves[ki][j] {
+			c.Curves[ki][j] = ipc
+		}
+	}
+
+	// Extend unsampled high occupancies with the last measured value
+	// (groups may be smaller than a kernel's CTA limit).
+	for _, curve := range c.Curves {
+		last := 0.0
+		for j := 1; j < len(curve); j++ {
+			if curve[j] == 0 {
+				curve[j] = last
+			} else {
+				last = curve[j]
+			}
+		}
+	}
+}
+
+// decide runs the partitioner and installs the result.
+func (c *Controller) decide(g *gpu.GPU) {
+	k := len(c.profiled)
+	demands := make([]Demand, k)
+	for i, kn := range c.profiled {
+		demands[i] = Demand{
+			Perf: c.Curves[i],
+			Need: sm.Quota{
+				Regs:    kn.Spec.RegsPerCTA(),
+				Shm:     kn.Spec.SharedMemPerTA,
+				Threads: kn.Spec.BlockDim,
+				CTAs:    1,
+			},
+		}
+	}
+	total := sm.Quota{
+		Regs:    g.Cfg.SM.Registers,
+		Shm:     g.Cfg.SM.SharedMemBytes,
+		Threads: g.Cfg.SM.MaxThreads,
+		CTAs:    g.Cfg.SM.MaxCTAs,
+	}
+
+	alloc, err := WaterFill(demands, total)
+	threshold := c.LossThresholdScale / float64(k)
+	fallback := err != nil
+	if !fallback {
+		for _, p := range alloc.NormPerf {
+			if 1-p > threshold {
+				fallback = true
+				break
+			}
+		}
+	}
+	if fallback {
+		c.ChoseSpatial = true
+		c.Partition = nil
+		// Drop the profiling layout's restrictive CTA caps before
+		// switching to inter-SM slicing; otherwise the SM that profiled
+		// a kernel at 1 CTA would stay capped at 1 forever.
+		for _, s := range g.SMs {
+			s.ClearQuotas()
+		}
+		policy.ApplySpatialTo(g, c.profiled)
+		return
+	}
+	c.ChoseSpatial = false
+	// Map active-kernel allocations back to kernel slots for ApplyFixed.
+	full := make([]int, len(g.Kernels))
+	for i, kn := range c.profiled {
+		full[kn.Slot] = alloc.CTAs[i]
+	}
+	c.Partition = alloc.CTAs
+	policy.ApplyFixed(g, full)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+)
+
+// fastController shortens windows so tests stay quick while preserving the
+// warmup -> sample -> decide sequence.
+func fastController() *Controller {
+	c := NewController()
+	c.WarmupCycles = 2000
+	c.SampleCycles = 2000
+	return c
+}
+
+func newDynGPU(c *Controller, abbrs ...string) *gpu.GPU {
+	g := gpu.New(config.Baseline(), c)
+	for _, a := range abbrs {
+		g.AddKernel(kernels.ByAbbr(a), 0)
+	}
+	return g
+}
+
+func TestProfilingLayoutSplitsSMs(t *testing.T) {
+	c := fastController()
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(10)
+	// During profiling, the first 8 SMs host IMG with caps 1..8, the rest
+	// BLK with caps 1..4 (clamped at BLK's register limit).
+	for i := 0; i < 8; i++ {
+		want := i + 1
+		if got := g.SMs[i].ResidentCTAs(0); got != want {
+			t.Fatalf("SM%d IMG CTAs = %d, want %d", i, got, want)
+		}
+		if g.SMs[i].ResidentCTAs(1) != 0 {
+			t.Fatalf("SM%d hosts BLK during IMG profiling", i)
+		}
+	}
+	for i := 8; i < 16; i++ {
+		want := i - 8 + 1
+		if want > 4 {
+			want = 4 // BLK occupancy limit
+		}
+		if got := g.SMs[i].ResidentCTAs(1); got != want {
+			t.Fatalf("SM%d BLK CTAs = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestControllerDecidesAndPartitionFits(t *testing.T) {
+	c := fastController()
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 200)
+	if !c.Decided() {
+		t.Fatal("controller never decided")
+	}
+	if c.ChoseSpatial {
+		t.Skip("chose spatial for this pair; partition checks not applicable")
+	}
+	if len(c.Partition) != 2 {
+		t.Fatalf("partition = %v, want 2 entries", c.Partition)
+	}
+	cfg := config.Baseline()
+	img, blk := kernels.ByAbbr("IMG"), kernels.ByAbbr("BLK")
+	regs := c.Partition[0]*img.RegsPerCTA() + c.Partition[1]*blk.RegsPerCTA()
+	if regs > cfg.SM.Registers {
+		t.Fatalf("partition %v exceeds register file (%d > %d)", c.Partition, regs, cfg.SM.Registers)
+	}
+	if c.Partition[0] < 1 || c.Partition[1] < 1 {
+		t.Fatalf("partition %v starves a kernel", c.Partition)
+	}
+}
+
+func TestControllerCurvesPopulated(t *testing.T) {
+	c := fastController()
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 200)
+	if len(c.Curves) != 2 {
+		t.Fatalf("curves = %d, want 2", len(c.Curves))
+	}
+	// IMG was profiled at 1..8 CTAs; each point must be positive.
+	for j := 1; j < len(c.Curves[0]); j++ {
+		if c.Curves[0][j] <= 0 {
+			t.Fatalf("IMG curve[%d] = %v, want > 0", j, c.Curves[0][j])
+		}
+	}
+	// Performance at 8 CTAs should comfortably beat 1 CTA for a compute
+	// kernel.
+	if c.Curves[0][8] < 2*c.Curves[0][1] {
+		t.Fatalf("IMG curve not scaling: %v", c.Curves[0])
+	}
+}
+
+func TestCoRunProgressesAfterDecision(t *testing.T) {
+	c := fastController()
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 5000)
+	if g.KernelInsts(0) == 0 || g.KernelInsts(1) == 0 {
+		t.Fatal("kernels stalled after repartition")
+	}
+}
+
+func TestScaledIPCDisablesCleanly(t *testing.T) {
+	c := fastController()
+	c.UseScaledIPC = false
+	g := newDynGPU(c, "IMG", "LBM")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 200)
+	if !c.Decided() {
+		t.Fatal("controller without scaling never decided")
+	}
+}
+
+func TestSpatialFallbackOnTinyThreshold(t *testing.T) {
+	c := fastController()
+	c.LossThresholdScale = 0.0001 // no loss tolerated -> must fall back
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 200)
+	if !c.ChoseSpatial {
+		t.Fatal("controller should have fallen back to spatial multitasking")
+	}
+	// Verify the spatial layout is actually in force.
+	g.RunCycles(2000)
+	for i, s := range g.SMs {
+		if s.ResidentCTAs(0) > 0 && s.ResidentCTAs(1) > 0 {
+			t.Fatalf("SM%d hosts both kernels after spatial fallback", i)
+		}
+	}
+}
+
+func TestThreeKernelController(t *testing.T) {
+	c := fastController()
+	g := newDynGPU(c, "IMG", "MM", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 3000)
+	if !c.Decided() {
+		t.Fatal("3-kernel controller never decided")
+	}
+	if !c.ChoseSpatial && len(c.Partition) != 3 {
+		t.Fatalf("partition = %v, want 3 entries", c.Partition)
+	}
+	for k := 0; k < 3; k++ {
+		if g.KernelInsts(k) == 0 {
+			t.Fatalf("kernel %d made no progress", k)
+		}
+	}
+}
+
+func TestAlgorithmDelayDefersDecision(t *testing.T) {
+	c := fastController()
+	c.AlgorithmDelay = 3000
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 1000)
+	if c.Decided() {
+		t.Fatal("decision should still be pending during algorithm delay")
+	}
+	g.RunCycles(3000)
+	if !c.Decided() {
+		t.Fatal("decision never landed after delay")
+	}
+}
+
+func TestReprofileOnPhaseChange(t *testing.T) {
+	c := fastController()
+	c.RepeatOnPhaseChange = true
+	c.PhaseWindow = 1000
+	c.PhaseDeltaFrac = 0.000001 // any jitter retriggers
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 20000)
+	if c.Reprofiles() == 0 {
+		t.Fatal("hair-trigger phase monitor never re-profiled")
+	}
+}
+
+func TestNoReprofileWhenStable(t *testing.T) {
+	c := fastController()
+	c.RepeatOnPhaseChange = true
+	c.PhaseWindow = 2000
+	c.PhaseDeltaFrac = 100 // effectively never
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 20000)
+	if c.Reprofiles() != 0 {
+		t.Fatal("stable run should not re-profile")
+	}
+}
+
+// TestSpatialFallbackClearsProfilingQuotas guards against the fallback
+// path inheriting the profiling layout's restrictive per-SM CTA caps: the
+// SM that profiled a kernel at 1 CTA must be able to fill up again once
+// spatial multitasking is in force.
+func TestSpatialFallbackClearsProfilingQuotas(t *testing.T) {
+	c := fastController()
+	c.LossThresholdScale = 0.0001 // force the fallback
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 20000)
+	if !c.ChoseSpatial {
+		t.Fatal("expected spatial fallback")
+	}
+	// Under spatial, IMG owns SMs 0..7. SM0 profiled IMG at cap 1; after
+	// the fallback it must reach IMG's full occupancy (8 CTAs).
+	if got := g.SMs[0].ResidentCTAs(0); got != 8 {
+		t.Fatalf("SM0 IMG occupancy after fallback = %d, want 8 (stale profiling quota?)", got)
+	}
+}

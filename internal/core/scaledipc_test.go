@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaledIPCNeutralAtAverage(t *testing.T) {
+	// An SM profiled exactly at the average occupancy needs no correction.
+	if got := ScaledIPC(10, 0.9, 4, 4); got != 10 {
+		t.Fatalf("ScaledIPC at average = %v, want 10", got)
+	}
+}
+
+func TestScaledIPCBoostsAboveAverage(t *testing.T) {
+	// ψ = 8/4 − 1 = 1; factor = 1 + 0.5·1 = 1.5.
+	if got := ScaledIPC(10, 0.5, 8, 4); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("ScaledIPC = %v, want 15", got)
+	}
+}
+
+func TestScaledIPCDampensBelowAverage(t *testing.T) {
+	// ψ = 1/4 − 1 = −0.75; factor = 1 − 0.8·0.75 = 0.4.
+	if got := ScaledIPC(10, 0.8, 1, 4); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("ScaledIPC = %v, want 4", got)
+	}
+}
+
+func TestScaledIPCComputeKernelsUnaffected(t *testing.T) {
+	// φmem = 0 (no memory stalls): no correction regardless of occupancy.
+	for _, ctas := range []int{1, 4, 8} {
+		if got := ScaledIPC(10, 0, ctas, 4); got != 10 {
+			t.Fatalf("compute kernel scaled at %d CTAs: %v", ctas, got)
+		}
+	}
+}
+
+func TestScaledIPCClampsPositive(t *testing.T) {
+	// Extreme negative ψ with φmem near 1 must not zero or negate IPC.
+	got := ScaledIPC(10, 1.0, 1, 100)
+	if got <= 0 {
+		t.Fatalf("ScaledIPC = %v, want positive", got)
+	}
+	if got != 1 { // clamped at factor 0.1
+		t.Fatalf("ScaledIPC = %v, want clamp to 1.0", got)
+	}
+}
+
+func TestScaledIPCZeroAverage(t *testing.T) {
+	if got := ScaledIPC(10, 0.5, 4, 0); got != 10 {
+		t.Fatalf("zero average should be identity, got %v", got)
+	}
+}
+
+// Property: the correction is monotone in occupancy — for fixed φmem and
+// average, more CTAs never yield a smaller factor.
+func TestScaledIPCMonotoneProperty(t *testing.T) {
+	f := func(phiRaw, aRaw uint8) bool {
+		phi := float64(phiRaw%101) / 100
+		avg := float64(aRaw%8) + 1
+		prev := -1.0
+		for ctas := 1; ctas <= 8; ctas++ {
+			v := ScaledIPC(100, phi, ctas, avg)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling is linear in the sampled IPC.
+func TestScaledIPCLinearProperty(t *testing.T) {
+	f := func(ipcRaw uint16, phiRaw, cRaw uint8) bool {
+		ipc := float64(ipcRaw%1000) + 1
+		phi := float64(phiRaw%101) / 100
+		ctas := int(cRaw%8) + 1
+		a := ScaledIPC(ipc, phi, ctas, 4.5)
+		b := ScaledIPC(2*ipc, phi, ctas, 4.5)
+		return math.Abs(b-2*a) < 1e-6*math.Max(1, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package core implements the paper's contribution: the Warped-Slicer
+// dynamic intra-SM slicing policy. It contains
+//
+//   - the water-filling resource partitioner (Algorithm 1), which picks the
+//     per-kernel CTA counts maximizing the minimum normalized performance
+//     subject to the SM's multi-dimensional resource constraint, in O(K·N)
+//     time;
+//   - a brute-force O(N^K) reference optimizer used to validate it; and
+//   - the online profiling controller (Figure 4) that estimates each
+//     kernel's performance-vs-CTA curve from a short staggered-occupancy
+//     sample, corrects it for bandwidth imbalance (Eq. 2-4), runs the
+//     partitioner, and falls back to spatial multitasking when any kernel
+//     would lose too much performance.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"warpedslicer/internal/sm"
+)
+
+// Demand describes one kernel's input to the partitioner.
+type Demand struct {
+	// Perf[j] is the kernel's measured performance with j CTAs resident
+	// on an SM; Perf[0] must be 0. Values need not be monotone (cache-
+	// sensitive kernels peak early); the partitioner builds the monotone
+	// envelope internally (the paper's Q/M vectors).
+	Perf []float64
+	// Need is the per-CTA resource vector.
+	Need sm.Quota
+}
+
+// maxCTAs returns the largest CTA count with a defined performance point.
+func (d Demand) maxCTAs() int { return len(d.Perf) - 1 }
+
+// peak returns the maximum of the performance curve.
+func (d Demand) peak() float64 {
+	var m float64
+	for _, p := range d.Perf {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Allocation is the partitioner's result.
+type Allocation struct {
+	// CTAs[i] is the number of thread blocks assigned to kernel i.
+	CTAs []int
+	// NormPerf[i] is kernel i's normalized performance at CTAs[i]
+	// (relative to its own peak).
+	NormPerf []float64
+	// MinNormPerf is the smallest entry of NormPerf (the objective).
+	MinNormPerf float64
+}
+
+// ErrInfeasible is returned when even one CTA per kernel does not fit.
+var ErrInfeasible = errors.New("core: one CTA per kernel exceeds SM resources")
+
+func fits(used, need, total sm.Quota) bool {
+	return used.Regs+need.Regs <= total.Regs &&
+		used.Shm+need.Shm <= total.Shm &&
+		used.Threads+need.Threads <= total.Threads &&
+		used.CTAs+need.CTAs <= total.CTAs
+}
+
+func addQ(a, b sm.Quota, n int) sm.Quota {
+	return sm.Quota{
+		Regs:    a.Regs + b.Regs*n,
+		Shm:     a.Shm + b.Shm*n,
+		Threads: a.Threads + b.Threads*n,
+		CTAs:    a.CTAs + b.CTAs*n,
+	}
+}
+
+// WaterFill implements Algorithm 1 of the paper. Given each kernel's
+// performance-vs-CTA curve and per-CTA resource vector, it returns the CTA
+// assignment that maximizes the minimum normalized performance under the
+// total resource budget. Complexity is O(K·N) in time and space.
+func WaterFill(demands []Demand, total sm.Quota) (Allocation, error) {
+	k := len(demands)
+	if k == 0 {
+		return Allocation{}, errors.New("core: no kernels")
+	}
+
+	// Build the monotone performance envelopes: Q[i][d] is the d-th
+	// strictly increasing best performance, M[i][d] the CTA count that
+	// achieves it (Algorithm 1 lines 5-15).
+	type env struct {
+		Q []float64
+		M []int
+	}
+	envs := make([]env, k)
+	for i, d := range demands {
+		if d.maxCTAs() < 1 {
+			return Allocation{}, fmt.Errorf("core: kernel %d has no performance points", i)
+		}
+		if d.Perf[0] != 0 {
+			return Allocation{}, fmt.Errorf("core: kernel %d Perf[0] must be 0", i)
+		}
+		peak := d.peak()
+		if peak <= 0 {
+			return Allocation{}, fmt.Errorf("core: kernel %d has non-positive peak performance", i)
+		}
+		var e env
+		best := 0.0
+		for j := 1; j <= d.maxCTAs(); j++ {
+			if d.Perf[j] > best {
+				best = d.Perf[j]
+				e.Q = append(e.Q, d.Perf[j]/peak)
+				e.M = append(e.M, j)
+			}
+		}
+		envs[i] = e
+	}
+
+	// Initial allocation: one CTA per kernel (lines 13-15).
+	t := make([]int, k)     // Ti: CTAs assigned
+	g := make([]int, k)     // gi: index into Q/M
+	full := make([]bool, k) // Full(i)
+	var used sm.Quota
+	for i, d := range demands {
+		// Each kernel starts at its first envelope point (>= 1 CTA).
+		first := envs[i].M[0]
+		need := addQ(sm.Quota{}, d.Need, first)
+		if !fits(used, need, total) {
+			// Try literally one CTA if the first envelope point needs more.
+			if first > 1 && fits(used, d.Need, total) {
+				first = 1
+			} else {
+				return Allocation{}, ErrInfeasible
+			}
+		}
+		t[i] = first
+		g[i] = 0
+		used = addQ(used, d.Need, first)
+	}
+
+	// Water-filling loop (lines 16-32): repeatedly grow the kernel with
+	// the minimum current normalized performance.
+	for {
+		sel := -1
+		minPerf := 0.0
+		for i := range demands {
+			if full[i] || g[i]+1 >= len(envs[i].Q) {
+				continue
+			}
+			p := envs[i].Q[g[i]]
+			if sel < 0 || p < minPerf {
+				sel, minPerf = i, p
+			}
+		}
+		if sel < 0 {
+			break
+		}
+		dT := envs[sel].M[g[sel]+1] - envs[sel].M[g[sel]]
+		if fits(used, addQ(sm.Quota{}, demands[sel].Need, dT), total) {
+			used = addQ(used, demands[sel].Need, dT)
+			g[sel]++
+			t[sel] += dT
+		} else {
+			full[sel] = true
+		}
+	}
+
+	return finishAllocation(demands, t), nil
+}
+
+// finishAllocation computes normalized performances for an assignment.
+func finishAllocation(demands []Demand, t []int) Allocation {
+	alloc := Allocation{CTAs: t, NormPerf: make([]float64, len(t)), MinNormPerf: 1}
+	for i, d := range demands {
+		peak := d.peak()
+		j := t[i]
+		if j > d.maxCTAs() {
+			j = d.maxCTAs()
+		}
+		// Performance at Ti is the best achievable with <= Ti CTAs (the
+		// runtime would simply not launch harmful extra CTAs... but the
+		// envelope construction already guarantees Ti is an envelope
+		// point, so Perf[j] is that best value).
+		p := 0.0
+		for jj := 0; jj <= j; jj++ {
+			if d.Perf[jj] > p {
+				p = d.Perf[jj]
+			}
+		}
+		alloc.NormPerf[i] = p / peak
+		if alloc.NormPerf[i] < alloc.MinNormPerf {
+			alloc.MinNormPerf = alloc.NormPerf[i]
+		}
+	}
+	return alloc
+}
+
+// BruteForce exhaustively searches all CTA combinations for the assignment
+// maximizing the minimum normalized performance (the O(N^K) comparison
+// point of §IV). Ties are broken toward higher total normalized
+// performance. It is exported for validation and ablation benchmarks.
+func BruteForce(demands []Demand, total sm.Quota) (Allocation, error) {
+	k := len(demands)
+	if k == 0 {
+		return Allocation{}, errors.New("core: no kernels")
+	}
+	best := Allocation{MinNormPerf: -1}
+	cur := make([]int, k)
+	var rec func(i int, used sm.Quota)
+	rec = func(i int, used sm.Quota) {
+		if i == k {
+			a := finishAllocation(demands, append([]int(nil), cur...))
+			sum := 0.0
+			for _, p := range a.NormPerf {
+				sum += p
+			}
+			bsum := 0.0
+			for _, p := range best.NormPerf {
+				bsum += p
+			}
+			if a.MinNormPerf > best.MinNormPerf ||
+				(a.MinNormPerf == best.MinNormPerf && sum > bsum) {
+				best = a
+			}
+			return
+		}
+		for n := 1; n <= demands[i].maxCTAs(); n++ {
+			nu := addQ(used, demands[i].Need, n)
+			if !fits(sm.Quota{}, nu, total) {
+				break
+			}
+			cur[i] = n
+			rec(i+1, nu)
+		}
+	}
+	rec(0, sm.Quota{})
+	if best.MinNormPerf < 0 {
+		return Allocation{}, ErrInfeasible
+	}
+	return best, nil
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warpedslicer/internal/rng"
+	"warpedslicer/internal/sm"
+)
+
+func quota(regs, shm, threads, ctas int) sm.Quota {
+	return sm.Quota{Regs: regs, Shm: shm, Threads: threads, CTAs: ctas}
+}
+
+// smTotal mirrors the baseline SM.
+func smTotal() sm.Quota { return quota(32768, 48*1024, 1536, 8) }
+
+// linear returns a linearly rising performance curve over n CTAs.
+func linear(n int) []float64 {
+	p := make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		p[j] = float64(j)
+	}
+	return p
+}
+
+// saturating rises then flattens after knee.
+func saturating(n, knee int) []float64 {
+	p := make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		if j <= knee {
+			p[j] = float64(j)
+		} else {
+			p[j] = float64(knee)
+		}
+	}
+	return p
+}
+
+// peaked rises to peak then degrades (cache-sensitive).
+func peaked(n, peak int) []float64 {
+	p := make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		if j <= peak {
+			p[j] = float64(j)
+		} else {
+			p[j] = float64(peak) - 0.5*float64(j-peak)
+		}
+	}
+	return p
+}
+
+func TestWaterFillSingleKernelGetsEverything(t *testing.T) {
+	d := []Demand{{Perf: linear(8), Need: quota(4096, 0, 192, 1)}}
+	a, err := WaterFill(d, smTotal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CTAs[0] != 8 {
+		t.Fatalf("single kernel got %d CTAs, want 8", a.CTAs[0])
+	}
+	if a.MinNormPerf != 1 {
+		t.Fatalf("min norm perf %v, want 1", a.MinNormPerf)
+	}
+}
+
+func TestWaterFillRespectsResourceConstraint(t *testing.T) {
+	// Each CTA needs half the registers: only 2 fit in total.
+	d := []Demand{
+		{Perf: linear(8), Need: quota(16384, 0, 64, 1)},
+		{Perf: linear(8), Need: quota(16384, 0, 64, 1)},
+	}
+	a, err := WaterFill(d, smTotal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CTAs[0]+a.CTAs[1] != 2 {
+		t.Fatalf("allocated %v, want total 2", a.CTAs)
+	}
+}
+
+func TestWaterFillPrefersNeedyKernel(t *testing.T) {
+	// Kernel 0 saturates at 2 CTAs; kernel 1 keeps scaling. The extra
+	// capacity should go to kernel 1.
+	d := []Demand{
+		{Perf: saturating(8, 2), Need: quota(2048, 0, 128, 1)},
+		{Perf: linear(8), Need: quota(2048, 0, 128, 1)},
+	}
+	a, err := WaterFill(d, smTotal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CTAs[0] > 3 {
+		t.Fatalf("saturating kernel got %d CTAs; should not hog", a.CTAs[0])
+	}
+	if a.CTAs[1] < 6 {
+		t.Fatalf("scaling kernel got %d CTAs, want >= 6", a.CTAs[1])
+	}
+}
+
+func TestWaterFillStopsAtCachePeak(t *testing.T) {
+	// Cache-sensitive kernel peaks at 3 CTAs: it must never receive more
+	// (the envelope excludes degrading points).
+	d := []Demand{
+		{Perf: peaked(8, 3), Need: quota(2048, 0, 128, 1)},
+		{Perf: linear(8), Need: quota(2048, 0, 128, 1)},
+	}
+	a, err := WaterFill(d, smTotal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CTAs[0] > 3 {
+		t.Fatalf("cache-sensitive kernel got %d CTAs beyond its peak 3", a.CTAs[0])
+	}
+}
+
+func TestWaterFillInfeasible(t *testing.T) {
+	d := []Demand{
+		{Perf: linear(2), Need: quota(32768, 0, 128, 1)},
+		{Perf: linear(2), Need: quota(32768, 0, 128, 1)},
+	}
+	if _, err := WaterFill(d, smTotal()); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestWaterFillRejectsBadInput(t *testing.T) {
+	if _, err := WaterFill(nil, smTotal()); err == nil {
+		t.Fatal("nil demands accepted")
+	}
+	if _, err := WaterFill([]Demand{{Perf: []float64{1, 2}}}, smTotal()); err == nil {
+		t.Fatal("Perf[0] != 0 accepted")
+	}
+	if _, err := WaterFill([]Demand{{Perf: []float64{0}}}, smTotal()); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+	if _, err := WaterFill([]Demand{{Perf: []float64{0, 0}}}, smTotal()); err == nil {
+		t.Fatal("all-zero curve accepted")
+	}
+}
+
+func TestWaterFillMatchesBruteForceOnPaperShapes(t *testing.T) {
+	cases := [][]Demand{
+		{
+			{Perf: saturating(8, 5), Need: quota(1792, 0, 64, 1)}, // IMG-like
+			{Perf: peaked(4, 3), Need: quota(7605, 0, 169, 1)},    // NN-like
+		},
+		{
+			{Perf: linear(6), Need: quota(4608, 1536, 256, 1)},     // HOT-like
+			{Perf: saturating(4, 1), Need: quota(7936, 0, 128, 1)}, // BLK-like
+		},
+		{
+			{Perf: saturating(8, 6), Need: quota(2304, 2048, 64, 1)}, // DXT-like
+			{Perf: saturating(5, 1), Need: quota(6360, 0, 120, 1)},   // LBM-like
+		},
+	}
+	for i, d := range cases {
+		wf, err := WaterFill(d, smTotal())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		bf, err := BruteForce(d, smTotal())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if wf.MinNormPerf < bf.MinNormPerf-1e-9 {
+			t.Errorf("case %d: water-fill min %.3f < brute-force %.3f (CTAs %v vs %v)",
+				i, wf.MinNormPerf, bf.MinNormPerf, wf.CTAs, bf.CTAs)
+		}
+	}
+}
+
+// randomDemands builds K random monotone-or-peaked curves with random
+// resource footprints that always admit one CTA each.
+func randomDemands(seed uint64, k int) []Demand {
+	r := rng.NewStream(seed)
+	total := smTotal()
+	out := make([]Demand, k)
+	for i := 0; i < k; i++ {
+		n := 2 + r.Intn(7)
+		perf := make([]float64, n+1)
+		v := 0.0
+		peak := 1 + r.Intn(n)
+		for j := 1; j <= n; j++ {
+			if j <= peak {
+				v += 0.1 + float64(r.Intn(100))/50
+			} else {
+				v -= float64(r.Intn(50)) / 100
+				if v < 0.05 {
+					v = 0.05
+				}
+			}
+			perf[j] = v
+		}
+		out[i] = Demand{
+			Perf: perf,
+			Need: quota(
+				256+r.Intn(total.Regs/(2*k)),
+				r.Intn(total.Shm/(2*k)+1),
+				32+r.Intn(total.Threads/(2*k)),
+				1),
+		}
+	}
+	return out
+}
+
+// Property: water-filling achieves the brute-force optimal min-norm-perf
+// (the paper's claim that Algorithm 1 solves Eq. 1 exactly for discrete
+// monotone envelopes).
+func TestWaterFillOptimalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		k := 2 + int(seed%2)
+		d := randomDemands(seed, k)
+		wf, errW := WaterFill(d, smTotal())
+		bf, errB := BruteForce(d, smTotal())
+		if (errW != nil) != (errB != nil) {
+			return false
+		}
+		if errW != nil {
+			return true
+		}
+		return wf.MinNormPerf >= bf.MinNormPerf-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the returned allocation always fits in the budget.
+func TestWaterFillFeasibilityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDemands(seed, 2+int(seed%3))
+		a, err := WaterFill(d, smTotal())
+		if err != nil {
+			return true
+		}
+		var used sm.Quota
+		for i, n := range a.CTAs {
+			used = addQ(used, d[i].Need, n)
+		}
+		tot := smTotal()
+		return used.Regs <= tot.Regs && used.Shm <= tot.Shm &&
+			used.Threads <= tot.Threads && used.CTAs <= tot.CTAs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every kernel receives at least one CTA.
+func TestWaterFillEveryKernelRunsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDemands(seed, 2)
+		a, err := WaterFill(d, smTotal())
+		if err != nil {
+			return true
+		}
+		for _, n := range a.CTAs {
+			if n < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceInfeasible(t *testing.T) {
+	d := []Demand{{Perf: linear(2), Need: quota(1<<20, 0, 1, 1)}}
+	if _, err := BruteForce(d, smTotal()); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestFinishAllocationNormalizes(t *testing.T) {
+	d := []Demand{{Perf: []float64{0, 2, 4}, Need: quota(1, 0, 1, 1)}}
+	a := finishAllocation(d, []int{1})
+	if a.NormPerf[0] != 0.5 {
+		t.Fatalf("norm perf = %v, want 0.5", a.NormPerf[0])
+	}
+	a = finishAllocation(d, []int{2})
+	if a.NormPerf[0] != 1 {
+		t.Fatalf("norm perf = %v, want 1", a.NormPerf[0])
+	}
+}

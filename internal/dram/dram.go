@@ -1,0 +1,203 @@
+// Package dram models one GDDR5 memory channel with an FR-FCFS
+// (first-ready, first-come-first-served) scheduler and a row-buffer timing
+// model, per Table I of the paper (6 MCs, FR-FCFS, 924MHz, tCL=12 tRP=12
+// tRC=40 tRAS=28 tRCD=12 tRRD=6).
+//
+// All times inside this package are memory-clock cycles; the memory
+// partition (package mem) converts between core and memory clock domains.
+package dram
+
+import (
+	"fmt"
+
+	"warpedslicer/internal/memreq"
+)
+
+// Config holds the channel geometry and timing.
+type Config struct {
+	Banks       int
+	RowBytes    uint64
+	TCL         int // CAS latency
+	TRP         int // row precharge
+	TRCD        int // RAS-to-CAS delay
+	TRRD        int // activate-to-activate (different banks)
+	BurstCycles int // data-bus occupancy per transaction
+	QueueDepth  int // FR-FCFS scheduling window
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	Served    uint64 // transactions completed
+	RowHits   uint64
+	RowMisses uint64
+	Writes    uint64
+	// BusBusy accumulates memory cycles the data bus was occupied; divide
+	// by elapsed cycles for bandwidth utilization.
+	BusBusy uint64
+	// QueueOccupancy accumulates queue length per Tick for averaging.
+	QueueOccupancy uint64
+	Ticks          uint64
+}
+
+// BandwidthUtil returns the fraction of ticks the data bus was busy.
+func (s Stats) BandwidthUtil() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.BusBusy) / float64(s.Ticks)
+}
+
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	readyAt  int64
+}
+
+type pending struct {
+	req     memreq.Request
+	arrival int64
+}
+
+type inflight struct {
+	req  memreq.Request
+	done int64
+}
+
+// Channel is one memory controller + DRAM device group.
+type Channel struct {
+	cfg       Config
+	banks     []bank
+	queue     []pending
+	inflight  []inflight
+	busFreeAt int64
+	lastActAt int64 // for tRRD
+
+	Stats Stats
+}
+
+// NewChannel constructs a channel. Zero-valued timing fields are rejected.
+func NewChannel(cfg Config) *Channel {
+	if cfg.Banks <= 0 || cfg.RowBytes == 0 || cfg.QueueDepth <= 0 || cfg.BurstCycles <= 0 {
+		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
+	}
+	return &Channel{cfg: cfg, banks: make([]bank, cfg.Banks), lastActAt: -1 << 60}
+}
+
+// Full reports whether the scheduling queue cannot accept another request.
+func (ch *Channel) Full() bool { return len(ch.queue) >= ch.cfg.QueueDepth }
+
+// QueueLen returns the current queue occupancy.
+func (ch *Channel) QueueLen() int { return len(ch.queue) }
+
+// Enqueue admits a request. It returns false when the queue is full.
+func (ch *Channel) Enqueue(req memreq.Request, now int64) bool {
+	if ch.Full() {
+		return false
+	}
+	ch.queue = append(ch.queue, pending{req: req, arrival: now})
+	return true
+}
+
+func (ch *Channel) bankOf(lineAddr uint64) int {
+	return int((lineAddr / ch.cfg.RowBytes) % uint64(ch.cfg.Banks))
+}
+
+func (ch *Channel) rowOf(lineAddr uint64) uint64 {
+	return lineAddr / (ch.cfg.RowBytes * uint64(ch.cfg.Banks))
+}
+
+// Tick advances the channel to memory-clock cycle `now`: it issues at most
+// one scheduled transaction and returns all requests whose data completed
+// at or before `now`.
+func (ch *Channel) Tick(now int64) []memreq.Request {
+	ch.Stats.Ticks++
+	ch.Stats.QueueOccupancy += uint64(len(ch.queue))
+
+	ch.issue(now)
+
+	var done []memreq.Request
+	kept := ch.inflight[:0]
+	for _, f := range ch.inflight {
+		if f.done <= now {
+			done = append(done, f.req)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	ch.inflight = kept
+	return done
+}
+
+// issue applies FR-FCFS: the oldest row-buffer-hitting request whose bank is
+// ready wins; otherwise the oldest request whose bank is ready.
+func (ch *Channel) issue(now int64) {
+	if len(ch.queue) == 0 {
+		return
+	}
+	if ch.busFreeAt > now+int64(ch.cfg.TCL) {
+		// The data bus is already booked past the earliest possible CAS;
+		// issuing now gains nothing and would forfeit FR-FCFS choice
+		// flexibility (and overstate bus-busy accounting).
+		return
+	}
+
+	pick := -1
+	rowHit := false
+	for i, p := range ch.queue {
+		b := &ch.banks[ch.bankOf(p.req.LineAddr)]
+		if b.readyAt > now {
+			continue
+		}
+		if b.rowValid && b.openRow == ch.rowOf(p.req.LineAddr) {
+			pick, rowHit = i, true
+			break // oldest row hit wins immediately
+		}
+		if pick < 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return
+	}
+
+	p := ch.queue[pick]
+	bi := ch.bankOf(p.req.LineAddr)
+	b := &ch.banks[bi]
+
+	var casAt int64
+	if rowHit {
+		casAt = now
+		ch.Stats.RowHits++
+	} else {
+		// Precharge + activate. Respect tRRD between activates.
+		actAt := now + int64(ch.cfg.TRP)
+		if min := ch.lastActAt + int64(ch.cfg.TRRD); actAt < min {
+			actAt = min
+		}
+		ch.lastActAt = actAt
+		casAt = actAt + int64(ch.cfg.TRCD)
+		ch.Stats.RowMisses++
+		b.openRow = ch.rowOf(p.req.LineAddr)
+		b.rowValid = true
+	}
+
+	dataAt := casAt + int64(ch.cfg.TCL)
+	if dataAt < ch.busFreeAt {
+		dataAt = ch.busFreeAt
+	}
+	done := dataAt + int64(ch.cfg.BurstCycles)
+	ch.busFreeAt = done
+	b.readyAt = casAt + int64(ch.cfg.BurstCycles)
+
+	ch.Stats.BusBusy += uint64(ch.cfg.BurstCycles)
+	ch.Stats.Served++
+	if p.req.Write {
+		ch.Stats.Writes++
+	}
+
+	ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
+	ch.inflight = append(ch.inflight, inflight{req: p.req, done: done})
+}
+
+// Drained reports whether no work remains queued or in flight.
+func (ch *Channel) Drained() bool { return len(ch.queue) == 0 && len(ch.inflight) == 0 }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteTable2CSV exports Table II rows.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"app", "insts", "reg_pct", "shm_pct", "alu_pct", "sfu_pct", "ls_pct",
+		"griddim", "blkdim", "l2_mpki", "type", "profile_pct",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Abbr, fmt.Sprint(r.Insts),
+			f2(r.RegPct), f2(r.ShmPct), f2(r.ALUPct), f2(r.SFUPct), f2(r.LSPct),
+			fmt.Sprint(r.GridDim), fmt.Sprint(r.BlockDim),
+			f2(r.L2MPKI), r.Type, f2(r.ProfilePct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure6CSV exports the policy comparison rows.
+func WriteFigure6CSV(w io.Writer, rows []Figure6Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "category", "leftover_ipc", "spatial", "even", "dynamic", "oracle", "partition",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		part := "spatial"
+		if !r.ChoseSpatial && r.Partition != nil {
+			part = fmt.Sprint(r.Partition)
+		}
+		rec := []string{
+			r.Workload, r.Category, f2(r.LeftOverIPC),
+			f3(r.Spatial), f3(r.Even), f3(r.Dynamic), f3(r.Oracle), part,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCurvesCSV exports occupancy curves, one row per (kernel, CTA count).
+func WriteCurvesCSV(w io.Writer, curves []Curve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "category", "ctas", "ipc", "norm"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for j := 1; j <= c.MaxCTAs; j++ {
+			rec := []string{c.Abbr, string(c.Category), fmt.Sprint(j), f2(c.IPC[j]), f3(c.Norm[j])}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

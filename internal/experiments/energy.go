@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"warpedslicer/internal/metrics"
+	"warpedslicer/internal/power"
+)
+
+// EnergyRow compares energy and dynamic power per policy (§V-G).
+type EnergyRow struct {
+	Policy string
+	// EnergyNorm is total energy normalized to Left-Over (lower is
+	// better; the paper reports 0.84 for Warped-Slicer).
+	EnergyNorm float64
+	// DynPowerNorm is average dynamic power normalized to Left-Over (the
+	// paper reports +3.1% for Warped-Slicer).
+	DynPowerNorm float64
+}
+
+// Energy evaluates the §V-G comparison over the Figure 6 pair runs.
+func Energy(s *Session, rows []Figure6Row) []EnergyRow {
+	model := power.Default()
+	model.CoreClockMHz = s.O.Cfg.CoreClockMHz
+
+	policies := []string{"leftover", "spatial", "even", "dynamic"}
+	total := map[string]float64{}
+	dynP := map[string][]float64{}
+	for _, p := range policies {
+		for _, row := range rows {
+			r, ok := row.Runs[p]
+			if !ok {
+				continue
+			}
+			b := model.Energy(r.SM, r.Mem, r.Cycles)
+			total[p] += b.TotalJ
+			dynP[p] = append(dynP[p], b.AvgDynPowerW)
+		}
+	}
+	base := total["leftover"]
+	baseP := metrics.Mean(dynP["leftover"])
+	var out []EnergyRow
+	for _, p := range policies {
+		row := EnergyRow{Policy: p}
+		if base > 0 {
+			row.EnergyNorm = total[p] / base
+		}
+		if baseP > 0 {
+			row.DynPowerNorm = metrics.Mean(dynP[p]) / baseP
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// FormatEnergy renders the energy table.
+func FormatEnergy(rows []EnergyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %14s\n", "Policy", "Energy(norm)", "DynPower(norm)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %12.3f %14.3f\n", r.Policy, r.EnergyNorm, r.DynPowerNorm)
+	}
+	return b.String()
+}
+
+// FormatOverhead renders the §V-I hardware-overhead report.
+func FormatOverhead(r power.OverheadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Profiling counters: %.0f um^2 per SM; global logic %.2f mm^2\n",
+		r.PerSMCounterUM2, r.GlobalLogicMM2)
+	fmt.Fprintf(&b, "Total overhead: %.2f mm^2 of %.0f mm^2 GPU = %.2f%% area\n",
+		r.TotalMM2, r.GPUAreaMM2, r.AreaPct)
+	fmt.Fprintf(&b, "Power overhead: %.1f mW dynamic (%.3f%%), %.2f mW leakage (%.4f%%)\n",
+		r.DynPowerMW, r.DynPct, r.LeakPowerMW, r.LeakPct)
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"warpedslicer/internal/core"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/metrics"
+	"warpedslicer/internal/sm"
+)
+
+// Category is the Figure 3a occupancy-scaling classification.
+type Category string
+
+// The paper's four empirical categories.
+const (
+	ComputeNonSaturating Category = "Compute Non-Saturating"
+	ComputeSaturating    Category = "Compute Saturating"
+	MemoryIntensive      Category = "Memory Intensive"
+	L1CacheSensitive     Category = "L1 Cache Sensitive"
+)
+
+// Curve is one kernel's performance-vs-occupancy measurement.
+type Curve struct {
+	Abbr    string
+	MaxCTAs int
+	// IPC[j] is the measured IPC with exactly j CTAs per SM (index 0
+	// unused); Norm[j] is IPC[j] / peak.
+	IPC  []float64
+	Norm []float64
+	// PeakCTAs is the occupancy with the best IPC.
+	PeakCTAs int
+	Category Category
+	L2MPKI   float64
+}
+
+// OccupancyCurve measures one kernel's IPC while capping per-SM CTAs at
+// 1..max (the oracle input of §IV and the X-axis of Figure 3a).
+func (s *Session) OccupancyCurve(spec *kernels.Spec) Curve {
+	s.mu.Lock()
+	if c, ok := s.curves[spec.Abbr]; ok {
+		s.mu.Unlock()
+		return c
+	}
+	s.mu.Unlock()
+
+	cfg := s.O.Cfg
+	maxC := spec.MaxCTAs(cfg.SM.Registers, cfg.SM.SharedMemBytes, cfg.SM.MaxThreads, cfg.SM.MaxCTAs)
+	c := Curve{Abbr: spec.Abbr, MaxCTAs: maxC, IPC: make([]float64, maxC+1), Norm: make([]float64, maxC+1)}
+
+	for j := 1; j <= maxC; j++ {
+		r := s.RunFixedCycles([]*kernels.Spec{spec}, "fixed", []int{j}, s.O.IsolationCycles)
+		c.IPC[j] = r.IPC
+	}
+	peak := 0.0
+	for j := 1; j <= maxC; j++ {
+		if c.IPC[j] > peak {
+			peak, c.PeakCTAs = c.IPC[j], j
+		}
+	}
+	for j := 1; j <= maxC; j++ {
+		if peak > 0 {
+			c.Norm[j] = c.IPC[j] / peak
+		}
+	}
+	iso := s.Isolation(spec)
+	c.L2MPKI = metrics.MPKI(iso.Mem.L2MissPerKernel[0], iso.SM.PerKernel[0].WarpInsts)
+	c.Category = classify(c)
+
+	s.mu.Lock()
+	s.curves[spec.Abbr] = c
+	s.mu.Unlock()
+	return c
+}
+
+// classify applies the paper's empirical categories to a measured curve.
+func classify(c Curve) Category {
+	n := c.MaxCTAs
+	if n == 0 {
+		return ComputeNonSaturating
+	}
+	// Performance degrades past an interior peak: cache-sensitive.
+	if c.PeakCTAs < n && c.Norm[n] < 0.9 {
+		return L1CacheSensitive
+	}
+	// Saturates by half occupancy.
+	half := (n + 1) / 2
+	if c.Norm[half] >= 0.9 {
+		if c.L2MPKI >= 30 {
+			return MemoryIntensive
+		}
+		return ComputeSaturating
+	}
+	return ComputeNonSaturating
+}
+
+// Figure3 measures every kernel's occupancy curve.
+func Figure3(s *Session) []Curve {
+	var out []Curve
+	for _, spec := range kernels.Suite() {
+		out = append(out, s.OccupancyCurve(spec))
+	}
+	return out
+}
+
+// FormatFigure3 renders the curves and categories.
+func FormatFigure3(curves []Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-24s peak@ ", "App", "Category")
+	for j := 1; j <= 8; j++ {
+		fmt.Fprintf(&b, "%6d", j)
+	}
+	b.WriteString("   (normalized IPC per CTA count)\n")
+	for _, c := range curves {
+		fmt.Fprintf(&b, "%-4s %-24s %4d  ", c.Abbr, c.Category, c.PeakCTAs)
+		for j := 1; j <= c.MaxCTAs; j++ {
+			fmt.Fprintf(&b, "%6.2f", c.Norm[j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SweetSpot reproduces Figure 3b: it mirrors two kernels' occupancy curves
+// against each other and finds the partition minimizing the larger
+// performance loss, contrasted with even partitioning.
+type SweetSpot struct {
+	A, B string
+	// CTAs chosen for A and B by the water-filling sweet-spot search.
+	BestA, BestB int
+	// LossA/LossB: 1 - normalized performance at the sweet spot.
+	LossA, LossB float64
+	// EvenA/EvenB and the corresponding losses under even partitioning.
+	EvenA, EvenB         int
+	EvenLossA, EvenLossB float64
+}
+
+// Figure3b computes the IMG+NN sweet-spot illustration.
+func (s *Session) Figure3b(a, b *kernels.Spec) (SweetSpot, error) {
+	ca := s.OccupancyCurve(a)
+	cb := s.OccupancyCurve(b)
+	cfg := s.O.Cfg.SM
+	total := sm.Quota{Regs: cfg.Registers, Shm: cfg.SharedMemBytes, Threads: cfg.MaxThreads, CTAs: cfg.MaxCTAs}
+
+	demands := []core.Demand{
+		{Perf: ca.IPC, Need: sm.Quota{Regs: a.RegsPerCTA(), Shm: a.SharedMemPerTA, Threads: a.BlockDim, CTAs: 1}},
+		{Perf: cb.IPC, Need: sm.Quota{Regs: b.RegsPerCTA(), Shm: b.SharedMemPerTA, Threads: b.BlockDim, CTAs: 1}},
+	}
+	alloc, err := core.WaterFill(demands, total)
+	if err != nil {
+		return SweetSpot{}, err
+	}
+
+	ss := SweetSpot{
+		A: a.Abbr, B: b.Abbr,
+		BestA: alloc.CTAs[0], BestB: alloc.CTAs[1],
+		LossA: 1 - alloc.NormPerf[0], LossB: 1 - alloc.NormPerf[1],
+	}
+	// Even partitioning: each kernel limited to half of every resource.
+	ss.EvenA = a.MaxCTAs(cfg.Registers/2, cfg.SharedMemBytes/2, cfg.MaxThreads/2, cfg.MaxCTAs/2)
+	ss.EvenB = b.MaxCTAs(cfg.Registers/2, cfg.SharedMemBytes/2, cfg.MaxThreads/2, cfg.MaxCTAs/2)
+	ss.EvenLossA = 1 - normAt(ca, ss.EvenA)
+	ss.EvenLossB = 1 - normAt(cb, ss.EvenB)
+	return ss, nil
+}
+
+func normAt(c Curve, j int) float64 {
+	if j < 1 {
+		return 0
+	}
+	if j > c.MaxCTAs {
+		j = c.MaxCTAs
+	}
+	best := 0.0
+	for i := 1; i <= j; i++ {
+		if c.Norm[i] > best {
+			best = c.Norm[i]
+		}
+	}
+	return best
+}
+
+// FormatSweetSpot renders the Figure 3b comparison.
+func FormatSweetSpot(ss SweetSpot) string {
+	return fmt.Sprintf(
+		"Sweet spot %s+%s: (%d,%d) CTAs -> losses %.0f%%/%.0f%%; even split (%d,%d) -> losses %.0f%%/%.0f%%\n",
+		ss.A, ss.B, ss.BestA, ss.BestB, ss.LossA*100, ss.LossB*100,
+		ss.EvenA, ss.EvenB, ss.EvenLossA*100, ss.EvenLossB*100)
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"warpedslicer/internal/metrics"
+)
+
+// Figure7a is the resource-utilization comparison: Warped-Slicer (dynamic)
+// divided by Even partitioning, per resource, averaged over all pairs.
+type Figure7a struct {
+	ALU, SFU, LDST, REG, SHM float64
+}
+
+// utilization extracts the five Figure 7a utilizations from a run.
+func utilization(s *Session, r CoRun) [5]float64 {
+	cfg := s.O.Cfg
+	cyc := uint64(r.Cycles) * uint64(cfg.NumSMs)
+	if cyc == 0 {
+		return [5]float64{}
+	}
+	return [5]float64{
+		metrics.Frac(r.SM.ALUBusy, cyc*uint64(cfg.SM.ALUUnits)),
+		metrics.Frac(r.SM.SFUBusy, cyc),
+		metrics.Frac(r.SM.LDSTBusy, cyc),
+		metrics.Frac(r.SM.RegCycles, cyc*uint64(cfg.SM.Registers)),
+		metrics.Frac(r.SM.ShmCycles, cyc*uint64(cfg.SM.SharedMemBytes)),
+	}
+}
+
+// Figure7aFrom computes the utilization ratios from Figure 6 runs.
+func Figure7aFrom(s *Session, rows []Figure6Row) Figure7a {
+	var dyn, even [5]float64
+	n := 0
+	for _, row := range rows {
+		d, okD := row.Runs["dynamic"]
+		e, okE := row.Runs["even"]
+		if !okD || !okE {
+			continue
+		}
+		du, eu := utilization(s, d), utilization(s, e)
+		for i := range dyn {
+			dyn[i] += du[i]
+			even[i] += eu[i]
+		}
+		n++
+	}
+	ratio := func(i int) float64 {
+		if even[i] == 0 {
+			return 0
+		}
+		return dyn[i] / even[i]
+	}
+	return Figure7a{ALU: ratio(0), SFU: ratio(1), LDST: ratio(2), REG: ratio(3), SHM: ratio(4)}
+}
+
+// Figure7b is the cache miss-rate comparison by policy and pair category.
+type Figure7b struct {
+	// [policy][0]=L1 miss rate, [policy][1]=L2 miss rate; categories:
+	// Compute+Cache vs Compute+Non-Cache (the paper's split).
+	Cache    map[string][2]float64
+	NonCache map[string][2]float64
+}
+
+// Figure7bFrom aggregates cache miss rates from Figure 6 runs.
+func Figure7bFrom(rows []Figure6Row) Figure7b {
+	policies := []string{"leftover", "spatial", "even", "dynamic"}
+	agg := func(cat func(string) bool) map[string][2]float64 {
+		out := map[string][2]float64{}
+		for _, p := range policies {
+			var l1m, l1a, l2m, l2a uint64
+			for _, row := range rows {
+				if !cat(row.Category) {
+					continue
+				}
+				r, ok := row.Runs[p]
+				if !ok {
+					continue
+				}
+				l1m += r.SM.L1.LoadMiss
+				l1a += r.SM.L1.Loads
+				l2m += r.Mem.L2.LoadMiss
+				l2a += r.Mem.L2.Loads
+			}
+			out[p] = [2]float64{metrics.Frac(l1m, l1a), metrics.Frac(l2m, l2a)}
+		}
+		return out
+	}
+	return Figure7b{
+		Cache:    agg(func(c string) bool { return c == "Compute+Cache" }),
+		NonCache: agg(func(c string) bool { return c != "Compute+Cache" }),
+	}
+}
+
+// Figure7c is the stall-cycle breakdown by policy, aggregated over pairs.
+type Figure7cRow struct {
+	Policy                         string
+	Mem, RAW, Exec, IBuffer, Total float64
+}
+
+// Figure7cFrom aggregates stall fractions from Figure 6 runs.
+func Figure7cFrom(rows []Figure6Row) []Figure7cRow {
+	var out []Figure7cRow
+	for _, p := range []string{"leftover", "spatial", "even", "dynamic"} {
+		var mem, raw, exec, ibuf, slots uint64
+		for _, row := range rows {
+			r, ok := row.Runs[p]
+			if !ok {
+				continue
+			}
+			mem += r.SM.StallMem
+			raw += r.SM.StallRAW
+			exec += r.SM.StallExec
+			ibuf += r.SM.StallIBuf
+			slots += r.SM.Slots
+		}
+		row := Figure7cRow{
+			Policy:  p,
+			Mem:     metrics.Frac(mem, slots),
+			RAW:     metrics.Frac(raw, slots),
+			Exec:    metrics.Frac(exec, slots),
+			IBuffer: metrics.Frac(ibuf, slots),
+		}
+		row.Total = row.Mem + row.RAW + row.Exec + row.IBuffer
+		out = append(out, row)
+	}
+	return out
+}
+
+// FormatFigure7 renders all three panels.
+func FormatFigure7(a Figure7a, b Figure7b, c []Figure7cRow) string {
+	var sb strings.Builder
+	sb.WriteString("(a) Utilization, Dynamic / Even:\n")
+	fmt.Fprintf(&sb, "  ALU=%.2f SFU=%.2f LDST=%.2f REG=%.2f SHM=%.2f\n",
+		a.ALU, a.SFU, a.LDST, a.REG, a.SHM)
+
+	sb.WriteString("(b) Cache miss rates (L1 / L2):\n")
+	for _, p := range []string{"leftover", "spatial", "even", "dynamic"} {
+		cc := b.Cache[p]
+		nc := b.NonCache[p]
+		fmt.Fprintf(&sb, "  %-8s Compute+Cache %5.1f%% / %5.1f%%   Compute+NonCache %5.1f%% / %5.1f%%\n",
+			p, cc[0]*100, cc[1]*100, nc[0]*100, nc[1]*100)
+	}
+
+	sb.WriteString("(c) Stall breakdown (fraction of issue slots):\n")
+	for _, r := range c {
+		fmt.Fprintf(&sb, "  %-8s MEM=%5.1f%% RAW=%5.1f%% EXE=%5.1f%% IBUF=%5.1f%% Total=%5.1f%%\n",
+			r.Policy, r.Mem*100, r.RAW*100, r.Exec*100, r.IBuffer*100, r.Total*100)
+	}
+	return sb.String()
+}

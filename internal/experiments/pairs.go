@@ -1,0 +1,65 @@
+package experiments
+
+import "warpedslicer/internal/kernels"
+
+// Workload is one multiprogrammed benchmark combination.
+type Workload struct {
+	Specs    []*kernels.Spec
+	Category string
+}
+
+// Name returns the joined abbreviation ("HOT_DXT").
+func (w Workload) Name() string { return WorkloadName(w.Specs) }
+
+// Pairs returns the 30 two-kernel workloads of Figure 6 / Table III: every
+// Compute+Cache, Compute+Memory, and Compute+Compute combination.
+func Pairs() []Workload {
+	computes := kernels.ComputeSuite() // DXT, HOT, IMG, MM
+	memories := kernels.MemorySuite()  // BLK, BFS, KNN, LBM
+	caches := kernels.CacheSuite()     // MVP, NN
+
+	var out []Workload
+	for _, c := range computes {
+		for _, q := range caches {
+			out = append(out, Workload{Specs: []*kernels.Spec{c, q}, Category: "Compute+Cache"})
+		}
+	}
+	for _, c := range computes {
+		for _, m := range memories {
+			out = append(out, Workload{Specs: []*kernels.Spec{c, m}, Category: "Compute+Memory"})
+		}
+	}
+	for i, a := range computes {
+		for _, b := range computes[i+1:] {
+			out = append(out, Workload{Specs: []*kernels.Spec{a, b}, Category: "Compute+Compute"})
+		}
+	}
+	return out
+}
+
+// Triples returns the 15 three-kernel workloads of Figure 8: one
+// memory/cache kernel plus two compute kernels. BFS and HOT are excluded
+// (their CTAs are too large for three kernels to co-reside, per the paper).
+func Triples() []Workload {
+	first := []*kernels.Spec{
+		kernels.ByAbbr("BLK"),
+		kernels.ByAbbr("KNN"),
+		kernels.ByAbbr("LBM"),
+		kernels.ByAbbr("NN"),
+		kernels.ByAbbr("MVP"),
+	}
+	computePairs := [][2]string{{"IMG", "DXT"}, {"MM", "DXT"}, {"MM", "IMG"}}
+
+	var out []Workload
+	for _, f := range first {
+		for _, cp := range computePairs {
+			out = append(out, Workload{
+				Specs: []*kernels.Spec{
+					f, kernels.ByAbbr(cp[0]), kernels.ByAbbr(cp[1]),
+				},
+				Category: "3-Kernel",
+			})
+		}
+	}
+	return out
+}

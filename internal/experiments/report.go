@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PaperClaim is one quantitative claim from the paper's evaluation.
+type PaperClaim struct {
+	ID    string // table/figure reference
+	Claim string // what the paper reports
+	// Paper is the paper's headline number (ratio/percentage as a ratio).
+	Paper float64
+	// Measured is this reproduction's number.
+	Measured float64
+	// Holds records whether the qualitative direction survives (who wins,
+	// roughly by how much) — the reproduction target for a simulator
+	// substitution.
+	Holds bool
+	Note  string
+}
+
+// Report aggregates the claim comparison.
+type Report struct {
+	Claims []PaperClaim
+}
+
+// BuildReport derives the paper-vs-measured comparison from completed
+// experiment results. Only the rows whose inputs are supplied are emitted.
+func BuildReport(pairRows, tripleRows []Figure6Row, fair []Figure9Row, energy []EnergyRow) Report {
+	var r Report
+	add := func(c PaperClaim) { r.Claims = append(r.Claims, c) }
+
+	if len(pairRows) > 0 {
+		g := SummarizeFigure6(pairRows)
+		add(PaperClaim{
+			ID:       "Fig.6 Dynamic",
+			Claim:    "Warped-Slicer beats Left-Over by ~23% (gmean, 30 pairs)",
+			Paper:    1.23,
+			Measured: g.Dynamic,
+			Holds:    g.Dynamic > 1.05,
+		})
+		add(PaperClaim{
+			ID:       "Fig.6 vs Even",
+			Claim:    "Warped-Slicer beats Even partitioning (~14%)",
+			Paper:    1.14,
+			Measured: safeDiv(g.Dynamic, g.Even),
+			Holds:    g.Dynamic > g.Even,
+		})
+		add(PaperClaim{
+			ID:       "Fig.6 vs Spatial",
+			Claim:    "Warped-Slicer beats Spatial multitasking (~17%)",
+			Paper:    1.17,
+			Measured: safeDiv(g.Dynamic, g.Spatial),
+			Holds:    g.Dynamic > g.Spatial,
+		})
+		if g.Oracle > 0 {
+			add(PaperClaim{
+				ID:       "Fig.6 Oracle",
+				Claim:    "Dynamic is close to the oracle (1.23 vs 1.27)",
+				Paper:    1.27,
+				Measured: g.Oracle,
+				Holds:    g.Oracle >= g.Dynamic && g.Dynamic/g.Oracle > 0.8,
+			})
+		}
+	}
+	if len(tripleRows) > 0 {
+		g := SummarizeFigure6(tripleRows)
+		add(PaperClaim{
+			ID:       "Fig.8 3-kernel",
+			Claim:    "With 3 kernels, Dynamic beats Even by ~21%",
+			Paper:    1.21,
+			Measured: safeDiv(g.Dynamic, g.Even),
+			Holds:    g.Dynamic > g.Even,
+		})
+	}
+	for _, f := range fair {
+		if f.Policy != "dynamic" {
+			continue
+		}
+		add(PaperClaim{
+			ID:       "Fig.9a fairness",
+			Claim:    "Minimum speedup improves vs Left-Over (~26%)",
+			Paper:    1.26,
+			Measured: f.MinSpeedup2,
+			Holds:    f.MinSpeedup2 > 1,
+		})
+	}
+	for _, e := range energy {
+		if e.Policy != "dynamic" {
+			continue
+		}
+		add(PaperClaim{
+			ID:       "§V-G energy",
+			Claim:    "Total energy drops ~16% vs Left-Over",
+			Paper:    0.84,
+			Measured: e.EnergyNorm,
+			Holds:    e.EnergyNorm < 1,
+		})
+		add(PaperClaim{
+			ID:       "§V-G dyn power",
+			Claim:    "Dynamic power rises slightly (+3.1%)",
+			Paper:    1.031,
+			Measured: e.DynPowerNorm,
+			Holds:    e.DynPowerNorm > 0.95,
+		})
+	}
+	return r
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Format renders the report as a markdown-ish table.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %9s %-6s %s\n", "Experiment", "Paper", "Measured", "Holds", "Claim")
+	for _, c := range r.Claims {
+		holds := "yes"
+		if !c.Holds {
+			holds = "NO"
+		}
+		fmt.Fprintf(&b, "%-18s %8.3f %9.3f %-6s %s\n", c.ID, c.Paper, c.Measured, holds, c.Claim)
+	}
+	return b.String()
+}

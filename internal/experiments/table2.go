@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/metrics"
+)
+
+// Table2Row is one benchmark's measured utilization (Table II).
+type Table2Row struct {
+	Abbr       string
+	Name       string
+	Insts      uint64 // thread instructions in the isolation window
+	RegPct     float64
+	ShmPct     float64
+	ALUPct     float64
+	SFUPct     float64
+	LSPct      float64
+	GridDim    int
+	BlockDim   int
+	L2MPKI     float64 // misses per kilo warp instructions
+	Type       string
+	ProfilePct float64 // profiling window / estimated kernel runtime
+}
+
+// Table2 reproduces Table II by running every benchmark in isolation.
+func Table2(s *Session) []Table2Row {
+	cfg := s.O.Cfg
+	var rows []Table2Row
+	for _, spec := range kernels.Suite() {
+		iso := s.Isolation(spec)
+		agg := iso.SM
+		cyc := uint64(iso.Cycles) * uint64(cfg.NumSMs)
+		warpInsts := agg.PerKernel[0].WarpInsts
+
+		row := Table2Row{
+			Abbr:     spec.Abbr,
+			Name:     spec.Name,
+			Insts:    iso.Insts,
+			RegPct:   metrics.Frac(agg.RegCycles, cyc*uint64(cfg.SM.Registers)) * 100,
+			ShmPct:   metrics.Frac(agg.ShmCycles, cyc*uint64(cfg.SM.SharedMemBytes)) * 100,
+			ALUPct:   metrics.Frac(agg.ALUBusy, cyc*uint64(cfg.SM.ALUUnits)) * 100,
+			SFUPct:   metrics.Frac(agg.SFUBusy, cyc) * 100,
+			LSPct:    metrics.Frac(agg.LDSTBusy, cyc) * 100,
+			GridDim:  spec.GridDim,
+			BlockDim: spec.BlockDim,
+			L2MPKI:   metrics.MPKI(iso.Mem.L2MissPerKernel[0], warpInsts),
+			Type:     spec.Class.String(),
+		}
+		// Profile% estimates the one-time 5K-cycle sampling cost against
+		// the kernel's full-grid runtime, extrapolated from the isolation
+		// window's CTA completion rate.
+		ctasDone := agg.PerKernel[0].CTAsDone
+		if ctasDone > 0 {
+			fullRuntime := float64(spec.GridDim) * float64(iso.Cycles) / float64(ctasDone)
+			row.ProfilePct = float64(s.O.Sample) / fullRuntime * 100
+		} else {
+			row.ProfilePct = float64(s.O.Sample) / float64(iso.Cycles) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable2 renders the rows as an aligned text table.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %10s %5s %5s %5s %5s %5s %8s %7s %8s %-7s %8s\n",
+		"App", "Inst", "Reg%", "Shm%", "ALU%", "SFU%", "LS%", "Griddim", "Blkdim", "L2MPKI", "Type", "Profile%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %10d %4.0f%% %4.0f%% %4.0f%% %4.0f%% %4.0f%% %8d %7d %8.1f %-7s %7.2f%%\n",
+			r.Abbr, r.Insts, r.RegPct, r.ShmPct, r.ALUPct, r.SFUPct, r.LSPct,
+			r.GridDim, r.BlockDim, r.L2MPKI, r.Type, r.ProfilePct)
+	}
+	return b.String()
+}
+
+// Figure1Row is one benchmark's stall breakdown (Figure 1).
+type Figure1Row struct {
+	Abbr string
+	// Fractions of scheduler issue slots, in [0,1].
+	Memory, RAW, Exec, IBuffer, Idle, Issued float64
+}
+
+// Figure1 reproduces the stall-cycle breakdown of Figure 1.
+func Figure1(s *Session) []Figure1Row {
+	var rows []Figure1Row
+	for _, spec := range kernels.Suite() {
+		iso := s.Isolation(spec)
+		a := iso.SM
+		n := a.Slots
+		rows = append(rows, Figure1Row{
+			Abbr:    spec.Abbr,
+			Memory:  metrics.Frac(a.StallMem, n),
+			RAW:     metrics.Frac(a.StallRAW, n),
+			Exec:    metrics.Frac(a.StallExec, n),
+			IBuffer: metrics.Frac(a.StallIBuf, n),
+			Idle:    metrics.Frac(a.StallIdle, n),
+			Issued:  metrics.Frac(a.Issued, n),
+		})
+	}
+	return rows
+}
+
+// FormatFigure1 renders the stall breakdown.
+func FormatFigure1(rows []Figure1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %7s %7s %7s %8s %6s %7s\n",
+		"App", "Memory", "RAW", "Exec", "IBuffer", "Idle", "Issued")
+	var avg Figure1Row
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %6.1f%% %6.1f%% %6.1f%% %7.1f%% %5.1f%% %6.1f%%\n",
+			r.Abbr, r.Memory*100, r.RAW*100, r.Exec*100, r.IBuffer*100, r.Idle*100, r.Issued*100)
+		avg.Memory += r.Memory
+		avg.RAW += r.RAW
+		avg.Exec += r.Exec
+		avg.IBuffer += r.IBuffer
+		avg.Idle += r.Idle
+		avg.Issued += r.Issued
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-4s %6.1f%% %6.1f%% %6.1f%% %7.1f%% %5.1f%% %6.1f%%\n",
+			"AVG", avg.Memory/n*100, avg.RAW/n*100, avg.Exec/n*100, avg.IBuffer/n*100, avg.Idle/n*100, avg.Issued/n*100)
+	}
+	return b.String()
+}

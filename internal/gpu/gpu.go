@@ -1,0 +1,298 @@
+// Package gpu assembles the full device: an array of SMs sharing one memory
+// subsystem, kernel instances, and a pluggable Dispatcher that decides where
+// CTAs launch (the multiprogramming policy under study).
+//
+// It also implements the paper's evaluation methodology (§V-A): each kernel
+// is first run in isolation to record an instruction target; in a
+// multiprogrammed run every kernel executes until it reaches its target,
+// a finished kernel's resources are released immediately, and the total
+// elapsed cycles are the workload's execution time.
+package gpu
+
+import (
+	"fmt"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/mem"
+	"warpedslicer/internal/sm"
+)
+
+// MaxKernels mirrors the per-kernel accounting bound.
+const MaxKernels = sm.MaxKernels
+
+// Kernel is one resident kernel instance.
+type Kernel struct {
+	Spec *kernels.Spec
+	// Slot is the kernel's accounting slot (0-based).
+	Slot int
+	// Base is the kernel's global-memory base address.
+	Base uint64
+	// NextCTA indexes the next grid CTA to dispatch.
+	NextCTA int
+	// TargetInsts, when non-zero, halts the kernel once this many thread
+	// instructions have executed (the paper's run-to-target methodology).
+	TargetInsts uint64
+	// Done marks a halted kernel. FinishCycle records when.
+	Done        bool
+	FinishCycle int64
+	// Insts is the last sampled cumulative thread-instruction count.
+	Insts uint64
+	// ArrivalCycle delays the kernel: it cannot launch CTAs (and does not
+	// count toward completion) before this cycle (Figure 2e's scenario of
+	// a kernel entering a busy GPU).
+	ArrivalCycle int64
+	arrived      bool
+}
+
+// Arrived reports whether the kernel has entered the system.
+func (k *Kernel) Arrived() bool { return k.arrived }
+
+// GridExhausted reports whether all grid CTAs have been dispatched.
+func (k *Kernel) GridExhausted() bool { return k.NextCTA >= k.Spec.GridDim }
+
+// ArrivalAware dispatchers are notified when a delayed kernel enters the
+// system (so a controller can launch a new repartitioning phase, Figure
+// 2e).
+type ArrivalAware interface {
+	OnKernelArrival(g *GPU, k *Kernel)
+}
+
+// Dispatcher is the multiprogramming policy hook.
+type Dispatcher interface {
+	// Setup runs once before the first cycle (e.g. to split SMs or set
+	// quotas).
+	Setup(g *GPU)
+	// Fill launches CTAs onto SMs with free resources. It is called at
+	// start-up and whenever a CTA completes or a kernel halts.
+	Fill(g *GPU)
+	// Tick runs every cycle (profiling controllers use it).
+	Tick(g *GPU)
+}
+
+// GPU is the simulated device.
+type GPU struct {
+	Cfg     config.GPU
+	Mem     *mem.Subsystem
+	SMs     []*sm.SM
+	Kernels []*Kernel
+
+	dispatcher Dispatcher
+	now        int64
+	needFill   bool
+}
+
+// New builds a GPU with the given configuration and policy.
+func New(cfg config.GPU, d Dispatcher) *GPU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := &GPU{Cfg: cfg, Mem: mem.New(cfg), dispatcher: d}
+	for i := 0; i < cfg.NumSMs; i++ {
+		s := sm.New(i, cfg, g.Mem)
+		s.OnCTAComplete = func(smID, kernel, gridID int) { g.needFill = true }
+		g.SMs = append(g.SMs, s)
+	}
+	return g
+}
+
+// AddKernel registers a kernel; targetInsts of zero means "run the grid".
+func (g *GPU) AddKernel(spec *kernels.Spec, targetInsts uint64) *Kernel {
+	return g.AddKernelAt(spec, targetInsts, 0)
+}
+
+// AddKernelAt registers a kernel that arrives at the given cycle. Until
+// then it launches no CTAs; on arrival, ArrivalAware dispatchers are
+// notified so they can repartition (Figure 2e).
+func (g *GPU) AddKernelAt(spec *kernels.Spec, targetInsts uint64, arrival int64) *Kernel {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if len(g.Kernels) >= MaxKernels {
+		panic(fmt.Sprintf("gpu: more than %d kernels", MaxKernels))
+	}
+	k := &Kernel{
+		Spec:         spec,
+		Slot:         len(g.Kernels),
+		Base:         uint64(len(g.Kernels)+1) << 40,
+		TargetInsts:  targetInsts,
+		ArrivalCycle: arrival,
+		arrived:      arrival <= 0,
+	}
+	g.Kernels = append(g.Kernels, k)
+	return k
+}
+
+// Now returns the current core-clock cycle.
+func (g *GPU) Now() int64 { return g.now }
+
+// SetSchedulers switches every SM's warp scheduler.
+func (g *GPU) SetSchedulers(kind sm.SchedulerKind) {
+	for _, s := range g.SMs {
+		s.Sched = kind
+	}
+}
+
+// LaunchCTA dispatches kernel k's next grid CTA onto SM s, if it fits.
+func (g *GPU) LaunchCTA(s *sm.SM, k *Kernel) bool {
+	if k.Done || !k.arrived || k.GridExhausted() {
+		return false
+	}
+	if !s.Launch(k.Slot, k.Spec, k.Base, k.NextCTA) {
+		return false
+	}
+	k.NextCTA++
+	return true
+}
+
+// KernelInsts returns kernel slot's cumulative thread instructions across
+// all SMs.
+func (g *GPU) KernelInsts(slot int) uint64 {
+	var total uint64
+	for _, s := range g.SMs {
+		total += s.Stats().PerKernel[slot%MaxKernels].ThreadInsts
+	}
+	return total
+}
+
+// haltKernel releases every resource held by the kernel (paper §V-A: a
+// kernel that reaches its instruction target is halted and its resources
+// are freed for the remaining kernels).
+func (g *GPU) haltKernel(k *Kernel) {
+	k.Done = true
+	k.FinishCycle = g.now
+	for _, s := range g.SMs {
+		s.HaltKernel(k.Slot)
+		s.SetQuota(k.Slot, sm.Quota{}) // no relaunches
+	}
+	g.needFill = true
+}
+
+// AllDone reports whether every kernel has halted.
+func (g *GPU) AllDone() bool {
+	for _, k := range g.Kernels {
+		if !k.Done {
+			return false
+		}
+	}
+	return len(g.Kernels) > 0
+}
+
+// Step advances the device one core cycle.
+func (g *GPU) Step() {
+	if g.now == 0 {
+		g.dispatcher.Setup(g)
+		g.dispatcher.Fill(g)
+	}
+
+	// Deliver kernel arrivals.
+	for _, k := range g.Kernels {
+		if !k.arrived && g.now >= k.ArrivalCycle {
+			k.arrived = true
+			if aa, ok := g.dispatcher.(ArrivalAware); ok {
+				aa.OnKernelArrival(g, k)
+			}
+			g.needFill = true
+		}
+	}
+
+	for _, s := range g.SMs {
+		s.Cycle(g.now)
+	}
+	for _, reply := range g.Mem.Tick(g.now) {
+		if reply.SM >= 0 && reply.SM < len(g.SMs) {
+			g.SMs[reply.SM].OnReply(reply.LineAddr)
+		}
+	}
+
+	g.dispatcher.Tick(g)
+
+	if g.now%64 == 0 {
+		g.checkTargets()
+	}
+	if g.needFill {
+		g.needFill = false
+		g.dispatcher.Fill(g)
+	}
+	g.now++
+}
+
+// checkTargets samples instruction counts and halts kernels that reached
+// their targets (or exhausted their grids).
+func (g *GPU) checkTargets() {
+	for _, k := range g.Kernels {
+		if k.Done {
+			continue
+		}
+		k.Insts = g.KernelInsts(k.Slot)
+		reached := k.TargetInsts > 0 && k.Insts >= k.TargetInsts
+		drained := k.GridExhausted() && !g.anyResident(k.Slot)
+		if reached || drained {
+			g.haltKernel(k)
+		}
+	}
+}
+
+func (g *GPU) anyResident(slot int) bool {
+	for _, s := range g.SMs {
+		if s.ResidentCTAs(slot) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes until all kernels halt or maxCycles elapse; it returns the
+// elapsed cycles.
+func (g *GPU) Run(maxCycles int64) int64 {
+	for g.now < maxCycles && !g.AllDone() {
+		g.Step()
+	}
+	g.checkTargets()
+	return g.now
+}
+
+// RunCycles advances exactly n further cycles (ignoring targets).
+func (g *GPU) RunCycles(n int64) {
+	end := g.now + n
+	for g.now < end {
+		g.Step()
+	}
+}
+
+// AggregateSM sums SM statistics across the device.
+func (g *GPU) AggregateSM() sm.Stats {
+	var agg sm.Stats
+	for _, s := range g.SMs {
+		st := s.Stats()
+		agg.Cycles = st.Cycles
+		agg.Slots += st.Slots
+		agg.Issued += st.Issued
+		agg.StallMem += st.StallMem
+		agg.StallRAW += st.StallRAW
+		agg.StallExec += st.StallExec
+		agg.StallIBuf += st.StallIBuf
+		agg.StallIdle += st.StallIdle
+		agg.ALUBusy += st.ALUBusy
+		agg.SFUBusy += st.SFUBusy
+		agg.LDSTBusy += st.LDSTBusy
+		agg.RegCycles += st.RegCycles
+		agg.ShmCycles += st.ShmCycles
+		for i := range agg.PerKernel {
+			agg.PerKernel[i].WarpInsts += st.PerKernel[i].WarpInsts
+			agg.PerKernel[i].ThreadInsts += st.PerKernel[i].ThreadInsts
+			agg.PerKernel[i].CTAsDone += st.PerKernel[i].CTAsDone
+			agg.PerKernel[i].CTAsLaunched += st.PerKernel[i].CTAsLaunched
+			agg.PerKernel[i].LoadsIssued += st.PerKernel[i].LoadsIssued
+		}
+		agg.L1.Loads += st.L1.Loads
+		agg.L1.LoadHits += st.L1.LoadHits
+		agg.L1.LoadMiss += st.L1.LoadMiss
+		agg.L1.Stores += st.L1.Stores
+		agg.L1.Fills += st.L1.Fills
+		agg.L1.Merged += st.L1.Merged
+		agg.L1.ResFails += st.L1.ResFails
+		agg.L1.Evictions += st.L1.Evictions
+	}
+	return agg
+}

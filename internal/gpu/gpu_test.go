@@ -1,0 +1,147 @@
+package gpu
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/sm"
+)
+
+// greedy is a minimal dispatcher: fill every SM with every kernel.
+type greedy struct{}
+
+func (greedy) Setup(*GPU) {}
+func (greedy) Fill(g *GPU) {
+	for _, s := range g.SMs {
+		for {
+			any := false
+			for _, k := range g.Kernels {
+				if g.LaunchCTA(s, k) {
+					any = true
+				}
+			}
+			if !any {
+				break
+			}
+		}
+	}
+}
+func (greedy) Tick(*GPU) {}
+
+func TestIsolationRunProducesInstructions(t *testing.T) {
+	cfg := config.Baseline()
+	for _, spec := range kernels.Suite() {
+		spec := spec
+		t.Run(spec.Abbr, func(t *testing.T) {
+			g := New(cfg, greedy{})
+			g.AddKernel(spec, 0)
+			g.RunCycles(20000)
+			insts := g.KernelInsts(0)
+			if insts == 0 {
+				t.Fatalf("%s executed no instructions in 20K cycles", spec.Abbr)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := config.Baseline()
+	run := func() (uint64, uint64) {
+		g := New(cfg, greedy{})
+		g.AddKernel(kernels.Blackscholes(), 0)
+		g.AddKernel(kernels.ImageDenoising(), 0)
+		g.RunCycles(15000)
+		return g.KernelInsts(0), g.KernelInsts(1)
+	}
+	a0, a1 := run()
+	b0, b1 := run()
+	if a0 != b0 || a1 != b1 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", a0, a1, b0, b1)
+	}
+}
+
+func TestMaxCTAsMatchesDesign(t *testing.T) {
+	cfg := config.Baseline()
+	want := map[string]int{
+		"BLK": 4, "BFS": 3, "DXT": 8, "HOT": 6, "IMG": 8,
+		"KNN": 6, "LBM": 5, "MM": 5, "MVP": 8, "NN": 4,
+	}
+	for _, spec := range kernels.Suite() {
+		got := spec.MaxCTAs(cfg.SM.Registers, cfg.SM.SharedMemBytes, cfg.SM.MaxThreads, cfg.SM.MaxCTAs)
+		if got != want[spec.Abbr] {
+			t.Errorf("%s max CTAs = %d, want %d", spec.Abbr, got, want[spec.Abbr])
+		}
+	}
+}
+
+func TestOccupancyMatchesLimit(t *testing.T) {
+	cfg := config.Baseline()
+	g := New(cfg, greedy{})
+	g.AddKernel(kernels.Blackscholes(), 0)
+	g.RunCycles(100)
+	for _, s := range g.SMs {
+		if got := s.ResidentCTAs(0); got != 4 {
+			t.Fatalf("SM%d resident BLK CTAs = %d, want 4 (register-limited)", s.ID, got)
+		}
+	}
+}
+
+func TestRunToTargetHaltsKernel(t *testing.T) {
+	cfg := config.Baseline()
+	g := New(cfg, greedy{})
+	k := g.AddKernel(kernels.ImageDenoising(), 50000)
+	cycles := g.Run(2_000_000)
+	if !k.Done {
+		t.Fatalf("kernel did not reach target in %d cycles", cycles)
+	}
+	if k.Insts < 50000 {
+		t.Fatalf("halted at %d insts, below target", k.Insts)
+	}
+	// All resources must be released.
+	for _, s := range g.SMs {
+		if s.ResidentCTAs(0) != 0 {
+			t.Fatal("halted kernel still resident")
+		}
+	}
+}
+
+func TestTwoKernelCoRun(t *testing.T) {
+	cfg := config.Baseline()
+	g := New(cfg, greedy{})
+	g.AddKernel(kernels.ImageDenoising(), 40000)
+	g.AddKernel(kernels.NeuralNetwork(), 40000)
+	g.Run(3_000_000)
+	if !g.AllDone() {
+		t.Fatal("co-run did not finish both kernels")
+	}
+}
+
+func TestQuotaRestrictsOccupancy(t *testing.T) {
+	cfg := config.Baseline()
+	g := New(cfg, greedy{})
+	k := g.AddKernel(kernels.ImageDenoising(), 0)
+	for _, s := range g.SMs {
+		q := sm.Unlimited()
+		q.CTAs = 2
+		s.SetQuota(k.Slot, q)
+	}
+	g.RunCycles(100)
+	for _, s := range g.SMs {
+		if got := s.ResidentCTAs(0); got != 2 {
+			t.Fatalf("resident CTAs = %d, want quota 2", got)
+		}
+	}
+}
+
+func TestStallAttributionSumsToSlots(t *testing.T) {
+	cfg := config.Baseline()
+	g := New(cfg, greedy{})
+	g.AddKernel(kernels.LatticeBoltzmann(), 0)
+	g.RunCycles(20000)
+	agg := g.AggregateSM()
+	total := agg.Issued + agg.StallMem + agg.StallRAW + agg.StallExec + agg.StallIBuf + agg.StallIdle
+	if total != agg.Slots {
+		t.Fatalf("issued+stalls = %d, slots = %d", total, agg.Slots)
+	}
+}

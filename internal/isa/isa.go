@@ -1,0 +1,96 @@
+// Package isa defines the SIMT instruction set executed by the simulator.
+//
+// Instructions are warp-granular: one Instr represents the lockstep
+// execution of the same operation by all active threads of a warp, which is
+// the granularity at which GPGPU-Sim-class simulators schedule and at which
+// the Warped-Slicer paper measures pipeline utilization.
+package isa
+
+import "fmt"
+
+// Kind classifies an instruction by the functional unit it occupies.
+type Kind uint8
+
+const (
+	// ALU is an integer or single-precision floating-point operation
+	// executed on the SP/ALU pipelines.
+	ALU Kind = iota
+	// SFU is a special-function operation (transcendentals, rsqrt, ...)
+	// executed on the narrower SFU pipeline.
+	SFU
+	// LDG is a load from global memory through the L1/L2/DRAM hierarchy.
+	LDG
+	// STG is a store to global memory.
+	STG
+	// LDS is a shared-memory access (fixed latency, no cache traffic).
+	LDS
+	// BAR is a CTA-wide barrier (__syncthreads()).
+	BAR
+	// EXIT terminates the warp.
+	EXIT
+
+	numKinds
+)
+
+// NumKinds is the number of distinct instruction kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{"ALU", "SFU", "LDG", "STG", "LDS", "BAR", "EXIT"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsMemory reports whether the instruction goes through the LD/ST unit.
+func (k Kind) IsMemory() bool { return k == LDG || k == STG || k == LDS }
+
+// IsGlobal reports whether the instruction accesses global memory (and thus
+// the cache hierarchy).
+func (k Kind) IsGlobal() bool { return k == LDG || k == STG }
+
+// NoReg marks an absent register operand.
+const NoReg int8 = -1
+
+// Instr is one warp-level instruction.
+type Instr struct {
+	Kind Kind
+	// Dest is the destination register, or NoReg.
+	Dest int8
+	// Src are source registers; NoReg entries are unused.
+	Src [2]int8
+	// Addr is the first byte address touched by a global-memory access.
+	Addr uint64
+	// Lines is the number of distinct cache-line transactions the access
+	// generates after coalescing (1 for a fully coalesced warp access).
+	Lines uint8
+	// ActivePct is the percentage of the warp's threads executing this
+	// instruction (SIMT divergence); 0 means all threads are active.
+	ActivePct uint8
+}
+
+// ActiveFraction returns the active-lane fraction in (0,1].
+func (in Instr) ActiveFraction() float64 {
+	if in.ActivePct == 0 || in.ActivePct >= 100 {
+		return 1
+	}
+	return float64(in.ActivePct) / 100
+}
+
+// Reads reports whether the instruction reads register r.
+func (in Instr) Reads(r int8) bool {
+	return r != NoReg && (in.Src[0] == r || in.Src[1] == r)
+}
+
+func (in Instr) String() string {
+	switch {
+	case in.Kind == BAR || in.Kind == EXIT:
+		return in.Kind.String()
+	case in.Kind.IsGlobal():
+		return fmt.Sprintf("%s r%d, [%#x] x%d", in.Kind, in.Dest, in.Addr, in.Lines)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Kind, in.Dest, in.Src[0], in.Src[1])
+	}
+}

@@ -1,0 +1,73 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		ALU: "ALU", SFU: "SFU", LDG: "LDG", STG: "STG",
+		LDS: "LDS", BAR: "BAR", EXIT: "EXIT",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Error("unknown kind should include its value")
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	for _, k := range []Kind{LDG, STG, LDS} {
+		if !k.IsMemory() {
+			t.Errorf("%v should be memory", k)
+		}
+	}
+	for _, k := range []Kind{ALU, SFU, BAR, EXIT} {
+		if k.IsMemory() {
+			t.Errorf("%v should not be memory", k)
+		}
+	}
+	if !LDG.IsGlobal() || !STG.IsGlobal() {
+		t.Error("LDG/STG should be global")
+	}
+	if LDS.IsGlobal() {
+		t.Error("LDS is shared memory, not global")
+	}
+}
+
+func TestInstrReads(t *testing.T) {
+	in := Instr{Kind: ALU, Dest: 3, Src: [2]int8{1, NoReg}}
+	if !in.Reads(1) {
+		t.Error("should read r1")
+	}
+	if in.Reads(2) {
+		t.Error("should not read r2")
+	}
+	if in.Reads(NoReg) {
+		t.Error("NoReg is never read")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	if got := (Instr{Kind: BAR}).String(); got != "BAR" {
+		t.Errorf("BAR string = %q", got)
+	}
+	mem := Instr{Kind: LDG, Dest: 5, Addr: 0x1000, Lines: 2}
+	if !strings.Contains(mem.String(), "0x1000") || !strings.Contains(mem.String(), "x2") {
+		t.Errorf("LDG string missing fields: %q", mem.String())
+	}
+	alu := Instr{Kind: ALU, Dest: 2, Src: [2]int8{1, 0}}
+	if !strings.Contains(alu.String(), "ALU") {
+		t.Errorf("ALU string = %q", alu.String())
+	}
+}
+
+func TestNumKinds(t *testing.T) {
+	if NumKinds != 7 {
+		t.Fatalf("NumKinds = %d, want 7", NumKinds)
+	}
+}

@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"testing"
+
+	"warpedslicer/internal/isa"
+)
+
+func TestDivergentOpEmitsTwoPasses(t *testing.T) {
+	spec := &Spec{
+		Name: "div", Abbr: "DIV",
+		GridDim: 1, BlockDim: 32, RegsPerThread: 8,
+		Body: []Op{
+			{Kind: isa.ALU},
+			{Kind: isa.ALU, DivergePct: 25},
+		},
+		Iterations: 2,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStream(spec, 1<<40, 0, 0)
+
+	// Iteration: uniform ALU, then the divergent op twice (25% + 75%).
+	for iter := 0; iter < 2; iter++ {
+		in := st.Next()
+		if in.ActivePct != 0 {
+			t.Fatalf("uniform op has ActivePct %d", in.ActivePct)
+		}
+		a := st.Next()
+		b := st.Next()
+		if a.ActivePct != 25 || b.ActivePct != 75 {
+			t.Fatalf("divergent passes = %d/%d, want 25/75", a.ActivePct, b.ActivePct)
+		}
+		if a.Kind != isa.ALU || b.Kind != isa.ALU {
+			t.Fatal("divergent passes changed kind")
+		}
+		if a.Dest != b.Dest {
+			t.Fatal("divergent passes must share the template operands")
+		}
+	}
+	if in := st.Next(); in.Kind != isa.EXIT {
+		t.Fatalf("expected EXIT, got %v", in.Kind)
+	}
+}
+
+func TestDivergenceLengthensStream(t *testing.T) {
+	plain := BreadthFirstSearch()
+	div := DivergentBFS()
+	count := func(s *Spec) int {
+		st := NewStream(s, 1<<40, 0, 0)
+		n := 0
+		for !st.Done() {
+			st.Next()
+			n++
+		}
+		return n
+	}
+	np, nd := count(plain), count(div)
+	if nd <= np {
+		t.Fatalf("divergent stream (%d) not longer than plain (%d)", nd, np)
+	}
+	// Each divergent op adds exactly one extra pass per iteration.
+	divOps := 0
+	for _, op := range div.Body {
+		if op.DivergePct > 0 {
+			divOps++
+		}
+	}
+	if want := np + divOps*plain.Iterations; nd != want {
+		t.Fatalf("divergent stream length %d, want %d", nd, want)
+	}
+}
+
+func TestDivergenceValidation(t *testing.T) {
+	s := BreadthFirstSearch()
+	s.Body[0].DivergePct = 100
+	if err := s.Validate(); err == nil {
+		t.Fatal("DivergePct=100 accepted")
+	}
+	s = BreadthFirstSearch()
+	s.Body = append(s.Body, Op{Kind: isa.BAR, DivergePct: 10})
+	if err := s.Validate(); err == nil {
+		t.Fatal("divergent barrier accepted")
+	}
+}
+
+func TestActiveFraction(t *testing.T) {
+	if f := (isa.Instr{ActivePct: 0}).ActiveFraction(); f != 1 {
+		t.Fatalf("full warp fraction = %v", f)
+	}
+	if f := (isa.Instr{ActivePct: 25}).ActiveFraction(); f != 0.25 {
+		t.Fatalf("quarter warp fraction = %v", f)
+	}
+}
+
+func TestDivergentStreamStillDeterministic(t *testing.T) {
+	a := NewStream(DivergentBFS(), 1<<40, 2, 1)
+	b := NewStream(DivergentBFS(), 1<<40, 2, 1)
+	for i := 0; i < 400; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergent streams diverged at %d", i)
+		}
+	}
+}
+
+func TestBankConflictValidation(t *testing.T) {
+	s := DXTCompression()
+	s.Body[0].BankConflicts = 33
+	if err := s.Validate(); err == nil {
+		t.Fatal("33-way bank conflict accepted")
+	}
+	s = DXTCompression()
+	s.Body[1].BankConflicts = 4 // body[1] is ALU
+	if err := s.Validate(); err == nil {
+		t.Fatal("bank conflicts on non-LDS op accepted")
+	}
+	s = DXTCompression()
+	s.Body[0].BankConflicts = 8 // body[0] is LDS
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankConflictCarriedOnInstr(t *testing.T) {
+	s := DXTCompression()
+	s.Body[0].BankConflicts = 8
+	st := NewStream(s, 1<<40, 0, 0)
+	in := st.Next() // body[0] is LDS
+	if in.Kind != isa.LDS || in.Lines != 8 {
+		t.Fatalf("LDS instr = %v lines=%d, want LDS with 8 passes", in.Kind, in.Lines)
+	}
+}

@@ -1,0 +1,199 @@
+// Package kernels defines the synthetic GPU kernels used to reproduce the
+// Warped-Slicer evaluation.
+//
+// The paper runs ten CUDA benchmarks (CUDA SDK, Rodinia, Parboil, ISPASS)
+// through GPGPU-Sim. Those binaries cannot be executed here, so each
+// benchmark is replaced by a synthetic kernel whose static resources
+// (registers/thread, shared memory/CTA, block and grid dimensions) and
+// dynamic behaviour (ALU/SFU/LDST instruction mix, memory access pattern,
+// L2 MPKI class, i-cache pressure) are parameterized to match Table II and
+// the occupancy-scaling categories of Figure 3a. See DESIGN.md §1 for the
+// substitution rationale.
+package kernels
+
+import (
+	"fmt"
+
+	"warpedslicer/internal/isa"
+)
+
+// Class is the paper's benchmark classification (Table II, "Type").
+type Class uint8
+
+const (
+	// Compute marks low-MPKI, pipeline-bound kernels.
+	Compute Class = iota
+	// Memory marks bandwidth-bound kernels (L2 MPKI >= 30).
+	Memory
+	// CacheSensitive marks kernels whose performance peaks below maximum
+	// occupancy because additional CTAs thrash the L1 ("Cache" type).
+	CacheSensitive
+)
+
+func (c Class) String() string {
+	switch c {
+	case Compute:
+		return "Compute"
+	case Memory:
+		return "Memory"
+	case CacheSensitive:
+		return "Cache"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Pattern selects how a memory op generates addresses.
+type Pattern uint8
+
+const (
+	// PatNone is for non-memory ops.
+	PatNone Pattern = iota
+	// PatStream generates unique, fully coalesced lines (always-miss
+	// streaming; high L2 MPKI).
+	PatStream
+	// PatTiled reuses a small per-CTA tile that fits comfortably in L1
+	// (near-zero MPKI after warm-up).
+	PatTiled
+	// PatReuse reuses a per-CTA working set comparable to the L1 size,
+	// so hit rate collapses as co-resident CTAs grow (cache-sensitive).
+	PatReuse
+	// PatScatter generates poorly coalesced accesses over a large
+	// footprint (irregular kernels: BFS, KNN).
+	PatScatter
+)
+
+// Op is one instruction template in a kernel's loop body.
+type Op struct {
+	Kind isa.Kind
+	// DependsPrev chains this op's source to the previous op's
+	// destination, creating a RAW hazard.
+	DependsPrev bool
+	// Pattern and Lines configure memory ops (ignored otherwise).
+	Pattern Pattern
+	Lines   uint8
+	// DivergePct marks a branch-divergent op: DivergePct percent of the
+	// warp's threads take one path and the rest the other, so the op is
+	// serialized into two SIMT passes (GPGPU-Sim-style post-dominator
+	// reconvergence at the next op). 0 disables divergence.
+	DivergePct uint8
+	// BankConflicts serializes a shared-memory (LDS) op over this many
+	// bank passes (1 or 0 = conflict-free; 32 = fully serialized).
+	BankConflicts uint8
+}
+
+// Spec statically describes a kernel.
+type Spec struct {
+	Name string
+	// Abbr is the paper's abbreviation (Table II).
+	Abbr string
+
+	GridDim  int // CTAs in the grid
+	BlockDim int // threads per CTA
+
+	RegsPerThread  int
+	SharedMemPerTA int // shared-memory bytes per CTA
+
+	// Body is the per-warp loop body; Iterations is how many times each
+	// warp executes it before exiting.
+	Body       []Op
+	Iterations int
+
+	// TileBytes is the per-CTA footprint for PatTiled ops.
+	TileBytes uint64
+	// ReuseBytes is the per-CTA working set for PatReuse ops.
+	ReuseBytes uint64
+	// FootprintBytes bounds PatStream/PatScatter address generation.
+	FootprintBytes uint64
+
+	// ICacheMissPct is the percentage of instruction fetches that pay the
+	// configured fetch delay (models kernels with large code footprints,
+	// e.g. DXT's i-buffer-empty stalls in Figure 1).
+	ICacheMissPct int
+
+	Class Class
+}
+
+// WarpsPerCTA returns the number of warps per CTA for the given warp size,
+// rounding up for partial warps (e.g. LBM's 120-thread blocks).
+func (s *Spec) WarpsPerCTA(warpSize int) int {
+	return (s.BlockDim + warpSize - 1) / warpSize
+}
+
+// RegsPerCTA returns the register-file footprint of one CTA.
+func (s *Spec) RegsPerCTA() int { return s.RegsPerThread * s.BlockDim }
+
+// Validate reports an error if the spec is not executable.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Name == "" || s.Abbr == "":
+		return fmt.Errorf("kernels: spec missing name")
+	case s.GridDim <= 0 || s.BlockDim <= 0:
+		return fmt.Errorf("kernels: %s: grid/block dims must be positive", s.Abbr)
+	case s.RegsPerThread <= 0:
+		return fmt.Errorf("kernels: %s: RegsPerThread must be positive", s.Abbr)
+	case s.SharedMemPerTA < 0:
+		return fmt.Errorf("kernels: %s: negative shared memory", s.Abbr)
+	case len(s.Body) == 0:
+		return fmt.Errorf("kernels: %s: empty body", s.Abbr)
+	case s.Iterations <= 0:
+		return fmt.Errorf("kernels: %s: Iterations must be positive", s.Abbr)
+	}
+	for i, op := range s.Body {
+		if op.Kind.IsGlobal() && op.Pattern == PatNone {
+			return fmt.Errorf("kernels: %s: body[%d] global access without pattern", s.Abbr, i)
+		}
+		if op.Kind == isa.EXIT {
+			return fmt.Errorf("kernels: %s: body[%d] explicit EXIT not allowed", s.Abbr, i)
+		}
+		if op.DivergePct >= 100 {
+			return fmt.Errorf("kernels: %s: body[%d] DivergePct %d out of range [0,100)", s.Abbr, i, op.DivergePct)
+		}
+		if op.DivergePct > 0 && (op.Kind == isa.BAR || op.Kind == isa.EXIT) {
+			return fmt.Errorf("kernels: %s: body[%d] barriers cannot diverge", s.Abbr, i)
+		}
+		if op.BankConflicts > 32 {
+			return fmt.Errorf("kernels: %s: body[%d] BankConflicts %d exceeds 32 banks", s.Abbr, i, op.BankConflicts)
+		}
+		if op.BankConflicts > 1 && op.Kind != isa.LDS {
+			return fmt.Errorf("kernels: %s: body[%d] bank conflicts only apply to LDS", s.Abbr, i)
+		}
+	}
+	return nil
+}
+
+// MaxCTAs returns the occupancy limit of this kernel on an empty SM with
+// the given resource pools (the paper's "maximum allowed CTAs").
+func (s *Spec) MaxCTAs(regs, shmBytes, threads, ctaSlots int) int {
+	limit := ctaSlots
+	if byRegs := regs / max(s.RegsPerCTA(), 1); byRegs < limit {
+		limit = byRegs
+	}
+	if s.SharedMemPerTA > 0 {
+		if byShm := shmBytes / s.SharedMemPerTA; byShm < limit {
+			limit = byShm
+		}
+	}
+	if byThr := threads / max(s.BlockDim, 1); byThr < limit {
+		limit = byThr
+	}
+	if limit < 0 {
+		return 0
+	}
+	return limit
+}
+
+// MixCounts returns the number of ALU, SFU and LD/ST ops per body iteration.
+func (s *Spec) MixCounts() (alu, sfu, mem int) {
+	for _, op := range s.Body {
+		switch {
+		case op.Kind == isa.ALU:
+			alu++
+		case op.Kind == isa.SFU:
+			sfu++
+		case op.Kind.IsMemory():
+			mem++
+		}
+	}
+	return
+}

@@ -1,0 +1,274 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warpedslicer/internal/isa"
+)
+
+func TestSuiteHasTenValidatedKernels(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d kernels, want 10", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, s := range suite {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Abbr, err)
+		}
+		if seen[s.Abbr] {
+			t.Errorf("duplicate abbreviation %s", s.Abbr)
+		}
+		seen[s.Abbr] = true
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	if ByAbbr("LBM") == nil || ByAbbr("LBM").Name != "Lattice-Boltzmann" {
+		t.Fatal("ByAbbr(LBM) wrong")
+	}
+	if ByAbbr("nope") != nil {
+		t.Fatal("ByAbbr of unknown should be nil")
+	}
+}
+
+func TestClassPartitions(t *testing.T) {
+	c, m, cs := ComputeSuite(), MemorySuite(), CacheSuite()
+	if len(c) != 4 || len(m) != 4 || len(cs) != 2 {
+		t.Fatalf("class sizes = %d/%d/%d, want 4/4/2", len(c), len(m), len(cs))
+	}
+	if len(c)+len(m)+len(cs) != len(Suite()) {
+		t.Fatal("classes do not partition the suite")
+	}
+}
+
+func TestTableIIResourceMatch(t *testing.T) {
+	// Register and shared-memory demand must track Table II's utilization
+	// at each kernel's occupancy limit (baseline SM: 32768 regs, 48KB shm).
+	type exp struct {
+		maxCTAs    int
+		regUtilMin float64
+		regUtilMax float64
+	}
+	want := map[string]exp{
+		"BLK": {4, 0.90, 1.00},
+		"BFS": {3, 0.65, 0.75},
+		"DXT": {8, 0.50, 0.60},
+		"HOT": {6, 0.80, 0.90},
+		"IMG": {8, 0.40, 0.48},
+		"KNN": {6, 0.33, 0.42},
+		"LBM": {5, 0.93, 1.00},
+		"MM":  {5, 0.82, 0.90},
+		"MVP": {8, 0.70, 0.80},
+		"NN":  {4, 0.88, 0.97},
+	}
+	for _, s := range Suite() {
+		w := want[s.Abbr]
+		got := s.MaxCTAs(32768, 48*1024, 1536, 8)
+		if got != w.maxCTAs {
+			t.Errorf("%s: max CTAs = %d, want %d", s.Abbr, got, w.maxCTAs)
+		}
+		util := float64(s.RegsPerCTA()*got) / 32768
+		if util < w.regUtilMin || util > w.regUtilMax {
+			t.Errorf("%s: register util %.2f outside [%.2f,%.2f]", s.Abbr, util, w.regUtilMin, w.regUtilMax)
+		}
+	}
+}
+
+func TestDXTSharedMemoryThird(t *testing.T) {
+	// Table II: DXT uses 33% of shared memory at 8 CTAs.
+	dxt := ByAbbr("DXT")
+	util := float64(dxt.SharedMemPerTA*8) / (48 * 1024)
+	if util < 0.30 || util > 0.37 {
+		t.Fatalf("DXT shm util %.2f, want ~1/3", util)
+	}
+}
+
+func TestWarpsPerCTAPartialWarp(t *testing.T) {
+	lbm := ByAbbr("LBM") // 120 threads
+	if got := lbm.WarpsPerCTA(32); got != 4 {
+		t.Fatalf("LBM warps = %d, want 4 (partial last warp)", got)
+	}
+	nn := ByAbbr("NN") // 169 threads
+	if got := nn.WarpsPerCTA(32); got != 6 {
+		t.Fatalf("NN warps = %d, want 6", got)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	base := *Blackscholes()
+	cases := map[string]func(*Spec){
+		"no name":    func(s *Spec) { s.Name = "" },
+		"zero grid":  func(s *Spec) { s.GridDim = 0 },
+		"zero block": func(s *Spec) { s.BlockDim = 0 },
+		"zero regs":  func(s *Spec) { s.RegsPerThread = 0 },
+		"neg shm":    func(s *Spec) { s.SharedMemPerTA = -1 },
+		"empty body": func(s *Spec) { s.Body = nil },
+		"zero iters": func(s *Spec) { s.Iterations = 0 },
+		"global wout pattern": func(s *Spec) {
+			s.Body = []Op{{Kind: isa.LDG}}
+		},
+		"explicit exit": func(s *Spec) {
+			s.Body = []Op{{Kind: isa.EXIT}}
+		},
+	}
+	for name, mutate := range cases {
+		s := base
+		s.Body = append([]Op(nil), base.Body...)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestMixCounts(t *testing.T) {
+	img := ByAbbr("IMG")
+	alu, sfu, mem := img.MixCounts()
+	if alu != 9 || sfu != 2 || mem != 1 {
+		t.Fatalf("IMG mix = %d/%d/%d, want 9/2/1", alu, sfu, mem)
+	}
+}
+
+func TestMaxCTAsZeroResources(t *testing.T) {
+	blk := Blackscholes()
+	if got := blk.MaxCTAs(0, 0, 0, 8); got != 0 {
+		t.Fatalf("MaxCTAs with no resources = %d, want 0", got)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	spec := Blackscholes()
+	a := NewStream(spec, 1<<40, 3, 1)
+	b := NewStream(spec, 1<<40, 3, 1)
+	for i := 0; i < 500; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("streams diverged at %d: %v vs %v", i, ia, ib)
+		}
+	}
+}
+
+func TestStreamTerminates(t *testing.T) {
+	spec := ByAbbr("DXT")
+	st := NewStream(spec, 1<<40, 0, 0)
+	n := 0
+	for !st.Done() {
+		in := st.Next()
+		n++
+		if n > spec.Iterations*len(spec.Body)+2 {
+			t.Fatalf("stream did not terminate after %d instructions", n)
+		}
+		if st.Done() && in.Kind != isa.EXIT {
+			t.Fatalf("final instruction = %v, want EXIT", in.Kind)
+		}
+	}
+	want := spec.Iterations*len(spec.Body) + 1 // body + EXIT
+	if n != want {
+		t.Fatalf("stream length %d, want %d", n, want)
+	}
+}
+
+func TestStreamAfterDoneKeepsReturningExit(t *testing.T) {
+	spec := ByAbbr("IMG")
+	st := NewStream(spec, 1, 0, 0)
+	for !st.Done() {
+		st.Next()
+	}
+	if in := st.Next(); in.Kind != isa.EXIT {
+		t.Fatalf("post-done Next = %v, want EXIT", in.Kind)
+	}
+}
+
+func TestStoresHaveNoDest(t *testing.T) {
+	for _, spec := range Suite() {
+		st := NewStream(spec, 1<<40, 0, 0)
+		for i := 0; i < spec.Iterations*len(spec.Body); i++ {
+			in := st.Next()
+			if in.Kind == isa.STG && in.Dest != isa.NoReg {
+				t.Fatalf("%s: store with destination register %d", spec.Abbr, in.Dest)
+			}
+			if in.Kind == isa.ALU && in.Dest == isa.NoReg {
+				t.Fatalf("%s: ALU without destination", spec.Abbr)
+			}
+		}
+	}
+}
+
+func TestGlobalAccessesAreLineAligned(t *testing.T) {
+	for _, spec := range Suite() {
+		st := NewStream(spec, 1<<40, 5, 2)
+		for i := 0; i < 2*len(spec.Body); i++ {
+			in := st.Next()
+			if in.Kind.IsGlobal() && in.Addr%LineBytes != 0 {
+				t.Fatalf("%s: unaligned address %#x", spec.Abbr, in.Addr)
+			}
+			if in.Kind.IsGlobal() && in.Lines == 0 {
+				t.Fatalf("%s: global access with 0 lines", spec.Abbr)
+			}
+		}
+	}
+}
+
+func TestRegisterIDsWithinSpec(t *testing.T) {
+	f := func(cta, warp uint16) bool {
+		spec := ByAbbr("MM")
+		st := NewStream(spec, 1<<40, int(cta), int(warp)%8)
+		bound := int8(spec.RegsPerThread)
+		for i := 0; i < 3*len(spec.Body); i++ {
+			in := st.Next()
+			if in.Dest != isa.NoReg && in.Dest >= bound {
+				return false
+			}
+			for _, s := range in.Src {
+				if s != isa.NoReg && s >= bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamPatternFootprints(t *testing.T) {
+	// PatReuse addresses stay within a bounded region per CTA.
+	spec := ByAbbr("NN")
+	st := NewStream(spec, 1<<40, 7, 0)
+	stride := spec.ReuseBytes + 3*LineBytes
+	regionBase := uint64(1<<40) + 7*stride
+	for i := 0; i < 200; i++ {
+		in := st.Next()
+		if in.Kind == isa.LDG {
+			if in.Addr < regionBase || in.Addr >= regionBase+spec.ReuseBytes {
+				t.Fatalf("reuse address %#x outside region [%#x,%#x)", in.Addr, regionBase, regionBase+spec.ReuseBytes)
+			}
+		}
+	}
+}
+
+func TestDistinctWarpsDistinctStreamAddresses(t *testing.T) {
+	spec := ByAbbr("LBM")
+	a := NewStream(spec, 1<<40, 0, 0)
+	b := NewStream(spec, 1<<40, 0, 1)
+	var aAddr, bAddr []uint64
+	for i := 0; i < len(spec.Body); i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia.Kind == isa.LDG {
+			aAddr = append(aAddr, ia.Addr)
+		}
+		if ib.Kind == isa.LDG {
+			bAddr = append(bAddr, ib.Addr)
+		}
+	}
+	for _, x := range aAddr {
+		for _, y := range bAddr {
+			if x == y {
+				t.Fatalf("warps 0 and 1 share streaming address %#x", x)
+			}
+		}
+	}
+}

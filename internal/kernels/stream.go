@@ -1,0 +1,175 @@
+package kernels
+
+import (
+	"warpedslicer/internal/isa"
+	"warpedslicer/internal/rng"
+)
+
+// LineBytes is the memory transaction granularity used for address
+// generation (matches the L1/L2 line size in the baseline configuration).
+const LineBytes = 128
+
+// Stream generates the deterministic instruction stream of one warp. The
+// stream is a pure function of (spec, base address, CTA id, warp id), so
+// re-running a warp always produces the identical sequence.
+type Stream struct {
+	spec *Spec
+	// base is the kernel's global-memory base address (assigned at launch
+	// so concurrent kernels occupy disjoint address ranges).
+	base uint64
+	cta  int
+	warp int
+
+	pc       int
+	iter     int
+	prevDest int8
+	done     bool
+	seq      uint64 // monotone op counter, drives hashing
+	r        rng.Stream
+
+	// pending holds the second SIMT pass of a divergent op: the paths
+	// serialize, so one template op can emit two instructions.
+	pending    isa.Instr
+	hasPending bool
+}
+
+// NewStream returns the instruction stream for warp `warp` of CTA `cta`.
+func NewStream(spec *Spec, base uint64, cta, warp int) *Stream {
+	return &Stream{
+		spec: spec,
+		base: base,
+		cta:  cta,
+		warp: warp,
+		r:    rng.NewStream(rng.Mix3(base, uint64(cta), uint64(warp))),
+	}
+}
+
+// Done reports whether the warp has exited.
+func (st *Stream) Done() bool { return st.done }
+
+// Spec returns the kernel spec the stream executes.
+func (st *Stream) Spec() *Spec { return st.spec }
+
+// Next returns the next instruction. After the final loop iteration it
+// returns a single EXIT and the stream becomes Done.
+func (st *Stream) Next() isa.Instr {
+	if st.hasPending {
+		st.hasPending = false
+		return st.pending
+	}
+	if st.done {
+		return isa.Instr{Kind: isa.EXIT}
+	}
+	if st.iter >= st.spec.Iterations {
+		st.done = true
+		return isa.Instr{Kind: isa.EXIT}
+	}
+	op := st.spec.Body[st.pc]
+	in := st.materialize(op)
+	if op.DivergePct > 0 && op.DivergePct < 100 {
+		// Serialize the two divergent paths: this pass executes the
+		// taken lanes, the buffered pass the remainder (reconvergence
+		// at the next op).
+		in.ActivePct = op.DivergePct
+		st.pending = in
+		st.pending.ActivePct = 100 - op.DivergePct
+		st.hasPending = true
+	}
+
+	st.pc++
+	if st.pc == len(st.spec.Body) {
+		st.pc = 0
+		st.iter++
+	}
+	st.seq++
+	return in
+}
+
+// materialize turns an Op template into a concrete instruction.
+func (st *Stream) materialize(op Op) isa.Instr {
+	in := isa.Instr{Kind: op.Kind, Dest: isa.NoReg, Src: [2]int8{isa.NoReg, isa.NoReg}}
+	switch op.Kind {
+	case isa.BAR, isa.EXIT:
+		return in
+	}
+
+	nregs := st.spec.RegsPerThread
+	if nregs > 120 {
+		nregs = 120 // register ids must fit int8
+	}
+	dest := int8(2 + int(st.seq)%(max(nregs-2, 1)))
+	if op.Kind == isa.STG {
+		// Stores produce no register result; they read the value being
+		// written (and stay ordered behind its producer via the RAW
+		// check) without ever locking a scoreboard entry.
+		if op.DependsPrev && st.prevDest >= 0 {
+			in.Src[0] = st.prevDest
+		} else {
+			in.Src[0] = int8((int(dest) + 7) % max(nregs, 1))
+		}
+	} else {
+		in.Dest = dest
+		if op.DependsPrev && st.prevDest >= 0 {
+			in.Src[0] = st.prevDest
+		} else {
+			in.Src[0] = int8((int(dest) + 7) % max(nregs, 1))
+		}
+		st.prevDest = dest
+	}
+
+	if op.Kind.IsGlobal() {
+		in.Addr = st.address(op)
+		in.Lines = op.Lines
+		if in.Lines == 0 {
+			in.Lines = 1
+		}
+	}
+	if op.Kind == isa.LDS {
+		// For shared-memory ops, Lines carries the bank-conflict
+		// serialization factor.
+		in.Lines = op.BankConflicts
+		if in.Lines == 0 {
+			in.Lines = 1
+		}
+	}
+	return in
+}
+
+// address generates the byte address of a global access per the op pattern.
+func (st *Stream) address(op Op) uint64 {
+	s := st.spec
+	switch op.Pattern {
+	case PatStream:
+		// Unique, coalesced lines: every warp walks its own arithmetic
+		// sequence through the kernel footprint.
+		gwarp := uint64(st.cta)*uint64(s.WarpsPerCTA(32)) + uint64(st.warp)
+		idx := gwarp*uint64(s.Iterations)*uint64(len(s.Body)) + st.seq
+		return st.base + (idx*LineBytes)%max64(s.FootprintBytes, LineBytes)
+	case PatTiled:
+		// Small per-CTA tile: hot in L1 after warm-up.
+		tile := max64(s.TileBytes, LineBytes)
+		off := rng.Mix3(uint64(st.cta), st.seq%16, uint64(st.pc)) % tile
+		return st.base + uint64(st.cta)*tile + off&^(LineBytes-1)
+	case PatReuse:
+		// Per-CTA working set comparable to L1: hit rate collapses as
+		// co-resident CTAs multiply. Region bases are staggered by a few
+		// extra lines so distinct CTAs do not collide set-aligned.
+		ws := max64(s.ReuseBytes, LineBytes)
+		stride := ws + 3*LineBytes
+		off := st.r.Next() % ws
+		return st.base + uint64(st.cta%1024)*stride + off&^(LineBytes-1)
+	case PatScatter:
+		// Poorly coalesced, wide-footprint accesses.
+		fp := max64(s.FootprintBytes, LineBytes)
+		return st.base + (st.r.Next()%fp)&^(LineBytes-1)
+	default:
+		return st.base
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

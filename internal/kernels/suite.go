@@ -1,0 +1,298 @@
+package kernels
+
+import "warpedslicer/internal/isa"
+
+// The benchmark suite reproduces the ten applications of Table II. Static
+// resources (block dim, registers/thread, shared mem/CTA) are chosen so the
+// per-SM CTA limit and utilization match the paper's baseline SM (32768
+// registers, 1536 threads, 48KB shared memory, 8 CTA slots):
+//
+//	BLK 4 CTAs (register-limited)   BFS 3 (thread-limited)
+//	DXT 8 (slot-limited)            HOT 6 (thread-limited)
+//	IMG 8 (slot-limited)            KNN 6 (thread-limited)
+//	LBM 5 (register-limited)        MM  5 (register-limited)
+//	MVP 8 (thread-limited)          NN  4 (register-limited)
+//
+// Dynamic behaviour (instruction mix, access patterns, iteration counts)
+// targets each benchmark's Table II utilization profile and Figure 3a
+// occupancy-scaling category.
+
+func alu(dep bool) Op { return Op{Kind: isa.ALU, DependsPrev: dep} }
+func sfu(dep bool) Op { return Op{Kind: isa.SFU, DependsPrev: dep} }
+func lds(dep bool) Op { return Op{Kind: isa.LDS, DependsPrev: dep} }
+func bar() Op         { return Op{Kind: isa.BAR} }
+
+func ldg(p Pattern, lines uint8, dep bool) Op {
+	return Op{Kind: isa.LDG, Pattern: p, Lines: lines, DependsPrev: dep}
+}
+func stg(p Pattern, lines uint8) Op {
+	return Op{Kind: isa.STG, Pattern: p, Lines: lines, DependsPrev: true}
+}
+
+// Blackscholes: memory type, SFU-heavy option pricing over streamed data.
+func Blackscholes() *Spec {
+	return &Spec{
+		Name: "Blackscholes", Abbr: "BLK",
+		GridDim: 480, BlockDim: 128,
+		RegsPerThread: 62, SharedMemPerTA: 0,
+		Body: []Op{
+			ldg(PatStream, 1, false),
+			alu(true), sfu(true), sfu(true), alu(true), sfu(true),
+			stg(PatStream, 1),
+		},
+		Iterations:     320,
+		FootprintBytes: 256 << 20,
+		ICacheMissPct:  1,
+		Class:          Memory,
+	}
+}
+
+// BreadthFirstSearch: memory type, irregular scattered accesses.
+func BreadthFirstSearch() *Spec {
+	return &Spec{
+		Name: "Breadth First Search", Abbr: "BFS",
+		GridDim: 1954, BlockDim: 512,
+		RegsPerThread: 15, SharedMemPerTA: 0,
+		Body: []Op{
+			ldg(PatScatter, 4, false),
+			alu(true),
+			ldg(PatScatter, 4, false),
+			alu(true),
+			stg(PatScatter, 2),
+		},
+		Iterations:     150,
+		FootprintBytes: 128 << 20,
+		ICacheMissPct:  3,
+		Class:          Memory,
+	}
+}
+
+// DXTCompression: compute type, shared-memory heavy, i-fetch bound.
+func DXTCompression() *Spec {
+	return &Spec{
+		Name: "DXT Compression", Abbr: "DXT",
+		GridDim: 10752, BlockDim: 64,
+		RegsPerThread: 36, SharedMemPerTA: 2048,
+		Body: []Op{
+			lds(false), alu(true), alu(true), alu(false),
+			lds(true), alu(true), sfu(false), alu(true),
+			ldg(PatTiled, 1, false),
+		},
+		Iterations:    420,
+		TileBytes:     1024,
+		ICacheMissPct: 30,
+		Class:         Compute,
+	}
+}
+
+// Hotspot: compute non-saturating stencil with barriers.
+func Hotspot() *Spec {
+	return &Spec{
+		Name: "Hotspot", Abbr: "HOT",
+		GridDim: 7396, BlockDim: 256,
+		RegsPerThread: 18, SharedMemPerTA: 1536,
+		Body: []Op{
+			ldg(PatTiled, 1, false),
+			alu(true),
+			ldg(PatTiled, 1, false),
+			alu(true), sfu(true),
+			stg(PatTiled, 1),
+			alu(false),
+			bar(),
+		},
+		Iterations:    260,
+		TileBytes:     20 * 1024, // slightly beyond the L1 share: ~5 MPKI
+		ICacheMissPct: 2,
+		Class:         Compute,
+	}
+}
+
+// ImageDenoising: compute saturating, long ALU dependency chains.
+func ImageDenoising() *Spec {
+	return &Spec{
+		Name: "Image Denoising", Abbr: "IMG",
+		GridDim: 2040, BlockDim: 64,
+		RegsPerThread: 28, SharedMemPerTA: 0,
+		Body: []Op{
+			alu(true), alu(true), alu(true), alu(true), alu(true), alu(true),
+			sfu(true),
+			alu(true), alu(true), alu(true),
+			sfu(false),
+			ldg(PatTiled, 1, false),
+		},
+		Iterations:    520,
+		TileBytes:     1024,
+		ICacheMissPct: 1,
+		Class:         Compute,
+	}
+}
+
+// KNearestNeighbor: memory type, scattered distance computations.
+func KNearestNeighbor() *Spec {
+	return &Spec{
+		Name: "K-Nearest Neighbor", Abbr: "KNN",
+		GridDim: 2673, BlockDim: 256,
+		RegsPerThread: 8, SharedMemPerTA: 0,
+		Body: []Op{
+			ldg(PatScatter, 4, false),
+			sfu(true),
+			ldg(PatScatter, 4, false),
+			alu(true), sfu(false),
+		},
+		Iterations:     130,
+		FootprintBytes: 192 << 20,
+		ICacheMissPct:  2,
+		Class:          Memory,
+	}
+}
+
+// LatticeBoltzmann: memory type, pure streaming loads/stores.
+func LatticeBoltzmann() *Spec {
+	return &Spec{
+		Name: "Lattice-Boltzmann", Abbr: "LBM",
+		GridDim: 18000, BlockDim: 120,
+		RegsPerThread: 53, SharedMemPerTA: 0,
+		Body: []Op{
+			ldg(PatStream, 1, false),
+			ldg(PatStream, 1, false),
+			ldg(PatStream, 1, false),
+			alu(true),
+			stg(PatStream, 1),
+			stg(PatStream, 1),
+		},
+		Iterations:     110,
+		FootprintBytes: 512 << 20,
+		ICacheMissPct:  1,
+		Class:          Memory,
+	}
+}
+
+// MatrixMultiply: compute type, tiled with shared memory and barriers.
+func MatrixMultiply() *Spec {
+	return &Spec{
+		Name: "Matrix Multiply", Abbr: "MM",
+		GridDim: 528, BlockDim: 128,
+		RegsPerThread: 44, SharedMemPerTA: 512,
+		Body: []Op{
+			ldg(PatTiled, 1, false),
+			lds(false),
+			alu(true), alu(true), alu(true), alu(true),
+			lds(false),
+			alu(true), alu(true), alu(true),
+			bar(),
+			stg(PatTiled, 1),
+		},
+		Iterations:    300,
+		TileBytes:     4096,
+		ICacheMissPct: 1,
+		Class:         Compute,
+	}
+}
+
+// MatrixVectorProduct: L1-cache-sensitive; streams the matrix, reuses the
+// vector.
+func MatrixVectorProduct() *Spec {
+	return &Spec{
+		Name: "Matrix Vector Product", Abbr: "MVP",
+		GridDim: 765, BlockDim: 192,
+		RegsPerThread: 16, SharedMemPerTA: 0,
+		Body: []Op{
+			ldg(PatReuse, 1, false),
+			alu(true),
+			ldg(PatReuse, 1, false),
+			alu(true),
+			ldg(PatReuse, 1, false),
+			stg(PatTiled, 1),
+		},
+		Iterations:    400,
+		ReuseBytes:    4 * 1024, // ~4 CTAs fit the 16KB L1; more thrash it
+		TileBytes:     1024,
+		ICacheMissPct: 1,
+		Class:         CacheSensitive,
+	}
+}
+
+// NeuralNetwork: L1-cache-sensitive weight reuse.
+func NeuralNetwork() *Spec {
+	return &Spec{
+		Name: "Neural Network", Abbr: "NN",
+		GridDim: 54000, BlockDim: 169,
+		RegsPerThread: 45, SharedMemPerTA: 0,
+		Body: []Op{
+			ldg(PatReuse, 1, false),
+			alu(true),
+			ldg(PatReuse, 1, false),
+			alu(true), sfu(true),
+			ldg(PatReuse, 1, false),
+			alu(false),
+			stg(PatTiled, 1),
+		},
+		Iterations:    260,
+		ReuseBytes:    7 * 1024, // ~2 CTAs fit the 16KB L1; 4 thrash it
+		TileBytes:     1024,
+		ICacheMissPct: 1,
+		Class:         CacheSensitive,
+	}
+}
+
+// DivergentBFS is a BFS variant whose neighbour expansion diverges: 30% of
+// each warp's threads take the frontier-update path while the rest idle,
+// serializing two SIMT passes per divergent op. It is not part of the
+// Table II suite (the paper's BFS behaviour is captured by scatter traffic
+// alone) but exercises the simulator's divergence model.
+func DivergentBFS() *Spec {
+	s := BreadthFirstSearch()
+	s.Name = "Breadth First Search (divergent)"
+	s.Abbr = "BFSd"
+	for i := range s.Body {
+		if s.Body[i].Kind == isa.STG || s.Body[i].Kind == isa.ALU {
+			s.Body[i].DivergePct = 30
+		}
+	}
+	return s
+}
+
+// Suite returns the full ten-benchmark suite in Table II order.
+func Suite() []*Spec {
+	return []*Spec{
+		Blackscholes(),
+		BreadthFirstSearch(),
+		DXTCompression(),
+		Hotspot(),
+		ImageDenoising(),
+		KNearestNeighbor(),
+		LatticeBoltzmann(),
+		MatrixMultiply(),
+		MatrixVectorProduct(),
+		NeuralNetwork(),
+	}
+}
+
+// ByAbbr returns the suite kernel with the given abbreviation, or nil.
+func ByAbbr(abbr string) *Spec {
+	for _, s := range Suite() {
+		if s.Abbr == abbr {
+			return s
+		}
+	}
+	return nil
+}
+
+// ComputeSuite returns the compute-class kernels (DXT, HOT, IMG, MM).
+func ComputeSuite() []*Spec { return byClass(Compute) }
+
+// MemorySuite returns the memory-class kernels (BLK, BFS, KNN, LBM).
+func MemorySuite() []*Spec { return byClass(Memory) }
+
+// CacheSuite returns the L1-cache-sensitive kernels (MVP, NN).
+func CacheSuite() []*Spec { return byClass(CacheSensitive) }
+
+func byClass(c Class) []*Spec {
+	var out []*Spec
+	for _, s := range Suite() {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}

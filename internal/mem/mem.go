@@ -1,0 +1,278 @@
+// Package mem wires the GPU memory hierarchy below the SMs: a
+// bandwidth-limited interconnect, one L2 bank per memory channel, and one
+// GDDR5 FR-FCFS DRAM controller per channel (Table I: 6 MCs, 128KB L2 per
+// channel). The L2 banks and DRAM run in the memory clock domain; the
+// package converts from the core clock using the configured clock ratio.
+package mem
+
+import (
+	"warpedslicer/internal/cache"
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/dram"
+	"warpedslicer/internal/memreq"
+)
+
+// MaxKernels bounds the number of concurrently resident kernels the
+// per-kernel accounting arrays support.
+const MaxKernels = 8
+
+type timed struct {
+	req     memreq.Request
+	readyAt int64
+}
+
+// partition is one memory channel: L2 bank + DRAM controller.
+type partition struct {
+	l2      *cache.Cache
+	dram    *dram.Channel
+	input   []timed                     // requests that traversed the icnt
+	waiters map[uint64][]memreq.Request // line -> reads waiting for DRAM
+	retry   []memreq.Request            // L2 misses blocked on a full DRAM queue
+}
+
+// Stats aggregates memory-system activity.
+type Stats struct {
+	// L2 aggregates all banks' cache stats.
+	L2 cache.Stats
+	// DRAMServed counts DRAM transactions per kernel slot.
+	DRAMServed [MaxKernels]uint64
+	// DRAMServedPerSM counts DRAM transactions per originating SM.
+	DRAMServedPerSM []uint64
+	// L2MissPerKernel counts L2 load misses per kernel slot (MPKI input).
+	L2MissPerKernel [MaxKernels]uint64
+	// L2AccessPerKernel counts L2 load accesses per kernel slot.
+	L2AccessPerKernel [MaxKernels]uint64
+	// BusBusy / Ticks aggregate DRAM data-bus utilization.
+	BusBusy, MemTicks uint64
+}
+
+// BandwidthUtil returns aggregate DRAM bus utilization in [0,1].
+func (s Stats) BandwidthUtil() float64 {
+	if s.MemTicks == 0 {
+		return 0
+	}
+	return float64(s.BusBusy) / float64(s.MemTicks)
+}
+
+// Subsystem is the complete below-SM memory system.
+type Subsystem struct {
+	cfg config.GPU
+
+	reqNet   []timed
+	reqCap   int
+	replyNet []timed
+
+	parts []*partition
+
+	memAccum float64
+	memNow   int64
+
+	// perSMServed mirrors Stats.DRAMServedPerSM for live sampling.
+	perSMServed []uint64
+	perKServed  [MaxKernels]uint64
+	perKL2Miss  [MaxKernels]uint64
+	perKL2Acc   [MaxKernels]uint64
+}
+
+// New builds the memory subsystem for the given configuration.
+func New(cfg config.GPU) *Subsystem {
+	m := &Subsystem{
+		cfg:         cfg,
+		reqCap:      cfg.Icnt.FlitsPerCycle * 16,
+		perSMServed: make([]uint64, cfg.NumSMs),
+	}
+	for i := 0; i < cfg.Memory.Channels; i++ {
+		m.parts = append(m.parts, &partition{
+			l2: cache.New(cfg.L2.SizeBytes, cfg.L2.LineBytes, cfg.L2.Assoc, cfg.L2.MSHRs),
+			dram: dram.NewChannel(dram.Config{
+				Banks:       cfg.Memory.BanksPerChannel,
+				RowBytes:    2048,
+				TCL:         cfg.Memory.TCL,
+				TRP:         cfg.Memory.TRP,
+				TRCD:        cfg.Memory.TRCD,
+				TRRD:        cfg.Memory.TRRD,
+				BurstCycles: cfg.Memory.BurstCycles,
+				QueueDepth:  cfg.Memory.QueueDepth,
+			}),
+			waiters: make(map[uint64][]memreq.Request),
+		})
+	}
+	return m
+}
+
+// channelOf maps a line address to its memory partition.
+func (m *Subsystem) channelOf(lineAddr uint64) int {
+	return int((lineAddr / uint64(m.cfg.L2.LineBytes)) % uint64(len(m.parts)))
+}
+
+// CanAccept reports whether the interconnect can take another request this
+// cycle.
+func (m *Subsystem) CanAccept() bool { return len(m.reqNet) < m.reqCap }
+
+// Submit injects a request into the interconnect. It returns false when the
+// network is saturated (the SM must stall and retry).
+func (m *Subsystem) Submit(req memreq.Request, now int64) bool {
+	if len(m.reqNet) >= m.reqCap {
+		return false
+	}
+	m.reqNet = append(m.reqNet, timed{req: req, readyAt: now + int64(m.cfg.Icnt.LatencyCycles)})
+	return true
+}
+
+// Tick advances the subsystem one core cycle and returns the read replies
+// (requests whose data is now available at their SM).
+func (m *Subsystem) Tick(now int64) []memreq.Request {
+	// 1. Drain the request network into partitions, respecting the flit
+	// budget and arrival latency.
+	budget := m.cfg.Icnt.FlitsPerCycle
+	var keep []timed
+	for i, t := range m.reqNet {
+		if budget == 0 || t.readyAt > now {
+			keep = append(keep, m.reqNet[i:]...)
+			break
+		}
+		p := m.parts[m.channelOf(t.req.LineAddr)]
+		p.input = append(p.input, t)
+		budget--
+	}
+	m.reqNet = keep
+
+	// 2. Advance the memory clock domain: L2 banks and DRAM.
+	m.memAccum += m.cfg.MemClockRatio()
+	for m.memAccum >= 1 {
+		m.memAccum--
+		m.memNow++
+		for _, p := range m.parts {
+			m.tickPartition(p, now)
+		}
+	}
+
+	// 3. Deliver replies that finished their return traversal.
+	var replies []memreq.Request
+	budget = m.cfg.Icnt.FlitsPerCycle
+	var keepR []timed
+	for i, t := range m.replyNet {
+		if budget == 0 || t.readyAt > now {
+			keepR = append(keepR, m.replyNet[i:]...)
+			break
+		}
+		replies = append(replies, t.req)
+		budget--
+	}
+	m.replyNet = keepR
+	return replies
+}
+
+// tickPartition runs one memory-clock cycle of one channel.
+func (m *Subsystem) tickPartition(p *partition, coreNow int64) {
+	// Retry L2 misses previously blocked on a full DRAM queue.
+	for len(p.retry) > 0 && !p.dram.Full() {
+		p.dram.Enqueue(p.retry[0], m.memNow)
+		p.retry = p.retry[1:]
+	}
+
+	// One L2 bank access per memory cycle.
+	if len(p.input) > 0 {
+		t := p.input[0]
+		req := t.req
+		res := p.l2.Access(req.LineAddr, req.Write)
+		consumed := true
+		switch {
+		case req.Write:
+			// Write-through: always forward to DRAM.
+			if p.dram.Full() {
+				p.retry = append(p.retry, req)
+			} else {
+				p.dram.Enqueue(req, m.memNow)
+			}
+		case res == cache.Hit:
+			m.scheduleReply(req, coreNow, int64(m.cfg.L2.HitLatency))
+		case res == cache.Miss:
+			m.perKL2Miss[req.Kernel%MaxKernels]++
+			p.waiters[req.LineAddr] = append(p.waiters[req.LineAddr], req)
+			if p.dram.Full() {
+				p.retry = append(p.retry, req)
+			} else {
+				p.dram.Enqueue(req, m.memNow)
+			}
+		case res == cache.MissMerged:
+			m.perKL2Miss[req.Kernel%MaxKernels]++
+			p.waiters[req.LineAddr] = append(p.waiters[req.LineAddr], req)
+		case res == cache.ReservationFail:
+			consumed = false // structural stall: retry next cycle
+		}
+		if consumed {
+			if !req.Write {
+				m.perKL2Acc[req.Kernel%MaxKernels]++
+			}
+			p.input = p.input[1:]
+		}
+	}
+
+	// DRAM completions: fill L2 and wake waiting reads.
+	for _, done := range p.dram.Tick(m.memNow) {
+		m.perKServed[done.Kernel%MaxKernels]++
+		if done.SM >= 0 && done.SM < len(m.perSMServed) {
+			m.perSMServed[done.SM]++
+		}
+		if done.Write {
+			continue
+		}
+		p.l2.Fill(done.LineAddr)
+		for _, w := range p.waiters[done.LineAddr] {
+			m.scheduleReply(w, coreNow, int64(m.cfg.L2.HitLatency))
+		}
+		delete(p.waiters, done.LineAddr)
+	}
+}
+
+func (m *Subsystem) scheduleReply(req memreq.Request, coreNow, extra int64) {
+	m.replyNet = append(m.replyNet, timed{
+		req:     req,
+		readyAt: coreNow + extra + int64(m.cfg.Icnt.LatencyCycles),
+	})
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (m *Subsystem) Stats() Stats {
+	var s Stats
+	for _, p := range m.parts {
+		cs := p.l2.Stats
+		s.L2.Loads += cs.Loads
+		s.L2.LoadHits += cs.LoadHits
+		s.L2.LoadMiss += cs.LoadMiss
+		s.L2.Stores += cs.Stores
+		s.L2.Fills += cs.Fills
+		s.L2.Merged += cs.Merged
+		s.L2.ResFails += cs.ResFails
+		s.L2.Evictions += cs.Evictions
+		s.BusBusy += p.dram.Stats.BusBusy
+		s.MemTicks += p.dram.Stats.Ticks
+	}
+	// MemTicks is summed across channels, so BusBusy/MemTicks is the
+	// aggregate utilization of all data buses.
+	s.DRAMServed = m.perKServed
+	s.L2MissPerKernel = m.perKL2Miss
+	s.L2AccessPerKernel = m.perKL2Acc
+	s.DRAMServedPerSM = append([]uint64(nil), m.perSMServed...)
+	return s
+}
+
+// PerSMServed returns a copy of the per-SM DRAM transaction counters
+// (used by the profiling controller to window bandwidth samples).
+func (m *Subsystem) PerSMServed() []uint64 {
+	return append([]uint64(nil), m.perSMServed...)
+}
+
+// Drained reports whether no request remains anywhere in the hierarchy.
+func (m *Subsystem) Drained() bool {
+	if len(m.reqNet) > 0 || len(m.replyNet) > 0 {
+		return false
+	}
+	for _, p := range m.parts {
+		if len(p.input) > 0 || len(p.retry) > 0 || len(p.waiters) > 0 || !p.dram.Drained() {
+			return false
+		}
+	}
+	return true
+}

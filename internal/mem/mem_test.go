@@ -1,0 +1,178 @@
+package mem
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/memreq"
+)
+
+func newSub() *Subsystem { return New(config.Baseline()) }
+
+// drive ticks until n read replies arrive or limit cycles pass.
+func drive(t *testing.T, m *Subsystem, n int, limit int64) []memreq.Request {
+	t.Helper()
+	var got []memreq.Request
+	for now := int64(0); now < limit && len(got) < n; now++ {
+		got = append(got, m.Tick(now)...)
+	}
+	if len(got) < n {
+		t.Fatalf("only %d of %d replies in %d cycles", len(got), n, limit)
+	}
+	return got
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	m := newSub()
+	req := memreq.Request{LineAddr: 0x1000, SM: 3, Kernel: 1}
+	if !m.Submit(req, 0) {
+		t.Fatal("submit failed on empty network")
+	}
+	replies := drive(t, m, 1, 5000)
+	if replies[0].SM != 3 || replies[0].LineAddr != 0x1000 {
+		t.Fatalf("reply = %+v, want SM 3 addr 0x1000", replies[0])
+	}
+}
+
+func TestLatencyIsRealistic(t *testing.T) {
+	m := newSub()
+	m.Submit(memreq.Request{LineAddr: 0x80, SM: 0}, 0)
+	var arrival int64 = -1
+	for now := int64(0); now < 5000; now++ {
+		if len(m.Tick(now)) > 0 {
+			arrival = now
+			break
+		}
+	}
+	// Icnt (8) + L2 access + DRAM cold access + return icnt: should be
+	// well over 100 core cycles and under 1000 for an uncontended miss.
+	if arrival < 100 || arrival > 1000 {
+		t.Fatalf("cold-miss round trip = %d cycles, want 100..1000", arrival)
+	}
+}
+
+func TestL2HitFasterThanMiss(t *testing.T) {
+	m := newSub()
+	m.Submit(memreq.Request{LineAddr: 0x80, SM: 0}, 0)
+	var first int64 = -1
+	now := int64(0)
+	for ; now < 5000; now++ {
+		if len(m.Tick(now)) > 0 {
+			first = now
+			break
+		}
+	}
+	// Second access to the same line: L2 hit.
+	start := now + 1
+	m.Submit(memreq.Request{LineAddr: 0x80, SM: 0}, start)
+	var second int64 = -1
+	for now = start; now < start+5000; now++ {
+		if len(m.Tick(now)) > 0 {
+			second = now - start
+			break
+		}
+	}
+	if second >= first {
+		t.Fatalf("L2 hit latency %d not below cold miss %d", second, first)
+	}
+}
+
+func TestWritesProduceNoReplies(t *testing.T) {
+	m := newSub()
+	m.Submit(memreq.Request{LineAddr: 0x100, SM: 0, Write: true}, 0)
+	for now := int64(0); now < 3000; now++ {
+		if len(m.Tick(now)) != 0 {
+			t.Fatal("write generated a reply")
+		}
+	}
+	if !m.Drained() {
+		t.Fatal("write never drained")
+	}
+}
+
+func TestMergedReadsBothReplied(t *testing.T) {
+	m := newSub()
+	m.Submit(memreq.Request{LineAddr: 0x2000, SM: 0}, 0)
+	m.Submit(memreq.Request{LineAddr: 0x2000, SM: 5}, 0)
+	replies := drive(t, m, 2, 5000)
+	sms := map[int]bool{}
+	for _, r := range replies {
+		sms[r.SM] = true
+	}
+	if !sms[0] || !sms[5] {
+		t.Fatalf("replies = %v, want both SM 0 and SM 5", sms)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	m := newSub()
+	n := 0
+	for m.Submit(memreq.Request{LineAddr: uint64(n) * 128, SM: 0}, 0) {
+		n++
+		if n > 100000 {
+			t.Fatal("network never filled")
+		}
+	}
+	if m.CanAccept() {
+		t.Fatal("CanAccept true after Submit refused")
+	}
+	// Draining restores acceptance.
+	for now := int64(1); now < 10000 && !m.CanAccept(); now++ {
+		m.Tick(now)
+	}
+	if !m.CanAccept() {
+		t.Fatal("network never drained")
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	m := newSub()
+	// Lines land on channels round-robin by line index.
+	for i := 0; i < 12; i++ {
+		m.Submit(memreq.Request{LineAddr: uint64(i) * 128, SM: 0}, 0)
+	}
+	drive(t, m, 12, 10000)
+	st := m.Stats()
+	if st.L2.Loads != 12 {
+		t.Fatalf("L2 loads = %d, want 12", st.L2.Loads)
+	}
+}
+
+func TestPerKernelAccounting(t *testing.T) {
+	m := newSub()
+	m.Submit(memreq.Request{LineAddr: 0x100, SM: 0, Kernel: 0}, 0)
+	m.Submit(memreq.Request{LineAddr: 0x10000, SM: 1, Kernel: 1}, 0)
+	drive(t, m, 2, 5000)
+	st := m.Stats()
+	if st.L2MissPerKernel[0] != 1 || st.L2MissPerKernel[1] != 1 {
+		t.Fatalf("per-kernel misses = %v", st.L2MissPerKernel[:2])
+	}
+	if st.DRAMServed[0] != 1 || st.DRAMServed[1] != 1 {
+		t.Fatalf("per-kernel DRAM = %v", st.DRAMServed[:2])
+	}
+	if st.DRAMServedPerSM[0] != 1 || st.DRAMServedPerSM[1] != 1 {
+		t.Fatalf("per-SM DRAM = %v", st.DRAMServedPerSM[:2])
+	}
+}
+
+func TestBandwidthUtilBounded(t *testing.T) {
+	m := newSub()
+	addr := uint64(0)
+	for now := int64(0); now < 20000; now++ {
+		for m.CanAccept() {
+			m.Submit(memreq.Request{LineAddr: addr, SM: 0}, now)
+			addr += 128
+		}
+		m.Tick(now)
+	}
+	u := m.Stats().BandwidthUtil()
+	if u <= 0.3 || u > 1.0 {
+		t.Fatalf("saturated bandwidth util = %.2f, want (0.3, 1.0]", u)
+	}
+}
+
+func TestDrainedInitially(t *testing.T) {
+	if !newSub().Drained() {
+		t.Fatal("fresh subsystem should be drained")
+	}
+}

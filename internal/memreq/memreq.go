@@ -1,0 +1,19 @@
+// Package memreq defines the memory request/reply record that flows between
+// the SMs, the interconnect, the L2 banks and the DRAM controllers.
+package memreq
+
+// Request is one cache-line-sized memory transaction.
+type Request struct {
+	// LineAddr is the line-aligned byte address.
+	LineAddr uint64
+	// SM is the originating streaming multiprocessor.
+	SM int
+	// Kernel is the GPU kernel slot that issued the access (used for
+	// per-kernel bandwidth and MPKI accounting during profiling).
+	Kernel int
+	// Write marks a store (no reply is routed back to the SM).
+	Write bool
+	// Issued is the core-clock cycle at which the SM issued the request
+	// (used for latency accounting).
+	Issued int64
+}

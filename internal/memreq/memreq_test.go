@@ -1,0 +1,25 @@
+package memreq
+
+import "testing"
+
+func TestRequestZeroValue(t *testing.T) {
+	var r Request
+	if r.Write || r.LineAddr != 0 || r.SM != 0 || r.Kernel != 0 || r.Issued != 0 {
+		t.Fatalf("zero value not neutral: %+v", r)
+	}
+}
+
+func TestRequestIsValueType(t *testing.T) {
+	a := Request{LineAddr: 0x80, SM: 3, Kernel: 1, Write: true, Issued: 42}
+	b := a
+	b.LineAddr = 0x100
+	if a.LineAddr != 0x80 {
+		t.Fatal("copy aliased the original")
+	}
+	if a == b {
+		t.Fatal("distinct requests compare equal")
+	}
+	if (a == Request{LineAddr: 0x80, SM: 3, Kernel: 1, Write: true, Issued: 42}) == false {
+		t.Fatal("identical requests must compare equal (used as map/set members)")
+	}
+}

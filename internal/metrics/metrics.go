@@ -1,0 +1,121 @@
+// Package metrics computes the evaluation metrics used in the paper:
+// IPC, geometric means, stall and utilization fractions, and the
+// multiprogramming fairness metrics of Figure 9 (minimum speedup and
+// average normalized turnaround time).
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// IPC returns instructions per cycle.
+func IPC(insts uint64, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(insts) / float64(cycles)
+}
+
+// Gmean returns the geometric mean of strictly positive values.
+func Gmean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// ErrMismatch reports slices of different lengths.
+var ErrMismatch = errors.New("metrics: slice length mismatch")
+
+// Speedups returns per-kernel shared-mode speedups: sharedIPC[i]/aloneIPC[i].
+// In a multiprogrammed run each kernel's IPC is its instruction count over
+// the cycles until it finished.
+func Speedups(sharedIPC, aloneIPC []float64) ([]float64, error) {
+	if len(sharedIPC) != len(aloneIPC) {
+		return nil, ErrMismatch
+	}
+	out := make([]float64, len(sharedIPC))
+	for i := range sharedIPC {
+		if aloneIPC[i] <= 0 {
+			return nil, errors.New("metrics: non-positive alone IPC")
+		}
+		out[i] = sharedIPC[i] / aloneIPC[i]
+	}
+	return out, nil
+}
+
+// MinSpeedup is the paper's fairness metric (Figure 9a): the minimum
+// per-kernel speedup relative to running alone.
+func MinSpeedup(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	m := speedups[0]
+	for _, s := range speedups[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// ANTT is the average normalized turnaround time (Figure 9b): the mean of
+// per-kernel slowdowns (1/speedup). Lower is better; 1.0 is no slowdown.
+func ANTT(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range speedups {
+		if s <= 0 {
+			return math.Inf(1)
+		}
+		sum += 1 / s
+	}
+	return sum / float64(len(speedups))
+}
+
+// WeightedSpeedup is the sum of per-kernel speedups (system throughput).
+func WeightedSpeedup(speedups []float64) float64 {
+	sum := 0.0
+	for _, s := range speedups {
+		sum += s
+	}
+	return sum
+}
+
+// Frac returns a/b, or 0 when b is 0.
+func Frac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// MPKI returns misses per kilo-instruction.
+func MPKI(misses, insts uint64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(insts)
+}

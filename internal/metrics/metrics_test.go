@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestIPC(t *testing.T) {
+	if !almost(IPC(100, 50), 2) {
+		t.Fatal("IPC(100,50) != 2")
+	}
+	if IPC(100, 0) != 0 {
+		t.Fatal("IPC with zero cycles should be 0")
+	}
+}
+
+func TestGmean(t *testing.T) {
+	if !almost(Gmean([]float64{2, 8}), 4) {
+		t.Fatalf("gmean(2,8) = %v, want 4", Gmean([]float64{2, 8}))
+	}
+	if Gmean(nil) != 0 {
+		t.Fatal("gmean of empty should be 0")
+	}
+	if Gmean([]float64{1, 0}) != 0 {
+		t.Fatal("gmean with non-positive should be 0")
+	}
+}
+
+func TestGmeanBetweenMinAndMaxProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Gmean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	s, err := Speedups([]float64{2, 3}, []float64{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s[0], 0.5) || !almost(s[1], 1) {
+		t.Fatalf("speedups = %v", s)
+	}
+	if _, err := Speedups([]float64{1}, []float64{1, 2}); err != ErrMismatch {
+		t.Fatal("length mismatch not detected")
+	}
+	if _, err := Speedups([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero alone IPC not detected")
+	}
+}
+
+func TestMinSpeedupAndANTT(t *testing.T) {
+	sp := []float64{0.5, 0.8}
+	if !almost(MinSpeedup(sp), 0.5) {
+		t.Fatal("min speedup wrong")
+	}
+	// ANTT = mean(1/0.5, 1/0.8) = mean(2, 1.25) = 1.625
+	if !almost(ANTT(sp), 1.625) {
+		t.Fatalf("ANTT = %v, want 1.625", ANTT(sp))
+	}
+	if MinSpeedup(nil) != 0 || ANTT(nil) != 0 {
+		t.Fatal("empty metrics should be 0")
+	}
+	if !math.IsInf(ANTT([]float64{0}), 1) {
+		t.Fatal("ANTT with zero speedup should be +Inf")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	if !almost(WeightedSpeedup([]float64{0.5, 0.8}), 1.3) {
+		t.Fatal("weighted speedup wrong")
+	}
+}
+
+func TestFracAndMPKI(t *testing.T) {
+	if !almost(Frac(1, 4), 0.25) || Frac(1, 0) != 0 {
+		t.Fatal("Frac wrong")
+	}
+	if !almost(MPKI(5, 1000), 5) || MPKI(5, 0) != 0 {
+		t.Fatal("MPKI wrong")
+	}
+}
+
+// Property: ANTT >= 1/MinSpeedup / n relation — specifically ANTT is at
+// least 1/max-speedup and at most 1/min-speedup.
+func TestANTTBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sp := make([]float64, len(raw))
+		for i, r := range raw {
+			sp[i] = float64(r%100)/100 + 0.01
+		}
+		antt := ANTT(sp)
+		min, max := sp[0], sp[0]
+		for _, s := range sp {
+			min = math.Min(min, s)
+			max = math.Max(max, s)
+		}
+		return antt <= 1/min+1e-9 && antt >= 1/max-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

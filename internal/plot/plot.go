@@ -1,0 +1,211 @@
+// Package plot renders minimal, dependency-free SVG charts for the
+// reproduced figures: line charts for the Figure 3a occupancy curves and
+// grouped bar charts for the Figure 6/8 policy comparisons. The output is
+// deliberately plain — axes, ticks, legend — enough to eyeball the shapes
+// the paper reports.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line in a line chart.
+type Series struct {
+	Name string
+	// X may be nil, in which case points are placed at 1..len(Y).
+	X []float64
+	Y []float64
+}
+
+// BarGroup is one cluster of bars (e.g. one workload) in a bar chart.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// palette cycles through distinguishable stroke/fill colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	width   = 860.0
+	height  = 480.0
+	marginL = 70.0
+	marginR = 30.0
+	marginT = 50.0
+	marginB = 70.0
+)
+
+func svgHeader(title string) string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">
+<rect width="%g" height="%g" fill="white"/>
+<text x="%g" y="28" font-family="sans-serif" font-size="18" text-anchor="middle">%s</text>
+`, width, height, width, height, width, height, width/2, escape(title))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceMax rounds up to a pleasant axis maximum.
+func niceMax(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.2, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// LineChart renders the series with a shared axis frame.
+func LineChart(title, xLabel, yLabel string, series []Series) string {
+	var maxX, maxY float64 = 1, 0
+	for _, s := range series {
+		for i, y := range s.Y {
+			x := float64(i + 1)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			maxX = math.Max(maxX, x)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	maxY = niceMax(maxY)
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	px := func(x float64) float64 { return marginL + x/maxX*plotW }
+	py := func(y float64) float64 { return marginT + plotH - y/maxY*plotH }
+
+	var b strings.Builder
+	b.WriteString(svgHeader(title))
+	writeFrame(&b, xLabel, yLabel, maxX, maxY, true)
+
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, y := range s.Y {
+			x := float64(i + 1)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(y)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		lx := marginL + 10
+		ly := marginT + 14 + float64(si)*18
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n", lx, ly-10, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+18, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// BarChart renders grouped bars with a legend naming each bar in a group.
+func BarChart(title, yLabel string, barNames []string, groups []BarGroup) string {
+	maxY := 0.0
+	for _, g := range groups {
+		for _, v := range g.Values {
+			maxY = math.Max(maxY, v)
+		}
+	}
+	maxY = niceMax(maxY)
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	py := func(y float64) float64 { return marginT + plotH - y/maxY*plotH }
+
+	var b strings.Builder
+	b.WriteString(svgHeader(title))
+	writeFrame(&b, "", yLabel, 0, maxY, false)
+
+	n := len(groups)
+	if n == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	groupW := plotW / float64(n)
+	for gi, g := range groups {
+		x0 := marginL + float64(gi)*groupW
+		bars := len(g.Values)
+		barW := groupW * 0.8 / float64(max(bars, 1))
+		for bi, v := range g.Values {
+			color := palette[bi%len(palette)]
+			bx := x0 + groupW*0.1 + float64(bi)*barW
+			by := py(v)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				bx, by, barW, marginT+plotH-by, color)
+		}
+		// Rotated group label.
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`+"\n",
+			x0+groupW/2, height-marginB+14, x0+groupW/2, height-marginB+14, escape(g.Label))
+	}
+	for bi, name := range barNames {
+		color := palette[bi%len(palette)]
+		lx := marginL + 10 + float64(bi)*130
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n", lx, marginT+4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+18, marginT+14, escape(name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// writeFrame draws axes, ticks, gridlines and labels.
+func writeFrame(b *strings.Builder, xLabel, yLabel string, maxX, maxY float64, xTicks bool) {
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	// Axes.
+	fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	// Y ticks and gridlines.
+	for i := 0; i <= 5; i++ {
+		v := maxY * float64(i) / 5
+		y := marginT + plotH - float64(i)/5*plotH
+		fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.2g</text>`+"\n",
+			marginL-6, y+4, v)
+	}
+	if xTicks && maxX > 0 {
+		step := math.Max(1, math.Floor(maxX/8))
+		for x := step; x <= maxX+1e-9; x += step {
+			xx := marginL + x/maxX*plotW
+			fmt.Fprintf(b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%g</text>`+"\n",
+				xx, marginT+plotH+16, x)
+		}
+	}
+	if xLabel != "" {
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, height-18, escape(xLabel))
+	}
+	if yLabel != "" {
+		fmt.Fprintf(b, `<text x="16" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, escape(yLabel))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// assertValidXML parses the SVG to catch malformed markup.
+func assertValidXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid SVG: %v", err)
+		}
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	svg := LineChart("Occupancy", "CTAs", "normalized IPC", []Series{
+		{Name: "IMG", Y: []float64{0.25, 0.5, 0.75, 1.0}},
+		{Name: "NN", Y: []float64{0.5, 0.7, 1.0, 0.4}},
+	})
+	assertValidXML(t, svg)
+	for _, want := range []string{"Occupancy", "IMG", "NN", "polyline", "<svg"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 8 {
+		t.Fatalf("markers = %d, want 8", got)
+	}
+}
+
+func TestLineChartExplicitX(t *testing.T) {
+	svg := LineChart("t", "", "", []Series{
+		{Name: "a", X: []float64{2, 4, 8}, Y: []float64{1, 2, 3}},
+	})
+	assertValidXML(t, svg)
+}
+
+func TestBarChartBasics(t *testing.T) {
+	svg := BarChart("Figure 6", "normalized IPC",
+		[]string{"Spatial", "Even", "Dynamic"},
+		[]BarGroup{
+			{Label: "IMG_NN", Values: []float64{0.99, 1.48, 1.39}},
+			{Label: "MM_LBM", Values: []float64{1.2, 1.2, 1.38}},
+		})
+	assertValidXML(t, svg)
+	// 2 groups x 3 bars + 3 legend swatches + background = 10 rects.
+	if got := strings.Count(svg, "<rect"); got != 10 {
+		t.Fatalf("rects = %d, want 10", got)
+	}
+	for _, want := range []string{"IMG_NN", "MM_LBM", "Dynamic"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	svg := BarChart("empty", "", nil, nil)
+	assertValidXML(t, svg)
+}
+
+func TestEscape(t *testing.T) {
+	svg := LineChart(`A<B & "C"`, "", "", []Series{{Name: "x>y", Y: []float64{1}}})
+	assertValidXML(t, svg)
+	if strings.Contains(svg, "A<B") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestNiceMax(t *testing.T) {
+	cases := map[float64]float64{
+		0:    1,
+		0.9:  1,
+		1.1:  1.2,
+		3.7:  4,
+		42:   50,
+		99:   100,
+		1000: 1000,
+	}
+	for in, want := range cases {
+		if got := niceMax(in); got != want {
+			t.Errorf("niceMax(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

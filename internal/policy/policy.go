@@ -1,0 +1,175 @@
+// Package policy implements the multiprogramming baselines the paper
+// compares against (Figure 2): FCFS interleaved allocation, the Left-Over
+// policy of Hyper-Q-class hardware, even intra-SM partitioning, spatial
+// (inter-SM) multitasking, and fixed intra-SM partitions (used by the
+// oracle search and by the Warped-Slicer controller once it has decided).
+package policy
+
+import (
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/sm"
+)
+
+// fillInOrder launches CTAs kernel-major: kernel 0 takes everything it can
+// on every SM before kernel 1 is considered (Left-Over semantics).
+func fillInOrder(g *gpu.GPU) {
+	for _, k := range g.Kernels {
+		for _, s := range g.SMs {
+			for g.LaunchCTA(s, k) {
+			}
+		}
+	}
+}
+
+// FillInterleaved launches CTAs from all kernels round-robin on every SM,
+// respecting quotas and allowed-sets. It is the fill routine shared by the
+// quota-based policies and the Warped-Slicer controller.
+func FillInterleaved(g *gpu.GPU) { fillRoundRobin(g) }
+
+// fillRoundRobin interleaves kernels on every SM (FCFS arrival order).
+func fillRoundRobin(g *gpu.GPU) {
+	for _, s := range g.SMs {
+		for {
+			any := false
+			for _, k := range g.Kernels {
+				if g.LaunchCTA(s, k) {
+					any = true
+				}
+			}
+			if !any {
+				break
+			}
+		}
+	}
+}
+
+// LeftOver is the baseline: maximal allocation to the first kernel, spare
+// resources to later kernels.
+type LeftOver struct{}
+
+// Setup implements gpu.Dispatcher.
+func (LeftOver) Setup(*gpu.GPU) {}
+
+// Fill implements gpu.Dispatcher.
+func (LeftOver) Fill(g *gpu.GPU) { fillInOrder(g) }
+
+// Tick implements gpu.Dispatcher.
+func (LeftOver) Tick(*gpu.GPU) {}
+
+// FCFS interleaves CTA allocation in arrival order (Figure 2a); it
+// illustrates fragmentation and is not one of the paper's headline
+// policies.
+type FCFS struct{}
+
+// Setup implements gpu.Dispatcher.
+func (FCFS) Setup(*gpu.GPU) {}
+
+// Fill implements gpu.Dispatcher.
+func (FCFS) Fill(g *gpu.GPU) { fillRoundRobin(g) }
+
+// Tick implements gpu.Dispatcher.
+func (FCFS) Tick(*gpu.GPU) {}
+
+// Even splits every SM resource equally among the kernels (intra-SM
+// spatial partitioning, Figure 2c).
+type Even struct{}
+
+// Setup implements gpu.Dispatcher.
+func (Even) Setup(g *gpu.GPU) {
+	n := len(g.Kernels)
+	if n == 0 {
+		return
+	}
+	q := sm.Quota{
+		Regs:    g.Cfg.SM.Registers / n,
+		Shm:     g.Cfg.SM.SharedMemBytes / n,
+		Threads: g.Cfg.SM.MaxThreads / n,
+		CTAs:    g.Cfg.SM.MaxCTAs / n,
+	}
+	if q.CTAs < 1 {
+		q.CTAs = 1
+	}
+	for _, s := range g.SMs {
+		for _, k := range g.Kernels {
+			s.SetQuota(k.Slot, q)
+		}
+	}
+}
+
+// Fill implements gpu.Dispatcher.
+func (Even) Fill(g *gpu.GPU) { fillRoundRobin(g) }
+
+// Tick implements gpu.Dispatcher.
+func (Even) Tick(*gpu.GPU) {}
+
+// Spatial assigns each kernel a dedicated, near-equal subset of SMs
+// (inter-SM slicing; Adriaens et al.).
+type Spatial struct{}
+
+// Setup implements gpu.Dispatcher.
+func (Spatial) Setup(g *gpu.GPU) { ApplySpatial(g) }
+
+// Fill implements gpu.Dispatcher.
+func (Spatial) Fill(g *gpu.GPU) { fillRoundRobin(g) }
+
+// Tick implements gpu.Dispatcher.
+func (Spatial) Tick(*gpu.GPU) {}
+
+// ApplySpatial splits the SM array contiguously and near-evenly across the
+// kernels. It is shared with the Warped-Slicer fallback path.
+func ApplySpatial(g *gpu.GPU) { ApplySpatialTo(g, g.Kernels) }
+
+// ApplySpatialTo splits the SM array across the given kernel subset
+// (used when some kernels have not yet arrived or have finished).
+func ApplySpatialTo(g *gpu.GPU, ks []*gpu.Kernel) {
+	n := len(ks)
+	if n == 0 {
+		return
+	}
+	for i, s := range g.SMs {
+		owner := i * n / len(g.SMs)
+		if owner >= n {
+			owner = n - 1
+		}
+		s.SetAllowed(map[int]bool{ks[owner].Slot: true})
+	}
+}
+
+// Fixed applies a static intra-SM partition: kernel i receives the
+// resources of exactly CTAs[i] thread blocks on every SM. The oracle
+// search sweeps these, and the Warped-Slicer controller installs its
+// water-filling solution through the same mechanism.
+type Fixed struct {
+	CTAs []int
+}
+
+// Setup implements gpu.Dispatcher.
+func (f Fixed) Setup(g *gpu.GPU) { ApplyFixed(g, f.CTAs) }
+
+// Fill implements gpu.Dispatcher.
+func (f Fixed) Fill(g *gpu.GPU) { fillRoundRobin(g) }
+
+// Tick implements gpu.Dispatcher.
+func (Fixed) Tick(*gpu.GPU) {}
+
+// ApplyFixed installs per-kernel quotas sized for ctas[i] blocks of kernel
+// i on every SM.
+func ApplyFixed(g *gpu.GPU, ctas []int) {
+	for i, k := range g.Kernels {
+		n := 0
+		if i < len(ctas) {
+			n = ctas[i]
+		}
+		spec := k.Spec
+		q := sm.Quota{
+			Regs:    spec.RegsPerCTA() * n,
+			Shm:     spec.SharedMemPerTA * n,
+			Threads: spec.BlockDim * n,
+			CTAs:    n,
+		}
+		for _, s := range g.SMs {
+			s.SetAllowed(nil)
+			s.SetQuota(k.Slot, q)
+		}
+	}
+}

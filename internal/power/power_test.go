@@ -1,0 +1,113 @@
+package power
+
+import (
+	"testing"
+
+	"warpedslicer/internal/mem"
+	"warpedslicer/internal/sm"
+)
+
+func sampleStats(scale uint64) (sm.Stats, mem.Stats) {
+	var a sm.Stats
+	a.ALUBusy = 1000 * scale
+	a.SFUBusy = 200 * scale
+	a.LDSTBusy = 500 * scale
+	a.PerKernel[0].WarpInsts = 2000 * scale
+	a.L1.Loads = 600 * scale
+	a.L1.Stores = 100 * scale
+	var m mem.Stats
+	m.L2.Loads = 200 * scale
+	m.L2.Stores = 100 * scale
+	m.DRAMServed[0] = 150 * scale
+	return a, m
+}
+
+func TestEnergyPositiveAndAdditive(t *testing.T) {
+	model := Default()
+	a, m := sampleStats(1)
+	b := model.Energy(a, m, 100000)
+	if b.DynamicJ <= 0 || b.LeakageJ <= 0 {
+		t.Fatalf("non-positive energy: %+v", b)
+	}
+	if b.TotalJ != b.DynamicJ+b.LeakageJ {
+		t.Fatal("total != dynamic + leakage")
+	}
+	if b.Seconds <= 0 || b.AvgDynPowerW <= 0 {
+		t.Fatalf("bad derived values: %+v", b)
+	}
+}
+
+func TestEnergyScalesWithActivity(t *testing.T) {
+	model := Default()
+	a1, m1 := sampleStats(1)
+	a2, m2 := sampleStats(2)
+	b1 := model.Energy(a1, m1, 100000)
+	b2 := model.Energy(a2, m2, 100000)
+	if b2.DynamicJ <= b1.DynamicJ {
+		t.Fatal("doubling activity should raise dynamic energy")
+	}
+	if b2.LeakageJ != b1.LeakageJ {
+		t.Fatal("leakage must depend only on time")
+	}
+}
+
+func TestLeakageScalesWithTime(t *testing.T) {
+	model := Default()
+	a, m := sampleStats(1)
+	b1 := model.Energy(a, m, 100000)
+	b2 := model.Energy(a, m, 200000)
+	if b2.LeakageJ <= b1.LeakageJ {
+		t.Fatal("leakage must grow with cycles")
+	}
+}
+
+func TestShorterRunSavesEnergy(t *testing.T) {
+	// Same total work finished in fewer cycles must cost less total energy
+	// (the mechanism behind the paper's 16% §V-G saving).
+	model := Default()
+	a, m := sampleStats(4)
+	slow := model.Energy(a, m, 400000)
+	fast := model.Energy(a, m, 300000)
+	if fast.TotalJ >= slow.TotalJ {
+		t.Fatalf("faster run not cheaper: %.3fJ vs %.3fJ", fast.TotalJ, slow.TotalJ)
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	model := Default()
+	a, m := sampleStats(1)
+	b := model.Energy(a, m, 0)
+	if b.LeakageJ != 0 || b.Seconds != 0 || b.AvgDynPowerW != 0 {
+		t.Fatalf("zero-cycle run should have zero time-based terms: %+v", b)
+	}
+}
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	r := Overhead(16)
+	// §V-I: total 0.05 mm^2 -> ~0.01% of 704 mm^2.
+	if r.TotalMM2 < 0.045 || r.TotalMM2 > 0.055 {
+		t.Fatalf("total area = %.3f mm^2, want ~0.05", r.TotalMM2)
+	}
+	if r.AreaPct > 0.02 {
+		t.Fatalf("area overhead = %.3f%%, want ~0.01%%", r.AreaPct)
+	}
+	// 54 mW dynamic = ~0.14% of 37.7W; 0.27 mW leakage ~0.001%.
+	if r.DynPct < 0.1 || r.DynPct > 0.2 {
+		t.Fatalf("dynamic power overhead = %.3f%%, want ~0.14%%", r.DynPct)
+	}
+	if r.LeakPct > 0.01 {
+		t.Fatalf("leakage overhead = %.4f%%, want ~0.001%%", r.LeakPct)
+	}
+}
+
+func TestOverheadScalesWithSMs(t *testing.T) {
+	r16, r32 := Overhead(16), Overhead(32)
+	if r32.TotalMM2 <= r16.TotalMM2 {
+		t.Fatal("more SMs need more counter area")
+	}
+	// Relative overhead stays roughly constant.
+	diff := r32.AreaPct - r16.AreaPct
+	if diff < -0.01 || diff > 0.01 {
+		t.Fatalf("area %% changed too much: %.4f vs %.4f", r16.AreaPct, r32.AreaPct)
+	}
+}

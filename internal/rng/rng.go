@@ -1,0 +1,63 @@
+// Package rng provides small deterministic hash/PRNG utilities used to
+// generate synthetic workloads. Everything in the simulator that looks
+// random is a pure function of stable identifiers (kernel, CTA, warp,
+// iteration), so runs are exactly reproducible and safely parallelizable.
+package rng
+
+// SplitMix64 is the splitmix64 finalizer: a high-quality 64-bit mixing
+// function. It maps any input to a well-distributed output and is its own
+// one-step PRNG when fed a counter.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix2 hashes two values into one.
+func Mix2(a, b uint64) uint64 { return SplitMix64(a ^ SplitMix64(b)) }
+
+// Mix3 hashes three values into one.
+func Mix3(a, b, c uint64) uint64 { return SplitMix64(a ^ Mix2(b, c)) }
+
+// Stream is a tiny stateful PRNG (xorshift64*) seeded deterministically.
+type Stream struct{ s uint64 }
+
+// NewStream returns a Stream seeded from the given value. A zero seed is
+// remapped so the generator never degenerates.
+func NewStream(seed uint64) Stream {
+	s := SplitMix64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return Stream{s: s}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (r *Stream) Next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random value in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Pct reports true with probability pct/100.
+func (r *Stream) Pct(pct int) bool {
+	if pct <= 0 {
+		return false
+	}
+	if pct >= 100 {
+		return true
+	}
+	return int(r.Next()%100) < pct
+}

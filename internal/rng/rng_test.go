@@ -1,0 +1,119 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	if SplitMix64(42) != SplitMix64(42) {
+		t.Fatal("SplitMix64 not deterministic")
+	}
+	if SplitMix64(1) == SplitMix64(2) {
+		t.Fatal("SplitMix64 collision on adjacent inputs")
+	}
+}
+
+func TestSplitMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	f := func(x uint64, bit uint8) bool {
+		b := uint(bit % 64)
+		d := SplitMix64(x) ^ SplitMix64(x^(1<<b))
+		pop := 0
+		for d != 0 {
+			pop++
+			d &= d - 1
+		}
+		return pop >= 8 && pop <= 56
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixersDiffer(t *testing.T) {
+	if Mix2(1, 2) == Mix2(2, 1) {
+		t.Fatal("Mix2 should not be symmetric")
+	}
+	if Mix3(1, 2, 3) == Mix3(3, 2, 1) {
+		t.Fatal("Mix3 should not be symmetric")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a, b := NewStream(7), NewStream(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams with equal seeds diverged")
+		}
+	}
+}
+
+func TestStreamZeroSeed(t *testing.T) {
+	r := NewStream(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Fatal("zero seed degenerated")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewStream(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r := NewStream(1)
+	r.Intn(0)
+}
+
+func TestPctExtremes(t *testing.T) {
+	r := NewStream(3)
+	for i := 0; i < 100; i++ {
+		if r.Pct(0) {
+			t.Fatal("Pct(0) returned true")
+		}
+		if !r.Pct(100) {
+			t.Fatal("Pct(100) returned false")
+		}
+	}
+}
+
+func TestPctFrequency(t *testing.T) {
+	r := NewStream(5)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Pct(30) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Pct(30) frequency %.3f outside [0.28,0.32]", frac)
+	}
+}
+
+func TestStreamDistribution(t *testing.T) {
+	// Coarse uniformity check over 16 buckets.
+	r := NewStream(11)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Next()%16]++
+	}
+	for i, c := range buckets {
+		if c < n/16*8/10 || c > n/16*12/10 {
+			t.Fatalf("bucket %d count %d deviates >20%% from uniform", i, c)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package sm
+
+import (
+	"warpedslicer/internal/cache"
+	"warpedslicer/internal/isa"
+	"warpedslicer/internal/memreq"
+	"warpedslicer/internal/warp"
+)
+
+// Cycle advances the SM by one core-clock cycle.
+func (s *SM) Cycle(now int64) {
+	s.stats.Cycles++
+	s.stats.RegCycles += uint64(s.usedRegs)
+	s.stats.ShmCycles += uint64(s.usedShm)
+
+	s.drainWritebacks(now)
+	s.pumpMemQueue(now)
+
+	for sched := 0; sched < s.cfg.SM.Schedulers; sched++ {
+		s.stats.Slots++
+		s.issueFrom(sched, now)
+	}
+}
+
+// drainWritebacks applies all writebacks scheduled for `now`.
+func (s *SM) drainWritebacks(now int64) {
+	idx := now & s.ringMask
+	evs := s.ring[idx]
+	if len(evs) == 0 {
+		return
+	}
+	s.ring[idx] = evs[:0]
+	for _, ev := range evs {
+		if ev.tracker != nil {
+			ev.tracker.remaining--
+			if ev.tracker.remaining == 0 {
+				ev.tracker.w.Writeback(ev.tracker.reg, true)
+			}
+			continue
+		}
+		ev.w.Writeback(ev.reg, false)
+	}
+}
+
+// schedule registers a writeback event `lat` cycles in the future.
+func (s *SM) schedule(now, lat int64, ev wbEvent) {
+	if lat < 1 {
+		lat = 1
+	}
+	if lat > s.ringMask {
+		lat = s.ringMask // ring capacity bounds latencies; clamp defensively
+	}
+	idx := (now + lat) & s.ringMask
+	s.ring[idx] = append(s.ring[idx], ev)
+}
+
+// issueFrom lets scheduler `sched` issue at most one instruction.
+func (s *SM) issueFrom(sched int, now int64) {
+	candidates := s.candBuf[sched][:0]
+	for _, r := range s.warps {
+		if r.sched == sched {
+			candidates = append(candidates, r)
+		}
+	}
+	s.candBuf[sched] = candidates
+	if len(candidates) == 0 {
+		s.stats.StallIdle++
+		return
+	}
+
+	order := s.order(sched, candidates)
+
+	var sawMem, sawRAW, sawExec, sawIBuf bool
+	for _, r := range order {
+		in, blk := r.w.Peek(now, s.cfg.SM.FetchDelay)
+		switch blk {
+		case warp.BlockDone, warp.BlockBarrier:
+			continue
+		case warp.BlockIBuffer:
+			sawIBuf = true
+			continue
+		case warp.BlockRAW:
+			sawRAW = true
+			continue
+		case warp.BlockMemory:
+			sawMem = true
+			continue
+		}
+		// Exits must wait for outstanding loads so the CTA's resources
+		// are not freed under in-flight replies.
+		if in.Kind == isa.EXIT && r.w.OutstandingLoads > 0 {
+			sawMem = true
+			continue
+		}
+		if !s.unitFree(in, now) {
+			sawExec = true
+			continue
+		}
+		s.issue(r, in, now)
+		s.stats.Issued++
+		return
+	}
+
+	switch {
+	case sawMem:
+		s.stats.StallMem++
+	case sawRAW:
+		s.stats.StallRAW++
+	case sawExec:
+		s.stats.StallExec++
+	case sawIBuf:
+		s.stats.StallIBuf++
+	default:
+		s.stats.StallIdle++
+	}
+}
+
+// order returns candidates in scheduling priority order.
+func (s *SM) order(sched int, cands []*resident) []*resident {
+	switch s.Sched {
+	case RR:
+		n := len(cands)
+		start := s.rrNext[sched] % n
+		s.rrNext[sched]++
+		out := s.orderBuf[sched][:0]
+		for i := 0; i < n; i++ {
+			out = append(out, cands[(start+i)%n])
+		}
+		s.orderBuf[sched] = out
+		return out
+	default: // GTO: greedy on most-recently-issued, then oldest.
+		var greedy *resident
+		var last int64 = -1
+		for _, r := range cands {
+			if r.w.LastIssued > last {
+				last, greedy = r.w.LastIssued, r
+			}
+		}
+		out := s.orderBuf[sched][:0]
+		if greedy != nil && last > 0 {
+			out = append(out, greedy)
+		}
+		// Oldest-first by launch age (insertion order is already by age;
+		// candidates preserve s.warps order which is launch order).
+		for _, r := range cands {
+			if r != greedy || last <= 0 {
+				out = append(out, r)
+			}
+		}
+		s.orderBuf[sched] = out
+		return out
+	}
+}
+
+// unitFree checks functional-unit availability for the instruction.
+func (s *SM) unitFree(in isa.Instr, now int64) bool {
+	switch in.Kind {
+	case isa.ALU:
+		for _, free := range s.aluFreeAt {
+			if free <= now {
+				return true
+			}
+		}
+		return false
+	case isa.SFU:
+		return s.sfuFreeAt <= now
+	case isa.LDG, isa.STG:
+		lines := int(in.Lines)
+		if lines == 0 {
+			lines = 1
+		}
+		return s.ldstFreeAt <= now && len(s.memQ)+lines <= s.memQCap
+	case isa.LDS:
+		return s.ldstFreeAt <= now
+	default: // BAR, EXIT consume only the issue slot
+		return true
+	}
+}
+
+// issue executes one instruction's issue-stage effects.
+func (s *SM) issue(r *resident, in isa.Instr, now int64) {
+	spec := r.w.Spec()
+	k := r.w.Kernel % MaxKernels
+	s.stats.PerKernel[k].WarpInsts++
+	threads := r.threads
+	if in.ActivePct > 0 && in.ActivePct < 100 {
+		// SIMT divergence: only the active lanes do useful work.
+		threads = threads * int(in.ActivePct) / 100
+		if threads < 1 {
+			threads = 1
+		}
+	}
+	s.stats.PerKernel[k].ThreadInsts += uint64(threads)
+
+	warpCycles := int64(s.cfg.SM.WarpSize / s.cfg.SM.SIMTWidth) // lanes per warp
+	if warpCycles < 1 {
+		warpCycles = 1
+	}
+
+	isLoad := in.Kind == isa.LDG
+	r.w.Issue(now, in, isLoad, s.cfg.SM.FetchDelay, spec.ICacheMissPct)
+
+	switch in.Kind {
+	case isa.ALU:
+		for i, free := range s.aluFreeAt {
+			if free <= now {
+				s.aluFreeAt[i] = now + warpCycles
+				break
+			}
+		}
+		s.stats.ALUBusy += uint64(warpCycles)
+		s.schedule(now, int64(s.cfg.SM.ALULatency), wbEvent{w: r.w, reg: in.Dest})
+
+	case isa.SFU:
+		s.sfuFreeAt = now + int64(s.cfg.SM.SFUInitInterval)*warpCycles
+		s.stats.SFUBusy += uint64(int64(s.cfg.SM.SFUInitInterval) * warpCycles)
+		s.schedule(now, int64(s.cfg.SM.SFULatency), wbEvent{w: r.w, reg: in.Dest})
+
+	case isa.LDS:
+		// Lines carries the bank-conflict serialization factor for
+		// shared-memory accesses.
+		passes := int64(in.Lines)
+		if passes < 1 {
+			passes = 1
+		}
+		s.ldstFreeAt = now + warpCycles*passes
+		s.stats.LDSTBusy += uint64(warpCycles * passes)
+		s.schedule(now, int64(s.cfg.SM.LDSLatency)+(passes-1)*warpCycles, wbEvent{w: r.w, reg: in.Dest})
+
+	case isa.LDG, isa.STG:
+		lines := int(in.Lines)
+		if lines == 0 {
+			lines = 1
+		}
+		occ := warpCycles
+		if int64(lines) > occ {
+			occ = int64(lines)
+		}
+		s.ldstFreeAt = now + occ
+		s.stats.LDSTBusy += uint64(occ)
+		var tr *loadTracker
+		if isLoad {
+			tr = &loadTracker{w: r.w, reg: in.Dest, remaining: lines}
+			s.stats.PerKernel[k].LoadsIssued++
+		}
+		lineBytes := uint64(s.cfg.L1.LineBytes)
+		base := in.Addr &^ (lineBytes - 1)
+		for i := 0; i < lines; i++ {
+			s.memQ = append(s.memQ, lineOp{
+				addr:    base + uint64(i)*lineBytes,
+				kernel:  r.w.Kernel,
+				write:   !isLoad,
+				tracker: tr,
+			})
+		}
+
+	case isa.BAR:
+		s.arriveBarrier(r.ctaSlot)
+
+	case isa.EXIT:
+		s.retireWarp(r)
+	}
+}
+
+// arriveBarrier counts a warp into its CTA barrier and releases the CTA
+// when all live warps have arrived.
+func (s *SM) arriveBarrier(slot int) {
+	c := s.ctas[slot]
+	c.atBarrier++
+	if c.atBarrier < c.warpsLeft {
+		return
+	}
+	c.atBarrier = 0
+	for _, w := range c.warpRefs {
+		w.ReleaseBarrier()
+	}
+}
+
+// retireWarp finalizes an exited warp and frees the CTA when it was the
+// last one.
+func (s *SM) retireWarp(r *resident) {
+	c := s.ctas[r.ctaSlot]
+	c.warpsLeft--
+	if c.warpsLeft == 0 {
+		s.freeCTA(r.ctaSlot)
+		return
+	}
+	// A barrier may now be satisfiable with fewer live warps.
+	if c.atBarrier >= c.warpsLeft && c.atBarrier > 0 {
+		c.atBarrier = 0
+		for _, w := range c.warpRefs {
+			w.ReleaseBarrier()
+		}
+	}
+}
+
+// pumpMemQueue services the head of the LD/ST line queue: one L1 access
+// per cycle.
+func (s *SM) pumpMemQueue(now int64) {
+	if len(s.memQ) == 0 {
+		return
+	}
+	op := s.memQ[0]
+	la := s.l1.LineAddr(op.addr)
+
+	if op.write {
+		// Write-through no-allocate: account the L1 lookup and always
+		// forward downstream.
+		if !s.sub.Submit(memreq.Request{LineAddr: la, SM: s.ID, Kernel: op.kernel, Write: true, Issued: now}, now) {
+			return // interconnect saturated; retry next cycle
+		}
+		s.l1.Access(op.addr, true)
+		s.memQ = s.memQ[1:]
+		return
+	}
+
+	// A genuine miss needs an interconnect slot; if none is available and
+	// the access cannot hit or merge, stall before touching cache state.
+	if !s.sub.CanAccept() && !s.l1.Probe(op.addr) && !s.l1.HasMSHR(op.addr) {
+		return
+	}
+
+	switch s.l1.Access(op.addr, false) {
+	case cache.Hit:
+		s.schedule(now, int64(s.cfg.L1.HitLatency), wbEvent{tracker: op.tracker})
+		s.memQ = s.memQ[1:]
+	case cache.Miss:
+		s.sub.Submit(memreq.Request{LineAddr: la, SM: s.ID, Kernel: op.kernel, Issued: now}, now)
+		s.waiters[la] = append(s.waiters[la], op.tracker)
+		s.memQ = s.memQ[1:]
+	case cache.MissMerged:
+		s.waiters[la] = append(s.waiters[la], op.tracker)
+		s.memQ = s.memQ[1:]
+	case cache.ReservationFail:
+		// MSHRs exhausted: structural stall, retry next cycle.
+	}
+}
+
+// OnReply delivers a returning global-load line to the SM.
+func (s *SM) OnReply(lineAddr uint64) {
+	s.l1.Fill(lineAddr)
+	trackers := s.waiters[lineAddr]
+	delete(s.waiters, lineAddr)
+	for _, tr := range trackers {
+		if tr == nil {
+			continue
+		}
+		tr.remaining--
+		if tr.remaining == 0 {
+			tr.w.Writeback(tr.reg, true)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// Package sm models one streaming multiprocessor: dual warp schedulers
+// (greedy-then-oldest or round-robin), ALU/SFU/LDST pipelines, a register
+// scoreboard, CTA-granular resource allocation with optional per-kernel
+// quotas (the mechanism all intra-SM slicing policies build on), an L1 data
+// cache, and stall attribution in the classes of Figure 1 of the paper.
+package sm
+
+import (
+	"fmt"
+
+	"warpedslicer/internal/cache"
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/mem"
+	"warpedslicer/internal/warp"
+)
+
+// MaxKernels mirrors mem.MaxKernels for per-kernel accounting.
+const MaxKernels = mem.MaxKernels
+
+// SchedulerKind selects the warp scheduling policy.
+type SchedulerKind uint8
+
+const (
+	// GTO is greedy-then-oldest (the paper's default, "gto" in Table I).
+	GTO SchedulerKind = iota
+	// RR is loose round-robin.
+	RR
+)
+
+func (k SchedulerKind) String() string {
+	if k == GTO {
+		return "gto"
+	}
+	return "rr"
+}
+
+// Quota is a per-kernel resource budget on one SM. A zero Quota means "no
+// resources"; Unlimited() lifts all limits.
+type Quota struct {
+	Regs, Shm, Threads, CTAs int
+}
+
+// Unlimited returns a quota that never constrains.
+func Unlimited() Quota {
+	const big = 1 << 30
+	return Quota{Regs: big, Shm: big, Threads: big, CTAs: big}
+}
+
+// cta tracks one resident thread block.
+type cta struct {
+	kernel  int
+	gridID  int
+	regs    int
+	shm     int
+	threads int
+
+	warpsLeft int // warps not yet Done
+	atBarrier int
+	numWarps  int
+	warpRefs  []*warp.Warp
+	active    bool
+}
+
+// loadTracker aggregates the per-line completions of one load instruction.
+type loadTracker struct {
+	w         *warp.Warp
+	reg       int8
+	remaining int
+}
+
+// wbEvent is a scheduled writeback (direct) or load-line completion
+// (tracker != nil).
+type wbEvent struct {
+	w       *warp.Warp
+	reg     int8
+	tracker *loadTracker
+}
+
+// lineOp is one cache-line transaction queued at the LD/ST unit.
+type lineOp struct {
+	addr    uint64
+	kernel  int
+	write   bool
+	tracker *loadTracker
+}
+
+// resident wraps a warp with SM bookkeeping.
+type resident struct {
+	w       *warp.Warp
+	sched   int
+	ctaSlot int
+	threads int // active threads (last warp of a CTA may be partial)
+}
+
+// KernelStats accumulates per-kernel-slot activity on one SM.
+type KernelStats struct {
+	WarpInsts    uint64
+	ThreadInsts  uint64
+	CTAsDone     uint64
+	CTAsLaunched uint64
+	LoadsIssued  uint64
+}
+
+// Stats is the per-SM counter set.
+type Stats struct {
+	Cycles int64
+	// Issue-slot accounting: one slot per scheduler per cycle.
+	Slots  uint64
+	Issued uint64
+	// Stall attribution in scheduler-slots (Figure 1 / Figure 7c classes).
+	StallMem, StallRAW, StallExec, StallIBuf, StallIdle uint64
+	// Functional-unit busy cycles (utilization numerators).
+	ALUBusy, SFUBusy, LDSTBusy uint64
+	// Storage usage integrals (cycle-weighted, for REG/SHM utilization).
+	RegCycles, ShmCycles uint64
+
+	PerKernel [MaxKernels]KernelStats
+	L1        cache.Stats
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID  int
+	cfg config.GPU
+
+	Sched SchedulerKind
+
+	l1  *cache.Cache
+	sub *mem.Subsystem
+
+	warps []*resident
+	ctas  []*cta
+
+	usedRegs, usedShm, usedThreads, usedCTAs int
+	quotas                                   [MaxKernels]Quota
+	kUsed                                    [MaxKernels]Quota // current usage per kernel
+	hasQuota                                 bool
+
+	// Allowed restricts which kernels may launch here (spatial
+	// multitasking); nil means all.
+	allowed map[int]bool
+
+	aluFreeAt  []int64
+	sfuFreeAt  int64
+	ldstFreeAt int64
+
+	memQ    []lineOp
+	memQCap int
+
+	ring     [][]wbEvent
+	ringMask int64
+
+	waiters map[uint64][]*loadTracker
+
+	rrNext []int // per-scheduler round-robin cursor
+
+	// candBuf/orderBuf are per-scheduler scratch slices reused every
+	// cycle to keep the issue loop allocation-free.
+	candBuf  [][]*resident
+	orderBuf [][]*resident
+
+	launchStamp int64
+
+	stats Stats
+
+	// OnCTAComplete, if set, is invoked when a thread block finishes
+	// (used by the GPU dispatcher to launch replacement CTAs).
+	OnCTAComplete func(smID, kernel, gridID int)
+}
+
+// New constructs an SM attached to the shared memory subsystem.
+func New(id int, cfg config.GPU, sub *mem.Subsystem) *SM {
+	const ringSize = 512
+	s := &SM{
+		ID:        id,
+		cfg:       cfg,
+		l1:        cache.New(cfg.L1.SizeBytes, cfg.L1.LineBytes, cfg.L1.Assoc, cfg.L1.MSHRs),
+		sub:       sub,
+		aluFreeAt: make([]int64, cfg.SM.ALUUnits),
+		memQCap:   64,
+		ring:      make([][]wbEvent, ringSize),
+		ringMask:  ringSize - 1,
+		waiters:   make(map[uint64][]*loadTracker),
+		rrNext:    make([]int, cfg.SM.Schedulers),
+		ctas:      make([]*cta, cfg.SM.MaxCTAs),
+	}
+	for i := range s.quotas {
+		s.quotas[i] = Unlimited()
+	}
+	s.candBuf = make([][]*resident, cfg.SM.Schedulers)
+	s.orderBuf = make([][]*resident, cfg.SM.Schedulers)
+	return s
+}
+
+// SetQuota installs a per-kernel resource budget (intra-SM slicing).
+func (s *SM) SetQuota(kernel int, q Quota) {
+	s.quotas[kernel%MaxKernels] = q
+	s.hasQuota = true
+}
+
+// ClearQuotas removes all per-kernel budgets.
+func (s *SM) ClearQuotas() {
+	for i := range s.quotas {
+		s.quotas[i] = Unlimited()
+	}
+	s.hasQuota = false
+}
+
+// SetAllowed restricts launchable kernels (inter-SM slicing); pass nil to
+// allow all.
+func (s *SM) SetAllowed(kernels map[int]bool) { s.allowed = kernels }
+
+// Allowed reports whether kernel k may launch CTAs on this SM.
+func (s *SM) Allowed(k int) bool { return s.allowed == nil || s.allowed[k] }
+
+// need returns the resource demand of one CTA of spec.
+func need(spec *kernels.Spec) Quota {
+	return Quota{
+		Regs:    spec.RegsPerCTA(),
+		Shm:     spec.SharedMemPerTA,
+		Threads: spec.BlockDim,
+		CTAs:    1,
+	}
+}
+
+// CanLaunch reports whether one CTA of spec fits under both the global
+// pools and the kernel's quota.
+func (s *SM) CanLaunch(kernel int, spec *kernels.Spec) bool {
+	if !s.Allowed(kernel) {
+		return false
+	}
+	n := need(spec)
+	if s.usedRegs+n.Regs > s.cfg.SM.Registers ||
+		s.usedShm+n.Shm > s.cfg.SM.SharedMemBytes ||
+		s.usedThreads+n.Threads > s.cfg.SM.MaxThreads ||
+		s.usedCTAs+1 > s.cfg.SM.MaxCTAs {
+		return false
+	}
+	q := s.quotas[kernel%MaxKernels]
+	u := s.kUsed[kernel%MaxKernels]
+	return u.Regs+n.Regs <= q.Regs &&
+		u.Shm+n.Shm <= q.Shm &&
+		u.Threads+n.Threads <= q.Threads &&
+		u.CTAs+1 <= q.CTAs
+}
+
+// Launch places one CTA of spec on the SM. base is the kernel's global
+// memory base; gridID the CTA index within the grid. It returns false if
+// the CTA does not fit.
+func (s *SM) Launch(kernel int, spec *kernels.Spec, base uint64, gridID int) bool {
+	if !s.CanLaunch(kernel, spec) {
+		return false
+	}
+	slot := -1
+	for i, c := range s.ctas {
+		if c == nil || !c.active {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return false
+	}
+	n := need(spec)
+	s.usedRegs += n.Regs
+	s.usedShm += n.Shm
+	s.usedThreads += n.Threads
+	s.usedCTAs++
+	k := kernel % MaxKernels
+	s.kUsed[k].Regs += n.Regs
+	s.kUsed[k].Shm += n.Shm
+	s.kUsed[k].Threads += n.Threads
+	s.kUsed[k].CTAs++
+
+	nw := spec.WarpsPerCTA(s.cfg.SM.WarpSize)
+	c := &cta{
+		kernel:    kernel,
+		gridID:    gridID,
+		regs:      n.Regs,
+		shm:       n.Shm,
+		threads:   n.Threads,
+		warpsLeft: nw,
+		numWarps:  nw,
+		active:    true,
+	}
+	s.ctas[slot] = c
+
+	remaining := spec.BlockDim
+	for wi := 0; wi < nw; wi++ {
+		s.launchStamp++
+		w := warp.New(kernel, slot, s.launchStamp, kernels.NewStream(spec, base, gridID, wi))
+		threads := s.cfg.SM.WarpSize
+		if remaining < threads {
+			threads = remaining
+		}
+		remaining -= threads
+		r := &resident{
+			w:       w,
+			sched:   len(s.warps) % s.cfg.SM.Schedulers,
+			ctaSlot: slot,
+			threads: threads,
+		}
+		s.warps = append(s.warps, r)
+		c.warpRefs = append(c.warpRefs, w)
+	}
+	s.stats.PerKernel[k].CTAsLaunched++
+	return true
+}
+
+// ResidentCTAs returns the number of active CTAs of kernel k.
+func (s *SM) ResidentCTAs(k int) int { return s.kUsed[k%MaxKernels].CTAs }
+
+// ResidentWarps returns the number of non-finished warps.
+func (s *SM) ResidentWarps() int {
+	n := 0
+	for _, r := range s.warps {
+		if !r.w.Finished() {
+			n++
+		}
+	}
+	return n
+}
+
+// Used returns the aggregate resource usage.
+func (s *SM) Used() Quota {
+	return Quota{Regs: s.usedRegs, Shm: s.usedShm, Threads: s.usedThreads, CTAs: s.usedCTAs}
+}
+
+// KernelUsed returns kernel k's resource usage on this SM.
+func (s *SM) KernelUsed(k int) Quota { return s.kUsed[k%MaxKernels] }
+
+// Idle reports whether the SM has no resident work.
+func (s *SM) Idle() bool { return s.usedCTAs == 0 }
+
+// Stats returns a snapshot of the SM counters (L1 stats included).
+func (s *SM) Stats() Stats {
+	st := s.stats
+	st.L1 = s.l1.Stats
+	return st
+}
+
+// HaltKernel force-releases every CTA of the kernel (run-to-target
+// methodology: a finished kernel's resources return to the pool). In-flight
+// memory replies to halted warps are dropped harmlessly.
+func (s *SM) HaltKernel(kernel int) {
+	for slot, c := range s.ctas {
+		if c == nil || !c.active || c.kernel != kernel {
+			continue
+		}
+		c.active = false
+		s.usedRegs -= c.regs
+		s.usedShm -= c.shm
+		s.usedThreads -= c.threads
+		s.usedCTAs--
+		k := c.kernel % MaxKernels
+		s.kUsed[k].Regs -= c.regs
+		s.kUsed[k].Shm -= c.shm
+		s.kUsed[k].Threads -= c.threads
+		s.kUsed[k].CTAs--
+		_ = slot
+	}
+	kept := s.warps[:0]
+	for _, r := range s.warps {
+		if r.w.Kernel != kernel {
+			kept = append(kept, r)
+		}
+	}
+	// Zero the tail so halted warps are not retained by the backing array.
+	for i := len(kept); i < len(s.warps); i++ {
+		s.warps[i] = nil
+	}
+	s.warps = kept
+}
+
+// freeCTA releases slot's resources and removes its warps.
+func (s *SM) freeCTA(slot int) {
+	c := s.ctas[slot]
+	if c == nil || !c.active {
+		panic(fmt.Sprintf("sm%d: freeing inactive CTA slot %d", s.ID, slot))
+	}
+	c.active = false
+	s.usedRegs -= c.regs
+	s.usedShm -= c.shm
+	s.usedThreads -= c.threads
+	s.usedCTAs--
+	k := c.kernel % MaxKernels
+	s.kUsed[k].Regs -= c.regs
+	s.kUsed[k].Shm -= c.shm
+	s.kUsed[k].Threads -= c.threads
+	s.kUsed[k].CTAs--
+	s.stats.PerKernel[k].CTAsDone++
+
+	kept := s.warps[:0]
+	for _, r := range s.warps {
+		if r.ctaSlot != slot || !r.w.Finished() {
+			kept = append(kept, r)
+		}
+	}
+	s.warps = kept
+
+	if s.OnCTAComplete != nil {
+		s.OnCTAComplete(s.ID, c.kernel, c.gridID)
+	}
+}
+
+// L1MSHRInUse exposes the L1 MSHR occupancy (diagnostics).
+func (s *SM) L1MSHRInUse() int { return s.l1.MSHRInUse() }
+
+// MemQueueLen exposes the LD/ST line-queue depth (diagnostics).
+func (s *SM) MemQueueLen() int { return len(s.memQ) }
+
+// DebugWarpStates summarizes resident warps for diagnostics: counts by
+// (state, outstanding-loads>0) plus CTA slot occupancy.
+func (s *SM) DebugWarpStates(now int64) string {
+	running, barrier, done, withLoads := 0, 0, 0, 0
+	for _, r := range s.warps {
+		switch {
+		case r.w.Finished():
+			done++
+		case r.w.State == 1: // AtBarrier
+			barrier++
+		default:
+			running++
+		}
+		if r.w.OutstandingLoads > 0 {
+			withLoads++
+		}
+	}
+	activeCTAs := 0
+	for _, c := range s.ctas {
+		if c != nil && c.active {
+			activeCTAs++
+		}
+	}
+	return fmt.Sprintf("warps=%d run=%d bar=%d done=%d loads=%d ctas=%d memQ=%d mshr=%d",
+		len(s.warps), running, barrier, done, withLoads, activeCTAs, len(s.memQ), s.l1.MSHRInUse())
+}

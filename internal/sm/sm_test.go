@@ -1,0 +1,298 @@
+package sm
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/mem"
+)
+
+func newSM(t *testing.T) (*SM, config.GPU) {
+	t.Helper()
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	return New(0, cfg, sub), cfg
+}
+
+// runSM steps the SM and its memory subsystem together.
+func runSM(s *SM, sub *mem.Subsystem, cycles int64) {
+	for now := int64(0); now < cycles; now++ {
+		s.Cycle(now)
+		for _, r := range sub.Tick(now) {
+			s.OnReply(r.LineAddr)
+		}
+	}
+}
+
+func TestLaunchConsumesResources(t *testing.T) {
+	s, _ := newSM(t)
+	spec := kernels.ByAbbr("HOT")
+	if !s.Launch(0, spec, 1<<40, 0) {
+		t.Fatal("launch failed on empty SM")
+	}
+	u := s.Used()
+	if u.Regs != spec.RegsPerCTA() || u.Shm != spec.SharedMemPerTA ||
+		u.Threads != spec.BlockDim || u.CTAs != 1 {
+		t.Fatalf("used = %+v, inconsistent with one HOT CTA", u)
+	}
+	if s.ResidentWarps() != spec.WarpsPerCTA(32) {
+		t.Fatalf("resident warps = %d, want %d", s.ResidentWarps(), spec.WarpsPerCTA(32))
+	}
+}
+
+func TestLaunchStopsAtLimit(t *testing.T) {
+	s, cfg := newSM(t)
+	spec := kernels.ByAbbr("BLK") // register-limited to 4
+	n := 0
+	for s.Launch(0, spec, 1<<40, n) {
+		n++
+		if n > 10 {
+			t.Fatal("launch never refused")
+		}
+	}
+	want := spec.MaxCTAs(cfg.SM.Registers, cfg.SM.SharedMemBytes, cfg.SM.MaxThreads, cfg.SM.MaxCTAs)
+	if n != want {
+		t.Fatalf("launched %d CTAs, want %d", n, want)
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	s, _ := newSM(t)
+	spec := kernels.ByAbbr("IMG")
+	q := Unlimited()
+	q.CTAs = 3
+	s.SetQuota(0, q)
+	n := 0
+	for s.Launch(0, spec, 1<<40, n) {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("launched %d, want quota 3", n)
+	}
+	s.ClearQuotas()
+	if !s.Launch(0, spec, 1<<40, n) {
+		t.Fatal("clearing quotas should re-enable launches")
+	}
+}
+
+func TestZeroQuotaBlocksLaunch(t *testing.T) {
+	s, _ := newSM(t)
+	s.SetQuota(0, Quota{})
+	if s.Launch(0, kernels.ByAbbr("IMG"), 1<<40, 0) {
+		t.Fatal("zero quota should block launches")
+	}
+}
+
+func TestAllowedRestriction(t *testing.T) {
+	s, _ := newSM(t)
+	s.SetAllowed(map[int]bool{1: true})
+	if s.Launch(0, kernels.ByAbbr("IMG"), 1<<40, 0) {
+		t.Fatal("kernel 0 should be disallowed")
+	}
+	if !s.Launch(1, kernels.ByAbbr("IMG"), 1<<40, 0) {
+		t.Fatal("kernel 1 should be allowed")
+	}
+	s.SetAllowed(nil)
+	if !s.Launch(0, kernels.ByAbbr("IMG"), 2<<40, 1) {
+		t.Fatal("nil allowed-set should allow all")
+	}
+}
+
+func TestCTACompletionFreesResources(t *testing.T) {
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	spec := kernels.ByAbbr("IMG")
+	short := *spec
+	short.Iterations = 5
+	completed := 0
+	s.OnCTAComplete = func(smID, kernel, gridID int) { completed++ }
+	if !s.Launch(0, &short, 1<<40, 0) {
+		t.Fatal("launch failed")
+	}
+	runSM(s, sub, 30000)
+	if completed != 1 {
+		t.Fatalf("completions = %d, want 1", completed)
+	}
+	if u := s.Used(); u.CTAs != 0 || u.Regs != 0 || u.Threads != 0 {
+		t.Fatalf("resources not freed: %+v", u)
+	}
+	if !s.Idle() {
+		t.Fatal("SM should be idle")
+	}
+}
+
+func TestBarrierKernelCompletes(t *testing.T) {
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	spec := kernels.ByAbbr("MM") // has BAR
+	short := *spec
+	short.Iterations = 5
+	done := false
+	s.OnCTAComplete = func(int, int, int) { done = true }
+	s.Launch(0, &short, 1<<40, 0)
+	runSM(s, sub, 60000)
+	if !done {
+		t.Fatal("barrier kernel CTA never completed (barrier deadlock?)")
+	}
+}
+
+func TestHaltKernelReleasesEverything(t *testing.T) {
+	s, _ := newSM(t)
+	specA, specB := kernels.ByAbbr("IMG"), kernels.ByAbbr("DXT")
+	s.Launch(0, specA, 1<<40, 0)
+	s.Launch(0, specA, 1<<40, 1)
+	s.Launch(1, specB, 2<<40, 0)
+	s.HaltKernel(0)
+	if s.ResidentCTAs(0) != 0 {
+		t.Fatal("kernel 0 CTAs not released")
+	}
+	if s.ResidentCTAs(1) != 1 {
+		t.Fatal("kernel 1 CTAs must survive")
+	}
+	u := s.Used()
+	if u.Regs != specB.RegsPerCTA() {
+		t.Fatalf("leaked registers: used=%d want=%d", u.Regs, specB.RegsPerCTA())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	s.Launch(0, kernels.ByAbbr("IMG"), 1<<40, 0)
+	runSM(s, sub, 5000)
+	st := s.Stats()
+	if st.Cycles != 5000 {
+		t.Fatalf("cycles = %d, want 5000", st.Cycles)
+	}
+	if st.PerKernel[0].WarpInsts == 0 || st.PerKernel[0].ThreadInsts == 0 {
+		t.Fatal("no instructions recorded")
+	}
+	if st.ALUBusy == 0 {
+		t.Fatal("IMG should exercise the ALU")
+	}
+	if st.Slots != uint64(cfg.SM.Schedulers)*5000 {
+		t.Fatalf("slots = %d, want %d", st.Slots, cfg.SM.Schedulers*5000)
+	}
+	total := st.Issued + st.StallMem + st.StallRAW + st.StallExec + st.StallIBuf + st.StallIdle
+	if total != st.Slots {
+		t.Fatalf("slot accounting broken: %d != %d", total, st.Slots)
+	}
+}
+
+func TestThreadInstsCountPartialWarps(t *testing.T) {
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	spec := kernels.ByAbbr("LBM") // 120 threads: warps of 32,32,32,24
+	short := *spec
+	short.Iterations = 2
+	s.Launch(0, &short, 1<<40, 0)
+	runSM(s, sub, 100000)
+	st := s.Stats()
+	// Each warp executes Iterations*len(Body)+1 instructions; thread
+	// counts differ between full and partial warps.
+	perWarp := uint64(short.Iterations*len(short.Body) + 1)
+	wantThread := perWarp * (32 + 32 + 32 + 24)
+	if st.PerKernel[0].ThreadInsts != wantThread {
+		t.Fatalf("thread insts = %d, want %d", st.PerKernel[0].ThreadInsts, wantThread)
+	}
+}
+
+func TestGTOVersusRRBothProgress(t *testing.T) {
+	for _, kind := range []SchedulerKind{GTO, RR} {
+		cfg := config.Baseline()
+		sub := mem.New(cfg)
+		s := New(0, cfg, sub)
+		s.Sched = kind
+		s.Launch(0, kernels.ByAbbr("DXT"), 1<<40, 0)
+		s.Launch(0, kernels.ByAbbr("DXT"), 1<<40, 1)
+		runSM(s, sub, 3000)
+		if s.Stats().PerKernel[0].WarpInsts == 0 {
+			t.Fatalf("%v scheduler made no progress", kind)
+		}
+	}
+}
+
+func TestSchedulerKindString(t *testing.T) {
+	if GTO.String() != "gto" || RR.String() != "rr" {
+		t.Fatal("scheduler names wrong")
+	}
+}
+
+func TestResidentCTAsPerKernel(t *testing.T) {
+	s, _ := newSM(t)
+	s.Launch(0, kernels.ByAbbr("IMG"), 1<<40, 0)
+	s.Launch(1, kernels.ByAbbr("DXT"), 2<<40, 0)
+	s.Launch(1, kernels.ByAbbr("DXT"), 2<<40, 1)
+	if s.ResidentCTAs(0) != 1 || s.ResidentCTAs(1) != 2 {
+		t.Fatalf("resident = %d/%d, want 1/2", s.ResidentCTAs(0), s.ResidentCTAs(1))
+	}
+	if s.KernelUsed(1).Threads != 2*64 {
+		t.Fatalf("kernel 1 threads = %d, want 128", s.KernelUsed(1).Threads)
+	}
+}
+
+func TestMixedKernelsShareSM(t *testing.T) {
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	s.Launch(0, kernels.ByAbbr("IMG"), 1<<40, 0)
+	s.Launch(1, kernels.ByAbbr("BLK"), 2<<40, 0)
+	runSM(s, sub, 10000)
+	st := s.Stats()
+	if st.PerKernel[0].WarpInsts == 0 || st.PerKernel[1].WarpInsts == 0 {
+		t.Fatalf("co-resident kernels did not both progress: %d / %d",
+			st.PerKernel[0].WarpInsts, st.PerKernel[1].WarpInsts)
+	}
+}
+
+func TestExitWaitsForOutstandingLoads(t *testing.T) {
+	// A kernel whose last body op is a global load: the warp must not
+	// exit (and the CTA must not free) while the load is in flight.
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	spec := *kernels.ByAbbr("LBM")
+	spec.Iterations = 1
+	done := false
+	s.OnCTAComplete = func(int, int, int) { done = true }
+	s.Launch(0, &spec, 1<<40, 0)
+	// Without memory replies the loads never return; the CTA must stay
+	// resident no matter how long we run the SM alone.
+	for now := int64(0); now < 5000; now++ {
+		s.Cycle(now)
+		// Deliberately do NOT tick the memory subsystem.
+	}
+	if done {
+		t.Fatal("CTA completed with loads still in flight")
+	}
+	// Now service memory: the CTA completes.
+	for now := int64(5000); now < 200000 && !done; now++ {
+		s.Cycle(now)
+		for _, r := range sub.Tick(now) {
+			s.OnReply(r.LineAddr)
+		}
+	}
+	if !done {
+		t.Fatal("CTA never completed after memory was serviced")
+	}
+}
+
+func TestUsedNeverExceedsLimits(t *testing.T) {
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	for _, spec := range kernels.Suite() {
+		for s.Launch(0, spec, 1<<40, 0) {
+		}
+	}
+	u := s.Used()
+	if u.Regs > cfg.SM.Registers || u.Shm > cfg.SM.SharedMemBytes ||
+		u.Threads > cfg.SM.MaxThreads || u.CTAs > cfg.SM.MaxCTAs {
+		t.Fatalf("over-allocated: %+v", u)
+	}
+}

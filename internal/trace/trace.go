@@ -1,0 +1,148 @@
+// Package trace collects windowed timelines from a running simulation:
+// per-kernel IPC, occupancy, stall mix and memory bandwidth per fixed-size
+// cycle window. Timelines are how the profiling controller's decisions can
+// be inspected (e.g. watching the repartition land), and they export to CSV
+// for plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/metrics"
+)
+
+// Point is one window of one timeline.
+type Point struct {
+	// Cycle is the window's end cycle.
+	Cycle int64
+	// IPC per kernel slot (thread instructions / window cycles).
+	KernelIPC []float64
+	// CTAs is the total resident CTA count per kernel slot.
+	CTAs []int
+	// StallMem/StallRAW/StallExec/StallIBuf are window stall fractions.
+	StallMem, StallRAW, StallExec, StallIBuf float64
+	// Bandwidth is the DRAM bus utilization over the whole run so far
+	// (cumulative; the DRAM model does not expose windowed counters).
+	Bandwidth float64
+}
+
+// Timeline samples a GPU at fixed windows.
+type Timeline struct {
+	Window int64
+	Points []Point
+
+	kernels int
+
+	prevInsts []uint64
+	prevMem   uint64
+	prevRAW   uint64
+	prevExec  uint64
+	prevIBuf  uint64
+	prevSlots uint64
+}
+
+// New creates a timeline with the given window length in cycles.
+func New(window int64) *Timeline {
+	if window <= 0 {
+		window = 5000
+	}
+	return &Timeline{Window: window}
+}
+
+// Run advances the GPU in windows until `cycles` have elapsed (or all
+// kernels finish), recording one Point per window.
+func (t *Timeline) Run(g *gpu.GPU, cycles int64) {
+	t.kernels = len(g.Kernels)
+	if t.prevInsts == nil {
+		t.prevInsts = make([]uint64, t.kernels)
+	}
+	end := g.Now() + cycles
+	for g.Now() < end && !g.AllDone() {
+		step := t.Window
+		if rem := end - g.Now(); rem < step {
+			step = rem
+		}
+		g.RunCycles(step)
+		t.sample(g)
+	}
+}
+
+// sample records one point at the GPU's current cycle.
+func (t *Timeline) sample(g *gpu.GPU) {
+	agg := g.AggregateSM()
+	p := Point{Cycle: g.Now()}
+
+	for slot := 0; slot < t.kernels; slot++ {
+		insts := g.KernelInsts(slot)
+		p.KernelIPC = append(p.KernelIPC, float64(insts-t.prevInsts[slot])/float64(t.Window))
+		t.prevInsts[slot] = insts
+		ctas := 0
+		for _, s := range g.SMs {
+			ctas += s.ResidentCTAs(slot)
+		}
+		p.CTAs = append(p.CTAs, ctas)
+	}
+
+	dSlots := agg.Slots - t.prevSlots
+	p.StallMem = metrics.Frac(agg.StallMem-t.prevMem, dSlots)
+	p.StallRAW = metrics.Frac(agg.StallRAW-t.prevRAW, dSlots)
+	p.StallExec = metrics.Frac(agg.StallExec-t.prevExec, dSlots)
+	p.StallIBuf = metrics.Frac(agg.StallIBuf-t.prevIBuf, dSlots)
+	t.prevMem, t.prevRAW, t.prevExec, t.prevIBuf = agg.StallMem, agg.StallRAW, agg.StallExec, agg.StallIBuf
+	t.prevSlots = agg.Slots
+
+	p.Bandwidth = g.Mem.Stats().BandwidthUtil()
+	t.Points = append(t.Points, p)
+}
+
+// WriteCSV emits the timeline with one row per window.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	var head strings.Builder
+	head.WriteString("cycle")
+	for k := 0; k < t.kernels; k++ {
+		fmt.Fprintf(&head, ",ipc_k%d,ctas_k%d", k, k)
+	}
+	head.WriteString(",stall_mem,stall_raw,stall_exec,stall_ibuf,bandwidth\n")
+	if _, err := io.WriteString(w, head.String()); err != nil {
+		return err
+	}
+	for _, p := range t.Points {
+		var row strings.Builder
+		fmt.Fprintf(&row, "%d", p.Cycle)
+		for k := 0; k < t.kernels; k++ {
+			ipc, ctas := 0.0, 0
+			if k < len(p.KernelIPC) {
+				ipc, ctas = p.KernelIPC[k], p.CTAs[k]
+			}
+			fmt.Fprintf(&row, ",%.3f,%d", ipc, ctas)
+		}
+		fmt.Fprintf(&row, ",%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			p.StallMem, p.StallRAW, p.StallExec, p.StallIBuf, p.Bandwidth)
+		if _, err := io.WriteString(w, row.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RepartitionCycle scans for the first window where kernel `slot`'s
+// resident CTA count changed direction after being stable — a heuristic
+// marker of the controller's repartition landing. Returns -1 if none.
+func (t *Timeline) RepartitionCycle(slot int) int64 {
+	if len(t.Points) < 3 {
+		return -1
+	}
+	for i := 2; i < len(t.Points); i++ {
+		a, b, c := t.Points[i-2], t.Points[i-1], t.Points[i]
+		if slot >= len(a.CTAs) || slot >= len(b.CTAs) || slot >= len(c.CTAs) {
+			continue
+		}
+		if a.CTAs[slot] == b.CTAs[slot] && c.CTAs[slot] != b.CTAs[slot] {
+			return c.Cycle
+		}
+	}
+	return -1
+}

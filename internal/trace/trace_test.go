@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/core"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/policy"
+)
+
+func newTracedGPU() *gpu.GPU {
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g.AddKernel(kernels.ByAbbr("BLK"), 0)
+	return g
+}
+
+func TestTimelineCollectsWindows(t *testing.T) {
+	g := newTracedGPU()
+	tl := New(2000)
+	tl.Run(g, 10000)
+	if len(tl.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(tl.Points))
+	}
+	for i, p := range tl.Points {
+		if p.Cycle != int64(2000*(i+1)) {
+			t.Fatalf("point %d cycle = %d", i, p.Cycle)
+		}
+		if len(p.KernelIPC) != 2 || len(p.CTAs) != 2 {
+			t.Fatalf("point %d has wrong kernel arity", i)
+		}
+	}
+	// Both kernels should show activity in the first window.
+	if tl.Points[0].KernelIPC[0] <= 0 || tl.Points[0].KernelIPC[1] <= 0 {
+		t.Fatal("no IPC recorded in first window")
+	}
+}
+
+func TestTimelineStallFractionsBounded(t *testing.T) {
+	g := newTracedGPU()
+	tl := New(1000)
+	tl.Run(g, 5000)
+	for i, p := range tl.Points {
+		sum := p.StallMem + p.StallRAW + p.StallExec + p.StallIBuf
+		if sum < 0 || sum > 1.0001 {
+			t.Fatalf("point %d stall sum %.3f out of range", i, sum)
+		}
+		if p.Bandwidth < 0 || p.Bandwidth > 1 {
+			t.Fatalf("point %d bandwidth %.3f out of range", i, p.Bandwidth)
+		}
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	g := newTracedGPU()
+	tl := New(2500)
+	tl.Run(g, 5000)
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 windows
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "cycle,ipc_k0,ctas_k0,ipc_k1,ctas_k1") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, ",")) != 10 {
+			t.Fatalf("bad column count in %q", l)
+		}
+	}
+}
+
+func TestTimelineSeesRepartition(t *testing.T) {
+	ctrl := core.NewController()
+	ctrl.WarmupCycles = 4000
+	ctrl.SampleCycles = 2000
+	g := gpu.New(config.Baseline(), ctrl)
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g.AddKernel(kernels.ByAbbr("BLK"), 0)
+
+	tl := New(1000)
+	tl.Run(g, 30000)
+	if !ctrl.Decided() {
+		t.Fatal("controller never decided")
+	}
+	// The CTA timeline must not be flat: profiling layout differs from
+	// the final partition.
+	first := tl.Points[0].CTAs[0]
+	varied := false
+	for _, p := range tl.Points {
+		if p.CTAs[0] != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("timeline never observed an occupancy change")
+	}
+}
+
+func TestTimelineDefaultWindow(t *testing.T) {
+	tl := New(0)
+	if tl.Window != 5000 {
+		t.Fatalf("default window = %d, want 5000", tl.Window)
+	}
+}
+
+func TestTimelineStopsWhenAllDone(t *testing.T) {
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	g.AddKernel(kernels.ByAbbr("IMG"), 50000) // small target
+	tl := New(2000)
+	tl.Run(g, 1_000_000)
+	if !g.AllDone() {
+		t.Fatal("kernel never finished")
+	}
+	if int64(len(tl.Points))*tl.Window > 200000 {
+		t.Fatal("timeline kept running long after completion")
+	}
+}
+
+func TestRepartitionCycleDetection(t *testing.T) {
+	tl := New(1000)
+	tl.kernels = 1
+	mk := func(cycle int64, ctas int) Point {
+		return Point{Cycle: cycle, CTAs: []int{ctas}, KernelIPC: []float64{1}}
+	}
+	tl.Points = []Point{mk(1000, 4), mk(2000, 4), mk(3000, 4), mk(4000, 7), mk(5000, 7)}
+	if got := tl.RepartitionCycle(0); got != 4000 {
+		t.Fatalf("repartition cycle = %d, want 4000", got)
+	}
+	tl.Points = []Point{mk(1000, 4), mk(2000, 4)}
+	if got := tl.RepartitionCycle(0); got != -1 {
+		t.Fatalf("short timeline should return -1, got %d", got)
+	}
+	tl.Points = []Point{mk(1000, 4), mk(2000, 4), mk(3000, 4), mk(4000, 4)}
+	if got := tl.RepartitionCycle(0); got != -1 {
+		t.Fatalf("flat timeline should return -1, got %d", got)
+	}
+}

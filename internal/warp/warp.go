@@ -1,0 +1,205 @@
+// Package warp holds the per-warp execution state tracked by an SM: the
+// instruction stream cursor, fetch/i-buffer timing, the register scoreboard
+// (with load/ALU writer distinction for stall attribution), and barrier
+// state.
+package warp
+
+import (
+	"warpedslicer/internal/isa"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/rng"
+)
+
+// MaxRegs bounds per-thread register identifiers.
+const MaxRegs = 128
+
+// State is the warp lifecycle state.
+type State uint8
+
+const (
+	// Running warps compete for issue slots.
+	Running State = iota
+	// AtBarrier warps wait for their CTA to synchronize.
+	AtBarrier
+	// Done warps have executed EXIT.
+	Done
+)
+
+// Block identifies why a warp cannot issue this cycle. Values mirror the
+// stall classes of Figure 1 of the paper.
+type Block uint8
+
+const (
+	// BlockNone: the warp can issue.
+	BlockNone Block = iota
+	// BlockIBuffer: next instruction not yet fetched/decoded.
+	BlockIBuffer
+	// BlockRAW: scoreboard hazard against a short-latency (ALU/SFU/LDS)
+	// producer.
+	BlockRAW
+	// BlockMemory: scoreboard hazard against an outstanding global load.
+	BlockMemory
+	// BlockBarrier: warp is waiting at a CTA barrier.
+	BlockBarrier
+	// BlockDone: warp has exited.
+	BlockDone
+)
+
+// Warp is one warp resident on an SM.
+type Warp struct {
+	// Kernel is the SM-local kernel slot; CTA is the SM-local CTA slot.
+	Kernel int
+	CTA    int
+	// Age is a monotonically increasing launch stamp (for greedy-then-
+	// oldest scheduling).
+	Age int64
+
+	State State
+
+	stream *kernels.Stream
+	r      rng.Stream
+
+	have         bool
+	cur          isa.Instr
+	fetchReadyAt int64
+
+	// pend counts outstanding writers per register; pendLoad counts the
+	// subset that are global loads (long-latency producers).
+	pend     [MaxRegs]uint8
+	pendLoad [MaxRegs]uint8
+	// OutstandingLoads counts global loads in flight for this warp.
+	OutstandingLoads int
+
+	// LastIssued is the cycle this warp last issued (GTO greediness).
+	LastIssued int64
+}
+
+// New binds a warp to its instruction stream.
+func New(kernel, ctaSlot int, age int64, stream *kernels.Stream) *Warp {
+	return &Warp{
+		Kernel: kernel,
+		CTA:    ctaSlot,
+		Age:    age,
+		stream: stream,
+		r:      rng.NewStream(rng.Mix2(uint64(age), 0xabcd)),
+	}
+}
+
+// Spec returns the kernel spec this warp executes.
+func (w *Warp) Spec() *kernels.Spec { return w.stream.Spec() }
+
+// fetch pulls the next instruction into the i-buffer if its fetch latency
+// has elapsed.
+func (w *Warp) fetch(now int64, fetchDelay int) {
+	if w.have || w.State == Done {
+		return
+	}
+	if w.fetchReadyAt == 0 {
+		// First fetch after launch or after an issue that did not
+		// pre-schedule (defensive).
+		w.fetchReadyAt = now
+	}
+	if now < w.fetchReadyAt {
+		return
+	}
+	w.cur = w.stream.Next()
+	w.have = true
+}
+
+// Peek returns the instruction the warp wants to issue and the reason it
+// cannot, if any. It never consumes the instruction.
+func (w *Warp) Peek(now int64, fetchDelay int) (isa.Instr, Block) {
+	switch w.State {
+	case Done:
+		return isa.Instr{}, BlockDone
+	case AtBarrier:
+		return isa.Instr{}, BlockBarrier
+	}
+	w.fetch(now, fetchDelay)
+	if !w.have {
+		return isa.Instr{}, BlockIBuffer
+	}
+	in := w.cur
+	if blk := w.hazard(in); blk != BlockNone {
+		return in, blk
+	}
+	return in, BlockNone
+}
+
+// hazard checks the scoreboard for RAW/WAW conflicts.
+func (w *Warp) hazard(in isa.Instr) Block {
+	check := func(r int8) Block {
+		if r == isa.NoReg || w.pend[r] == 0 {
+			return BlockNone
+		}
+		if w.pendLoad[r] > 0 {
+			return BlockMemory
+		}
+		return BlockRAW
+	}
+	if b := check(in.Src[0]); b != BlockNone {
+		return b
+	}
+	if b := check(in.Src[1]); b != BlockNone {
+		return b
+	}
+	return check(in.Dest)
+}
+
+// Issue consumes the buffered instruction, updates the scoreboard, and
+// schedules the next fetch. isLoad marks a global load whose destination
+// will be released by a memory reply rather than a pipeline writeback.
+func (w *Warp) Issue(now int64, in isa.Instr, isLoad bool, fetchDelay, icacheMissPct int) {
+	w.have = false
+	w.LastIssued = now
+	delay := int64(1)
+	if w.r.Pct(icacheMissPct) {
+		delay = int64(fetchDelay)
+	}
+	w.fetchReadyAt = now + delay
+
+	if in.Kind == isa.EXIT {
+		w.State = Done
+		return
+	}
+	if in.Kind == isa.BAR {
+		w.State = AtBarrier
+		return
+	}
+	if in.Dest != isa.NoReg {
+		w.pend[in.Dest]++
+		if isLoad {
+			w.pendLoad[in.Dest]++
+			w.OutstandingLoads++
+		}
+	}
+}
+
+// Writeback releases one pending writer of reg. isLoad must match the value
+// passed at Issue.
+func (w *Warp) Writeback(reg int8, isLoad bool) {
+	if reg == isa.NoReg {
+		return
+	}
+	if w.pend[reg] > 0 {
+		w.pend[reg]--
+	}
+	if isLoad {
+		if w.pendLoad[reg] > 0 {
+			w.pendLoad[reg]--
+		}
+		if w.OutstandingLoads > 0 {
+			w.OutstandingLoads--
+		}
+	}
+}
+
+// ReleaseBarrier returns the warp to the running state.
+func (w *Warp) ReleaseBarrier() {
+	if w.State == AtBarrier {
+		w.State = Running
+	}
+}
+
+// Finished reports whether the warp has exited.
+func (w *Warp) Finished() bool { return w.State == Done }

@@ -1,0 +1,208 @@
+package warp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warpedslicer/internal/isa"
+	"warpedslicer/internal/kernels"
+)
+
+func newWarp(t *testing.T) *Warp {
+	t.Helper()
+	spec := kernels.ByAbbr("IMG")
+	return New(0, 0, 1, kernels.NewStream(spec, 1<<40, 0, 0))
+}
+
+func TestPeekThenIssueProgresses(t *testing.T) {
+	w := newWarp(t)
+	in, blk := w.Peek(0, 12)
+	if blk != BlockNone {
+		t.Fatalf("fresh warp blocked: %v", blk)
+	}
+	w.Issue(0, in, false, 12, 0)
+	if w.LastIssued != 0 {
+		t.Fatal("LastIssued not recorded")
+	}
+}
+
+func TestRAWHazardBlocksAndReleases(t *testing.T) {
+	w := newWarp(t)
+	in, _ := w.Peek(0, 12)
+	w.Issue(0, in, false, 12, 0)
+	// IMG's body chains dependencies: the next instruction reads the
+	// previous dest, so it must report a RAW hazard.
+	_, blk := w.Peek(1, 12)
+	if blk != BlockRAW {
+		t.Fatalf("expected BlockRAW, got %v", blk)
+	}
+	w.Writeback(in.Dest, false)
+	if _, blk := w.Peek(2, 12); blk != BlockNone {
+		t.Fatalf("after writeback still blocked: %v", blk)
+	}
+}
+
+func TestLoadHazardReportsMemory(t *testing.T) {
+	spec := kernels.ByAbbr("MVP") // body: ldg reuse then dependent alu
+	w := New(0, 0, 1, kernels.NewStream(spec, 1<<40, 0, 0))
+	in, blk := w.Peek(0, 12)
+	if blk != BlockNone || in.Kind != isa.LDG {
+		t.Fatalf("first MVP instr = %v/%v, want ready LDG", in.Kind, blk)
+	}
+	w.Issue(0, in, true, 12, 0)
+	if w.OutstandingLoads != 1 {
+		t.Fatalf("outstanding loads = %d, want 1", w.OutstandingLoads)
+	}
+	_, blk = w.Peek(1, 12)
+	if blk != BlockMemory {
+		t.Fatalf("dependent instr block = %v, want BlockMemory", blk)
+	}
+	w.Writeback(in.Dest, true)
+	if w.OutstandingLoads != 0 {
+		t.Fatal("load not released")
+	}
+	if _, blk := w.Peek(2, 12); blk != BlockNone {
+		t.Fatalf("after load return still blocked: %v", blk)
+	}
+}
+
+func TestIBufferBlockAfterIssue(t *testing.T) {
+	w := newWarp(t)
+	in, _ := w.Peek(5, 12)
+	w.Issue(5, in, false, 12, 0)
+	w.Writeback(in.Dest, false)
+	// Fetch delay of 1 cycle: at the same cycle the next instruction is
+	// not yet available.
+	if _, blk := w.Peek(5, 12); blk != BlockIBuffer {
+		t.Fatalf("same-cycle peek = %v, want BlockIBuffer", blk)
+	}
+	if _, blk := w.Peek(6, 12); blk == BlockIBuffer {
+		t.Fatal("next cycle should have fetched")
+	}
+}
+
+func TestBarrierLifecycle(t *testing.T) {
+	spec := kernels.ByAbbr("HOT") // has BAR at end of body
+	w := New(0, 0, 1, kernels.NewStream(spec, 1<<40, 0, 0))
+	var issued int
+	for cycle := int64(0); cycle < 10000 && w.State == Running; cycle++ {
+		in, blk := w.Peek(cycle, 12)
+		if blk != BlockNone {
+			if blk == BlockRAW || blk == BlockMemory {
+				// Complete everything instantly for this test.
+				w.Writeback(in.Dest, false)
+			}
+			continue
+		}
+		w.Issue(cycle, in, false, 12, 0)
+		w.Writeback(in.Dest, false)
+		issued++
+		if in.Kind == isa.BAR {
+			break
+		}
+	}
+	if w.State != AtBarrier {
+		t.Fatalf("state = %v, want AtBarrier", w.State)
+	}
+	if _, blk := w.Peek(99999, 12); blk != BlockBarrier {
+		t.Fatal("barrier warp should report BlockBarrier")
+	}
+	w.ReleaseBarrier()
+	if w.State != Running {
+		t.Fatal("release did not resume warp")
+	}
+}
+
+func TestExitFinishesWarp(t *testing.T) {
+	spec := kernels.ByAbbr("IMG")
+	w := New(0, 0, 1, kernels.NewStream(spec, 1<<40, 0, 0))
+	for cycle := int64(0); cycle < 1_000_000 && !w.Finished(); cycle++ {
+		in, blk := w.Peek(cycle, 12)
+		if blk != BlockNone {
+			continue
+		}
+		w.Issue(cycle, in, false, 12, 0)
+		if in.Dest != isa.NoReg {
+			w.Writeback(in.Dest, false)
+		}
+	}
+	if !w.Finished() {
+		t.Fatal("warp never finished")
+	}
+	if _, blk := w.Peek(0, 12); blk != BlockDone {
+		t.Fatal("finished warp should report BlockDone")
+	}
+}
+
+func TestICacheMissDelaysFetch(t *testing.T) {
+	spec := kernels.ByAbbr("IMG")
+	// 100% i-cache miss: every fetch pays the full delay.
+	miss := *spec
+	w := New(0, 0, 1, kernels.NewStream(&miss, 1<<40, 0, 0))
+	in, _ := w.Peek(0, 20)
+	w.Issue(0, in, false, 20, 100)
+	w.Writeback(in.Dest, false)
+	if _, blk := w.Peek(10, 20); blk != BlockIBuffer {
+		t.Fatal("fetch should still be pending at +10 with delay 20")
+	}
+	if _, blk := w.Peek(20, 20); blk == BlockIBuffer {
+		t.Fatal("fetch should have completed at +20")
+	}
+}
+
+func TestWritebackOnNoRegIsNoop(t *testing.T) {
+	w := newWarp(t)
+	w.Writeback(isa.NoReg, false) // must not panic or corrupt state
+	w.Writeback(5, true)          // spurious: counters clamp at zero
+	if w.OutstandingLoads != 0 {
+		t.Fatal("spurious writeback corrupted load count")
+	}
+}
+
+// Property: any interleaving of issue/writeback pairs leaves the
+// scoreboard clean (no stuck RAW hazards) once every issued instruction
+// has been written back.
+func TestScoreboardBalancedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		spec := kernels.ByAbbr("MM")
+		w := New(0, 0, 1, kernels.NewStream(spec, 1<<40, int(seed%100), 0))
+		type pendingWB struct {
+			reg    int8
+			isLoad bool
+		}
+		var pend []pendingWB
+		for cycle := int64(0); cycle < 3000 && !w.Finished(); cycle++ {
+			in, blk := w.Peek(cycle, 12)
+			if blk == BlockNone {
+				isLoad := in.Kind == isa.LDG
+				w.Issue(cycle, in, isLoad, 12, 0)
+				if in.Dest != isa.NoReg {
+					pend = append(pend, pendingWB{in.Dest, isLoad})
+				}
+				if in.Kind == isa.BAR {
+					w.ReleaseBarrier()
+				}
+				continue
+			}
+			// Retire one pending writeback (pseudo-randomly chosen) to
+			// unblock.
+			if len(pend) > 0 {
+				i := int((seed + uint64(cycle)) % uint64(len(pend)))
+				w.Writeback(pend[i].reg, pend[i].isLoad)
+				pend = append(pend[:i], pend[i+1:]...)
+			}
+		}
+		// Drain all writebacks: the warp must then be able to issue.
+		for _, p := range pend {
+			w.Writeback(p.reg, p.isLoad)
+		}
+		if w.Finished() {
+			return true
+		}
+		_, blk := w.Peek(99999, 12)
+		return blk == BlockNone || blk == BlockBarrier
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
