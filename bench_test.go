@@ -5,13 +5,17 @@
 package warpedslicer_bench
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
+	"time"
 
 	"warpedslicer/internal/config"
 	"warpedslicer/internal/core"
 	"warpedslicer/internal/experiments"
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/power"
 	"warpedslicer/internal/sm"
@@ -241,6 +245,111 @@ func BenchmarkSimulatorCycle(b *testing.B) {
 	g.RunCycles(1000) // fill and warm
 	b.ResetTimer()
 	g.RunCycles(int64(b.N))
+}
+
+// BenchmarkSimulatorCycleInstrumented is BenchmarkSimulatorCycle with the
+// full observability layer attached but no sink draining it: every counter
+// registered, the event log connected, no monitor period. Compare against
+// BenchmarkSimulatorCycle to see the passive cost of instrumentation.
+func BenchmarkSimulatorCycleInstrumented(b *testing.B) {
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	g.Log = obs.NewEventLog()
+	g.Register(obs.NewRegistry())
+	g.AddKernel(kernels.ByAbbr("MM"), 0)
+	g.RunCycles(1000) // fill and warm
+	b.ResetTimer()
+	g.RunCycles(int64(b.N))
+}
+
+// BenchmarkRegistrySnapshot measures one full pull of every registered
+// series on a 16-SM GPU (what each Hub publication or timeline window
+// costs).
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	reg := obs.NewRegistry()
+	g.Register(reg)
+	g.AddKernel(kernels.ByAbbr("MM"), 0)
+	g.RunCycles(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if reg.Snapshot().Get("ws_gpu_cycle") <= 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// obsTimeRun measures ns/cycle over `cycles` on an already-warm GPU.
+func obsTimeRun(g *gpu.GPU, cycles int64) float64 {
+	start := time.Now()
+	g.RunCycles(cycles)
+	return float64(time.Since(start).Nanoseconds()) / float64(cycles)
+}
+
+// TestObsOverheadBudget proves the registry is pull-based: with every
+// counter registered and the event log attached but no sink sampling them,
+// simulator throughput must stay within 2% of the bare configuration. The
+// interleaved min-of-N measurement is written to BENCH_obs.json.
+func TestObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const (
+		rounds = 7
+		chunk  = int64(20_000)
+	)
+	newGPU := func(instrumented bool) *gpu.GPU {
+		g := gpu.New(config.Baseline(), policy.FCFS{})
+		if instrumented {
+			g.Log = obs.NewEventLog()
+			g.Register(obs.NewRegistry())
+		}
+		g.AddKernel(kernels.ByAbbr("MM"), 0)
+		g.RunCycles(1000)
+		return g
+	}
+
+	var bare, inst float64
+	var overhead float64
+	// Min-of-N interleaved timing absorbs most scheduler noise; allow a
+	// few attempts so one noisy machine stretch cannot fail the budget.
+	for attempt := 0; attempt < 3; attempt++ {
+		gBare, gInst := newGPU(false), newGPU(true)
+		bare, inst = -1, -1
+		for r := 0; r < rounds; r++ {
+			if v := obsTimeRun(gBare, chunk); bare < 0 || v < bare {
+				bare = v
+			}
+			if v := obsTimeRun(gInst, chunk); inst < 0 || v < inst {
+				inst = v
+			}
+		}
+		overhead = inst/bare - 1
+		if overhead < 0.02 {
+			break
+		}
+	}
+
+	out := map[string]any{
+		"bare_ns_per_cycle":         bare,
+		"instrumented_ns_per_cycle": inst,
+		"overhead_frac":             overhead,
+		"budget_frac":               0.02,
+		"rounds":                    rounds,
+		"cycles_per_round":          chunk,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bare %.1f ns/cycle, instrumented %.1f ns/cycle, overhead %.2f%%",
+		bare, inst, overhead*100)
+	if overhead >= 0.02 {
+		t.Errorf("passive instrumentation overhead %.2f%% exceeds the 2%% budget", overhead*100)
+	}
 }
 
 // BenchmarkStreamNext measures synthetic instruction generation.

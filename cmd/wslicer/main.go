@@ -41,6 +41,7 @@ import (
 	"warpedslicer/internal/experiments"
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/obs"
 	"warpedslicer/internal/power"
 	"warpedslicer/internal/trace"
 )
@@ -60,6 +61,10 @@ func main() {
 		tlCycles  = flag.Int64("cycles", 120_000, "timeline: total cycles to trace")
 		tlCSV     = flag.String("csv", "", "timeline: CSV output path (default stdout)")
 		csvDir    = flag.String("csvdir", "", "also write table2/fig3/fig6 results as CSV files here")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live registry snapshots and the event log over HTTP (e.g. :8080)")
+		chromeTrace = flag.String("chrometrace", "", "timeline: also write Chrome trace-event JSON here (chrome://tracing)")
+		eventsPath  = flag.String("events", "", "write the structured event log as JSONL to this file at exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -75,11 +80,23 @@ func main() {
 		o.Sample = *sample
 		o.Warmup = *warmup
 	}
+	// Every run keeps a structured event log; -v renders run summaries to
+	// stderr as they land, -events dumps the whole log, -metrics-addr
+	// serves it (plus live counter snapshots) over HTTP.
+	o.Events = obs.NewEventLog()
 	if *verbose {
-		o.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
-		}
+		o.Events.OnEvent = renderEvent
 	}
+	if *metricsAddr != "" {
+		o.Hub = obs.NewHub(o.Events)
+		srv, err := obs.StartServer(*metricsAddr, o.Hub)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# metrics: http://%s/\n", srv.Addr())
+	}
+	chromeTraceVal = *chromeTrace
 
 	ws := experiments.Pairs()
 	if *pairs > 0 && *pairs < len(ws) {
@@ -98,6 +115,32 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *eventsPath != "" {
+		if err := writeEvents(*eventsPath, o.Events); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// renderEvent is the -v renderer: one stderr line per completed run.
+func renderEvent(ev obs.Event) {
+	switch ev.Kind {
+	case obs.EvIsolationDone:
+		fmt.Fprintf(os.Stderr, "# isolation %-4v insts=%v ipc=%.1f\n",
+			ev.Data["kernel"], ev.Data["insts"], ev.Data["ipc"])
+	case obs.EvCoRunDone:
+		fmt.Fprintf(os.Stderr, "# corun %-8v %v ipc=%.1f cycles=%v\n",
+			ev.Data["policy"], ev.Data["workload"], ev.Data["ipc"], ev.Data["cycles"])
+	}
+}
+
+func writeEvents(path string, log *obs.EventLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return log.WriteJSONL(f)
 }
 
 // results collects each experiment's typed rows for -json export.
@@ -228,10 +271,11 @@ func run(name string, o experiments.Options, ws []experiments.Workload, withOrac
 
 // timeline flag values (set in main, read by runTimeline).
 var (
-	tlKernelsVal = "IMG,BLK"
-	tlWindowVal  = int64(5000)
-	tlCyclesVal  = int64(120_000)
-	tlCSVVal     = ""
+	tlKernelsVal   = "IMG,BLK"
+	tlWindowVal    = int64(5000)
+	tlCyclesVal    = int64(120_000)
+	tlCSVVal       = ""
+	chromeTraceVal = ""
 )
 
 // runTimeline traces a Warped-Slicer co-run window by window.
@@ -247,11 +291,14 @@ func runTimeline(o experiments.Options) {
 	ctrl := core.NewController()
 	ctrl.WarmupCycles = o.Warmup
 	ctrl.SampleCycles = o.Sample
+	ctrl.Log = o.Events
 	g := gpu.New(o.Cfg, ctrl)
+	o.Instrument(g)
 	for _, spec := range specs {
 		g.AddKernel(spec, 0)
 	}
 	tl := trace.New(tlWindowVal)
+	tl.Events = o.Events
 	tl.Run(g, tlCyclesVal)
 
 	out := os.Stdout
@@ -266,8 +313,21 @@ func runTimeline(o experiments.Options) {
 	if err := tl.WriteCSV(out); err != nil {
 		fatal(err)
 	}
+	if chromeTraceVal != "" {
+		f, err := os.Create(chromeTraceVal)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tl.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+	}
 	if ctrl.Decided() && !ctrl.ChoseSpatial {
 		fmt.Fprintf(os.Stderr, "# partition: %v\n", ctrl.Partition)
+	}
+	if rep, ok := o.Events.First(obs.EvRepartition); ok {
+		fmt.Fprintf(os.Stderr, "# repartition landed at cycle %d\n", rep.Cycle)
 	}
 }
 

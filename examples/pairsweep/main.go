@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"warpedslicer/internal/experiments"
+	"warpedslicer/internal/obs"
 )
 
 func main() {
@@ -26,8 +27,11 @@ func main() {
 	}
 
 	o := experiments.Quick()
-	o.Progress = func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+	o.Events = obs.NewEventLog()
+	o.Events.OnEvent = func(ev obs.Event) {
+		if ev.Kind == obs.EvIsolationDone || ev.Kind == obs.EvCoRunDone {
+			fmt.Fprintf(os.Stderr, "# %s %v\n", ev.Kind, ev.Data)
+		}
 	}
 	s := experiments.NewSession(o)
 

@@ -1,0 +1,27 @@
+package cache
+
+import "warpedslicer/internal/obs"
+
+// EmitObs publishes the cache counters through an obs collector callback.
+// The label pairs distinguish the cache instance (e.g. "cache","l1",
+// "sm","3"); callers that own a Stats copy (aggregates) can emit it
+// directly without a Cache.
+func (s Stats) EmitObs(emit obs.Emit, kv ...string) {
+	c := func(name string, v uint64) {
+		emit(obs.Label(name, kv...), obs.Counter, float64(v))
+	}
+	c("ws_cache_loads_total", s.Loads)
+	c("ws_cache_load_hits_total", s.LoadHits)
+	c("ws_cache_load_misses_total", s.LoadMiss)
+	c("ws_cache_stores_total", s.Stores)
+	c("ws_cache_fills_total", s.Fills)
+	c("ws_cache_merged_total", s.Merged)
+	c("ws_cache_resfails_total", s.ResFails)
+	c("ws_cache_evictions_total", s.Evictions)
+}
+
+// Register wires this cache's live counters into the registry under the
+// given labels.
+func (c *Cache) Register(r *obs.Registry, kv ...string) {
+	r.Collector(func(emit obs.Emit) { c.Stats.EmitObs(emit, kv...) })
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/sm"
 )
@@ -54,6 +55,13 @@ type Controller struct {
 	PhaseWindow         int64
 	PhaseDeltaFrac      float64
 
+	// Log, when non-nil, receives the controller's decision trail:
+	// profile_start, sample_start, per-kernel curves, the water-filling
+	// decision, and the exact cycle each repartition landed. It is the
+	// audited record of every partitioning episode (tests assert on it,
+	// the CLI dumps it, the Chrome-trace exporter draws it).
+	Log *obs.EventLog
+
 	// Results (valid once Decided).
 	Partition    []int
 	ChoseSpatial bool
@@ -105,6 +113,7 @@ func (c *Controller) Setup(g *gpu.GPU) {
 	c.state = phaseWarmup
 	c.warmupEnd = c.WarmupCycles
 	c.applyProfilingLayout(g)
+	c.emitProfileStart(g, "setup")
 }
 
 // OnKernelArrival implements gpu.ArrivalAware: a kernel entering a busy
@@ -114,6 +123,23 @@ func (c *Controller) OnKernelArrival(g *gpu.GPU, _ *gpu.Kernel) {
 	c.state = phaseWarmup
 	c.warmupEnd = g.Now() + c.ArrivalWarmup
 	c.applyProfilingLayout(g)
+	c.emitProfileStart(g, "arrival")
+}
+
+// emitProfileStart records a new profiling episode and what triggered it.
+func (c *Controller) emitProfileStart(g *gpu.GPU, trigger string) {
+	if c.Log == nil {
+		return
+	}
+	slots := make([]int, len(c.profiled))
+	for i, kn := range c.profiled {
+		slots[i] = kn.Slot
+	}
+	c.Log.Emit(g.Now(), obs.EvProfileStart, map[string]any{
+		"trigger":    trigger,
+		"kernels":    slots,
+		"warmup_end": c.warmupEnd,
+	})
 }
 
 // applyProfilingLayout splits SMs into one group per kernel and assigns
@@ -172,6 +198,9 @@ func (c *Controller) Tick(g *gpu.GPU) {
 			c.snapshot(g)
 			c.sampleStart = now
 			c.state = phaseSample
+			c.Log.Emit(now, obs.EvSampleStart, map[string]any{
+				"sample_end": now + c.SampleCycles,
+			})
 		}
 	case phaseSample:
 		if now >= c.sampleStart+c.SampleCycles {
@@ -204,10 +233,19 @@ func (c *Controller) Tick(g *gpu.GPU) {
 			if delta > c.PhaseDeltaFrac*c.lastPhaseIPC {
 				// Sustained shift: re-profile.
 				c.reprofiles++
+				c.Log.Emit(now, obs.EvReprofile, map[string]any{
+					"ipc":      ipc,
+					"last_ipc": c.lastPhaseIPC,
+				})
 				c.applyProfilingLayout(g)
 				c.sampleStart = now
 				c.snapshot(g)
 				c.state = phaseSample
+				// Re-profiling skips warm-up (the machine is hot), so the
+				// sampling window opens on the same cycle.
+				c.Log.Emit(now, obs.EvSampleStart, map[string]any{
+					"sample_end": now + c.SampleCycles,
+				})
 				c.Fill(g)
 				return
 			}
@@ -306,6 +344,16 @@ func (c *Controller) computeCurves(g *gpu.GPU) {
 			}
 		}
 	}
+
+	if c.Log != nil {
+		for i, kn := range c.profiled {
+			c.Log.Emit(g.Now(), obs.EvCurves, map[string]any{
+				"kernel": kn.Slot,
+				"abbr":   kn.Spec.Abbr,
+				"curve":  append([]float64(nil), c.Curves[i]...),
+			})
+		}
+	}
 }
 
 // decide runs the partitioner and installs the result.
@@ -341,6 +389,28 @@ func (c *Controller) decide(g *gpu.GPU) {
 			}
 		}
 	}
+
+	if c.Log != nil {
+		slots := make([]int, k)
+		for i, kn := range c.profiled {
+			slots[i] = kn.Slot
+		}
+		data := map[string]any{
+			"kernels":   slots,
+			"threshold": threshold,
+			"spatial":   fallback,
+			"total":     []int{total.Regs, total.Shm, total.Threads, total.CTAs},
+		}
+		if err != nil {
+			data["error"] = err.Error()
+		} else {
+			data["partition"] = append([]int(nil), alloc.CTAs...)
+			data["norm_perf"] = append([]float64(nil), alloc.NormPerf...)
+			data["min_norm_perf"] = alloc.MinNormPerf
+		}
+		c.Log.Emit(g.Now(), obs.EvDecision, data)
+	}
+
 	if fallback {
 		c.ChoseSpatial = true
 		c.Partition = nil
@@ -351,6 +421,9 @@ func (c *Controller) decide(g *gpu.GPU) {
 			s.ClearQuotas()
 		}
 		policy.ApplySpatialTo(g, c.profiled)
+		c.Log.Emit(g.Now(), obs.EvSpatialFallback, map[string]any{
+			"threshold": threshold,
+		})
 		return
 	}
 	c.ChoseSpatial = false
@@ -361,4 +434,12 @@ func (c *Controller) decide(g *gpu.GPU) {
 	}
 	c.Partition = alloc.CTAs
 	policy.ApplyFixed(g, full)
+	// The quotas are installed this cycle: this event's Cycle is the
+	// exact cycle the repartition landed (warmup + sample + delay from
+	// the episode's start; the CTA counts then converge as replacement
+	// launches honor the new caps).
+	c.Log.Emit(g.Now(), obs.EvRepartition, map[string]any{
+		"partition": append([]int(nil), alloc.CTAs...),
+		"slots":     full,
+	})
 }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"warpedslicer/internal/obs"
+)
+
+// TestDecisionEventLogRecordsExactRepartition is the primary mechanism for
+// observing a repartition landing (the trace package's CTA-direction
+// heuristic is now only a fallback): the controller must log the exact
+// water-filling partition and the exact cycle its quotas were installed.
+func TestDecisionEventLogRecordsExactRepartition(t *testing.T) {
+	c := fastController()
+	c.AlgorithmDelay = 1000
+	log := obs.NewEventLog()
+	c.Log = log
+	g := newDynGPU(c, "IMG", "BLK")
+	g.Log = log
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + c.AlgorithmDelay + 200)
+
+	if !c.Decided() {
+		t.Fatal("controller never decided")
+	}
+	if c.ChoseSpatial {
+		t.Skip("chose spatial for this pair; repartition event not applicable")
+	}
+
+	// The decision trail must appear in order with exact cycles.
+	start, ok := log.First(obs.EvProfileStart)
+	if !ok || start.Cycle != 0 {
+		t.Fatalf("profile_start = %+v ok=%v, want cycle 0", start, ok)
+	}
+	if kset, _ := start.Ints("kernels"); !reflect.DeepEqual(kset, []int{0, 1}) {
+		t.Fatalf("profile_start kernels = %v", kset)
+	}
+	smp, ok := log.First(obs.EvSampleStart)
+	if !ok || smp.Cycle != c.WarmupCycles {
+		t.Fatalf("sample_start cycle = %d ok=%v, want %d", smp.Cycle, ok, c.WarmupCycles)
+	}
+	if curves := log.Filter(obs.EvCurves); len(curves) != 2 {
+		t.Fatalf("curves events = %d, want 2", len(curves))
+	}
+
+	wantCycle := c.WarmupCycles + c.SampleCycles + c.AlgorithmDelay
+	dec, ok := log.First(obs.EvDecision)
+	if !ok || dec.Cycle != wantCycle {
+		t.Fatalf("decision cycle = %d ok=%v, want %d", dec.Cycle, ok, wantCycle)
+	}
+	if p, _ := dec.Ints("partition"); !reflect.DeepEqual(p, c.Partition) {
+		t.Fatalf("decision partition = %v, want %v", p, c.Partition)
+	}
+
+	rep, ok := log.First(obs.EvRepartition)
+	if !ok {
+		t.Fatal("no repartition event")
+	}
+	if rep.Cycle != wantCycle {
+		t.Fatalf("repartition landed at %d, want exactly %d", rep.Cycle, wantCycle)
+	}
+	p, ok := rep.Ints("partition")
+	if !ok || !reflect.DeepEqual(p, c.Partition) {
+		t.Fatalf("repartition partition = %v, want the water-filling result %v", p, c.Partition)
+	}
+	if slots, _ := rep.Ints("slots"); !reflect.DeepEqual(slots, c.Partition) {
+		// Both kernels arrived at slot 0 and 1, so the per-slot map equals
+		// the profiled-order partition here.
+		t.Fatalf("repartition slots = %v, want %v", slots, c.Partition)
+	}
+}
+
+func TestSpatialFallbackEmitsEvents(t *testing.T) {
+	c := fastController()
+	c.LossThresholdScale = 0.0001 // no loss tolerated -> must fall back
+	log := obs.NewEventLog()
+	c.Log = log
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 200)
+	if !c.ChoseSpatial {
+		t.Fatal("expected spatial fallback")
+	}
+	dec, ok := log.First(obs.EvDecision)
+	if !ok || dec.Data["spatial"] != true {
+		t.Fatalf("decision = %+v ok=%v, want spatial=true", dec, ok)
+	}
+	if _, ok := log.First(obs.EvSpatialFallback); !ok {
+		t.Fatal("no spatial_fallback event")
+	}
+	if _, ok := log.First(obs.EvRepartition); ok {
+		t.Fatal("spatial fallback must not log a repartition")
+	}
+}
+
+func TestReprofileEmitsNewEpisode(t *testing.T) {
+	c := fastController()
+	c.RepeatOnPhaseChange = true
+	c.PhaseWindow = 1000
+	c.PhaseDeltaFrac = 0.000001 // any jitter retriggers
+	log := obs.NewEventLog()
+	c.Log = log
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 20000)
+	if c.Reprofiles() == 0 {
+		t.Fatal("hair-trigger phase monitor never re-profiled")
+	}
+	if got := len(log.Filter(obs.EvReprofile)); got != c.Reprofiles() {
+		t.Fatalf("reprofile events = %d, want %d", got, c.Reprofiles())
+	}
+	// Each re-profile opens a fresh sampling window and lands a fresh
+	// decision — except possibly the last episode, which may still be
+	// sampling when the run ends.
+	if got := len(log.Filter(obs.EvDecision)); got < c.Reprofiles() || got > c.Reprofiles()+1 {
+		t.Fatalf("decision events = %d, want %d or %d", got, c.Reprofiles(), c.Reprofiles()+1)
+	}
+}
+
+func TestControllerNilLogIsSafe(t *testing.T) {
+	c := fastController()
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + c.SampleCycles + 200)
+	if !c.Decided() {
+		t.Fatal("controller with nil log never decided")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
+	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/sm"
 )
@@ -41,8 +42,18 @@ type Options struct {
 	// SymmetricScaling selects the literal (two-sided) Eq. 4 correction;
 	// see core.Controller.SymmetricScaling.
 	SymmetricScaling bool
-	// Progress, when non-nil, receives one line per completed run.
-	Progress func(format string, args ...any)
+	// Events, when non-nil, receives the session's structured run log:
+	// one isolation_done / corun_done summary per completed run, plus the
+	// dynamic controller's full decision trail (profiling phases, scaled-IPC
+	// curves, water-filling partitions) and kernel lifecycle events.
+	Events *obs.EventLog
+	// Hub, when non-nil, receives live registry snapshots every
+	// PublishEvery cycles from each running simulation, for serving over
+	// obs.StartServer.
+	Hub *obs.Hub
+	// PublishEvery is the snapshot publication period in cycles when Hub
+	// is set (default 2048).
+	PublishEvery int64
 }
 
 // Defaults returns the standard evaluation options (scaled-down windows).
@@ -75,10 +86,22 @@ func Quick() Options {
 	return o
 }
 
-func (o Options) logf(format string, args ...any) {
-	if o.Progress != nil {
-		o.Progress(format, args...)
+// Instrument attaches the session's observability sinks to a freshly built
+// GPU: the event log for kernel lifecycle events, and — when a Hub is set —
+// a registry published on a fixed cycle period. With neither configured
+// this is a no-op and the simulation runs with zero monitoring cost.
+func (o Options) Instrument(g *gpu.GPU) {
+	g.Log = o.Events
+	if o.Hub == nil {
+		return
 	}
+	reg := obs.NewRegistry()
+	g.Register(reg)
+	g.MonitorEvery = o.PublishEvery
+	if g.MonitorEvery <= 0 {
+		g.MonitorEvery = 2048
+	}
+	g.Monitor = func(*gpu.GPU) { o.Hub.Publish(reg.Snapshot()) }
 }
 
 // Isolation is a cached single-kernel run.
@@ -124,6 +147,7 @@ func (s *Session) Isolation(spec *kernels.Spec) Isolation {
 
 	g := gpu.New(s.O.Cfg, greedyFill{})
 	g.SetSchedulers(s.O.Sched)
+	s.O.Instrument(g)
 	g.AddKernel(spec, 0)
 	g.RunCycles(s.O.IsolationCycles)
 	r := Isolation{
@@ -134,7 +158,9 @@ func (s *Session) Isolation(spec *kernels.Spec) Isolation {
 		Mem:    g.Mem.Stats(),
 	}
 	r.IPC = float64(r.Insts) / float64(r.Cycles)
-	s.O.logf("isolation %-4s insts=%d ipc=%.1f", spec.Abbr, r.Insts, r.IPC)
+	s.O.Events.Emit(g.Now(), obs.EvIsolationDone, map[string]any{
+		"kernel": spec.Abbr, "insts": r.Insts, "ipc": r.IPC,
+	})
 
 	s.mu.Lock()
 	s.iso[spec.Abbr] = r
@@ -185,6 +211,7 @@ func (s *Session) dispatcher(name string, ctas []int) gpu.Dispatcher {
 		c.AlgorithmDelay = s.O.AlgDelay
 		c.UseScaledIPC = s.O.UseScaledIPC
 		c.SymmetricScaling = s.O.SymmetricScaling
+		c.Log = s.O.Events
 		return c
 	default:
 		panic(fmt.Sprintf("experiments: unknown policy %q", name))
@@ -197,6 +224,7 @@ func (s *Session) CoRunTargets(specs []*kernels.Spec, name string, ctas []int, t
 	d := s.dispatcher(name, ctas)
 	g := gpu.New(s.O.Cfg, d)
 	g.SetSchedulers(s.O.Sched)
+	s.O.Instrument(g)
 	for i, spec := range specs {
 		g.AddKernel(spec, targets[i])
 	}
@@ -235,7 +263,10 @@ func (s *Session) CoRunTargets(specs []*kernels.Spec, name string, ctas []int, t
 		r.Partition = c.Partition
 		r.ChoseSpatial = c.ChoseSpatial
 	}
-	s.O.logf("corun %-8s %v ipc=%.1f cycles=%d", name, abbrs(specs), r.IPC, cycles)
+	s.O.Events.Emit(cycles, obs.EvCoRunDone, map[string]any{
+		"policy": name, "workload": WorkloadName(specs),
+		"ipc": r.IPC, "cycles": cycles, "timeout": r.Timeout,
+	})
 	return r
 }
 
@@ -246,6 +277,7 @@ func (s *Session) RunFixedCycles(specs []*kernels.Spec, name string, ctas []int,
 	d := s.dispatcher(name, ctas)
 	g := gpu.New(s.O.Cfg, d)
 	g.SetSchedulers(s.O.Sched)
+	s.O.Instrument(g)
 	for _, spec := range specs {
 		g.AddKernel(spec, 0)
 	}
@@ -344,14 +376,6 @@ func (s *Session) feasibleCombos(specs []*kernels.Spec) [][]int {
 		}
 	}
 	rec(0, sm.Quota{})
-	return out
-}
-
-func abbrs(specs []*kernels.Spec) []string {
-	out := make([]string, len(specs))
-	for i, s := range specs {
-		out[i] = s.Abbr
-	}
 	return out
 }
 

@@ -15,6 +15,7 @@ import (
 	"warpedslicer/internal/config"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
+	"warpedslicer/internal/obs"
 	"warpedslicer/internal/sm"
 )
 
@@ -76,6 +77,16 @@ type GPU struct {
 	Mem     *mem.Subsystem
 	SMs     []*sm.SM
 	Kernels []*Kernel
+
+	// Log, when non-nil, receives kernel lifecycle events (arrival,
+	// completion). Dispatchers that hold their own reference (the
+	// Warped-Slicer controller) add decision events to the same log.
+	Log *obs.EventLog
+	// Monitor, when non-nil, is invoked every MonitorEvery cycles — the
+	// hook live sinks (registry snapshot publishing) attach to. It runs on
+	// the simulation goroutine, so it may read the device freely.
+	Monitor      func(*GPU)
+	MonitorEvery int64
 
 	dispatcher Dispatcher
 	now        int64
@@ -166,6 +177,7 @@ func (g *GPU) haltKernel(k *Kernel) {
 		s.SetQuota(k.Slot, sm.Quota{}) // no relaunches
 	}
 	g.needFill = true
+	g.Log.Emit(g.now, obs.EvKernelDone, map[string]any{"kernel": k.Slot, "insts": k.Insts})
 }
 
 // AllDone reports whether every kernel has halted.
@@ -189,6 +201,7 @@ func (g *GPU) Step() {
 	for _, k := range g.Kernels {
 		if !k.arrived && g.now >= k.ArrivalCycle {
 			k.arrived = true
+			g.Log.Emit(g.now, obs.EvKernelArrival, map[string]any{"kernel": k.Slot})
 			if aa, ok := g.dispatcher.(ArrivalAware); ok {
 				aa.OnKernelArrival(g, k)
 			}
@@ -209,6 +222,9 @@ func (g *GPU) Step() {
 
 	if g.now%64 == 0 {
 		g.checkTargets()
+	}
+	if g.MonitorEvery > 0 && g.Monitor != nil && g.now%g.MonitorEvery == 0 {
+		g.Monitor(g)
 	}
 	if g.needFill {
 		g.needFill = false

@@ -1,0 +1,58 @@
+package gpu
+
+import (
+	"strconv"
+
+	"warpedslicer/internal/obs"
+)
+
+// Register wires the whole device into the registry: the cycle clock,
+// per-kernel progress (instructions, resident CTAs, completion), the
+// device-wide SM aggregate, per-SM detail, and the memory subsystem.
+// Registration is pull-based — it adds nothing to the simulation hot path
+// until someone takes a Snapshot.
+func (g *GPU) Register(r *obs.Registry) {
+	r.Gauge("ws_gpu_cycle", func() float64 { return float64(g.now) })
+	r.Gauge("ws_gpu_kernels", func() float64 { return float64(len(g.Kernels)) })
+
+	// Per-kernel progress. The collector walks g.Kernels at snapshot time,
+	// so kernels added after Register (or arriving late) appear without
+	// re-wiring.
+	r.Collector(func(emit obs.Emit) {
+		for _, k := range g.Kernels {
+			kl := strconv.Itoa(k.Slot)
+			emit(obs.Label("ws_kernel_thread_insts_total", "kernel", kl),
+				obs.Counter, float64(g.KernelInsts(k.Slot)))
+			ctas := 0
+			for _, s := range g.SMs {
+				ctas += s.ResidentCTAs(k.Slot)
+			}
+			emit(obs.Label("ws_kernel_ctas_resident", "kernel", kl), obs.Gauge, float64(ctas))
+			done := 0.0
+			if k.Done {
+				done = 1
+			}
+			emit(obs.Label("ws_kernel_done", "kernel", kl), obs.Gauge, done)
+			emit(obs.Label("ws_kernel_arrived", "kernel", kl), obs.Gauge, boolGauge(k.arrived))
+		}
+	})
+
+	// Device-wide SM aggregate (one Stats walk per snapshot).
+	r.Collector(func(emit obs.Emit) {
+		agg := g.AggregateSM()
+		agg.EmitObs(emit)
+		agg.L1.EmitObs(emit, "cache", "l1")
+	})
+
+	for _, s := range g.SMs {
+		s.Register(r)
+	}
+	g.Mem.Register(r)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

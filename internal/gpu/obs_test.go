@@ -1,0 +1,102 @@
+package gpu_test
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/obs"
+	"warpedslicer/internal/policy"
+)
+
+func TestGPURegisterExposesAllLayers(t *testing.T) {
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g.AddKernel(kernels.ByAbbr("BLK"), 0)
+	r := obs.NewRegistry()
+	g.Register(r)
+
+	g.RunCycles(3000)
+	s := r.Snapshot()
+
+	for _, name := range []string{
+		"ws_gpu_cycle",
+		"ws_gpu_kernels",
+		`ws_kernel_thread_insts_total{kernel="0"}`,
+		`ws_kernel_ctas_resident{kernel="1"}`,
+		"ws_sm_slots_total",
+		`ws_sm_slots_total{sm="0"}`,
+		`ws_cache_loads_total{cache="l1"}`,
+		`ws_cache_loads_total{cache="l1",sm="0"}`,
+		`ws_cache_loads_total{cache="l2",chan="0"}`,
+		"ws_dram_bus_busy_total",
+		"ws_dram_ticks_total",
+		`ws_dram_served_total{chan="0"}`,
+		`ws_dram_served_total{kernel="0"}`,
+	} {
+		if !s.Has(name) {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	if s.Get("ws_gpu_cycle") != 3000 {
+		t.Fatalf("ws_gpu_cycle = %v, want 3000", s.Get("ws_gpu_cycle"))
+	}
+	if s.Get(`ws_kernel_thread_insts_total{kernel="0"}`) <= 0 {
+		t.Fatal("kernel 0 executed no instructions")
+	}
+	if s.Get("ws_sm_slots_total") <= 0 {
+		t.Fatal("aggregate SM slots not counted")
+	}
+
+	// Counters are monotonic between snapshots and diffs are windowed.
+	g.RunCycles(2000)
+	s2 := r.Snapshot()
+	if d := s2.Delta(s, `ws_kernel_thread_insts_total{kernel="0"}`); d <= 0 {
+		t.Fatalf("windowed insts delta = %v, want > 0", d)
+	}
+	if s2.Get("ws_gpu_cycle") != 5000 {
+		t.Fatalf("ws_gpu_cycle = %v, want 5000", s2.Get("ws_gpu_cycle"))
+	}
+}
+
+func TestGPUMonitorHookFires(t *testing.T) {
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	var calls int
+	g.MonitorEvery = 500
+	g.Monitor = func(*gpu.GPU) { calls++ }
+	g.RunCycles(2000)
+	if calls != 4 {
+		t.Fatalf("monitor fired %d times, want 4", calls)
+	}
+}
+
+func TestGPUEmitsKernelLifecycleEvents(t *testing.T) {
+	log := obs.NewEventLog()
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	g.Log = log
+	g.AddKernel(kernels.ByAbbr("IMG"), 40_000)
+	g.AddKernelAt(kernels.ByAbbr("BLK"), 40_000, 1000)
+	g.Run(2_000_000)
+
+	arr, ok := log.First(obs.EvKernelArrival)
+	if !ok {
+		t.Fatal("no kernel_arrival event")
+	}
+	if slot, _ := arr.Int("kernel"); slot != 1 {
+		t.Fatalf("arrival kernel = %d, want 1", slot)
+	}
+	if arr.Cycle != 1000 {
+		t.Fatalf("arrival cycle = %d, want 1000", arr.Cycle)
+	}
+	done := log.Filter(obs.EvKernelDone)
+	if len(done) != 2 {
+		t.Fatalf("kernel_done events = %d, want 2", len(done))
+	}
+	for _, ev := range done {
+		if insts, ok := ev.Int("insts"); !ok || insts < 40_000 {
+			t.Fatalf("kernel_done insts = %v", ev.Data)
+		}
+	}
+}

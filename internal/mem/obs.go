@@ -1,0 +1,31 @@
+package mem
+
+import (
+	"strconv"
+
+	"warpedslicer/internal/obs"
+)
+
+// Register wires the memory subsystem into the registry: aggregate DRAM
+// bus counters (the windowed-bandwidth source: delta(bus_busy)/delta
+// (ticks) is per-window utilization), per-kernel DRAM/L2 counters, the
+// aggregate L2, and per-channel detail via each bank's own Register.
+func (m *Subsystem) Register(r *obs.Registry) {
+	for i, p := range m.parts {
+		ch := strconv.Itoa(i)
+		p.l2.Register(r, "cache", "l2", "chan", ch)
+		p.dram.Register(r, "chan", ch)
+	}
+	r.Collector(func(emit obs.Emit) {
+		st := m.Stats()
+		emit("ws_dram_bus_busy_total", obs.Counter, float64(st.BusBusy))
+		emit("ws_dram_ticks_total", obs.Counter, float64(st.MemTicks))
+		st.L2.EmitObs(emit, "cache", "l2")
+		for k := 0; k < MaxKernels; k++ {
+			kl := strconv.Itoa(k)
+			emit(obs.Label("ws_dram_served_total", "kernel", kl), obs.Counter, float64(st.DRAMServed[k]))
+			emit(obs.Label("ws_l2_load_misses_total", "kernel", kl), obs.Counter, float64(st.L2MissPerKernel[k]))
+			emit(obs.Label("ws_l2_loads_total", "kernel", kl), obs.Counter, float64(st.L2AccessPerKernel[k]))
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event kinds emitted by the simulator. The controller's decision trail
+// (profile_start through repartition) is the audited record of every
+// Warped-Slicer partitioning episode; kernel and run events frame it.
+const (
+	// EvProfileStart: the controller installed a profiling layout.
+	// Data: kernels []int (slots), warmup_end int64.
+	EvProfileStart = "profile_start"
+	// EvSampleStart: warm-up ended, the sampling window opened.
+	// Data: sample_end int64.
+	EvSampleStart = "sample_start"
+	// EvCurves: scaled-IPC curves computed from the sampling window.
+	// Data: kernel int, curve []float64 (one event per kernel).
+	EvCurves = "curves"
+	// EvDecision: water-filling ran. Data: partition []int,
+	// norm_perf []float64, threshold float64, spatial bool, plus the
+	// water-filling inputs (curves were already emitted as EvCurves).
+	EvDecision = "decision"
+	// EvRepartition: an intra-SM partition was installed. Data:
+	// partition []int (CTAs per profiled kernel). The event's Cycle is
+	// the exact cycle the repartition landed.
+	EvRepartition = "repartition"
+	// EvSpatialFallback: predicted loss exceeded the threshold; the
+	// controller fell back to inter-SM spatial multitasking.
+	EvSpatialFallback = "spatial_fallback"
+	// EvReprofile: phase-change monitoring restarted profiling.
+	// Data: ipc, last_ipc float64.
+	EvReprofile = "reprofile"
+	// EvKernelArrival: a delayed kernel entered the system. Data: kernel int.
+	EvKernelArrival = "kernel_arrival"
+	// EvKernelDone: a kernel reached its target and was halted.
+	// Data: kernel int, insts uint64.
+	EvKernelDone = "kernel_done"
+	// EvIsolationDone: an experiments isolation run completed.
+	// Data: kernel string, insts uint64, ipc float64.
+	EvIsolationDone = "isolation_done"
+	// EvCoRunDone: an experiments multiprogrammed run completed.
+	// Data: policy string, kernels []string, ipc float64, cycles int64.
+	EvCoRunDone = "corun_done"
+)
+
+// Event is one structured observation. Cycle is simulated time (core
+// cycles); events from the experiments harness (which spans many runs) use
+// the cycle within their run.
+type Event struct {
+	Cycle int64          `json:"cycle"`
+	Kind  string         `json:"kind"`
+	Data  map[string]any `json:"data,omitempty"`
+}
+
+// EventLog is an append-only, thread-safe event sink. Tests query it;
+// the CLI renders it live via OnEvent and dumps it as JSONL.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+
+	// OnEvent, when non-nil, observes every appended event (called with
+	// the log unlocked, in append order from the emitting goroutine).
+	OnEvent func(Event)
+}
+
+// NewEventLog returns an empty log.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// Emit appends one event. Nil logs are silently ignored so emitters need
+// no guards.
+func (l *EventLog) Emit(cycle int64, kind string, data map[string]any) {
+	if l == nil {
+		return
+	}
+	ev := Event{Cycle: cycle, Kind: kind, Data: data}
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	cb := l.OnEvent
+	l.mu.Unlock()
+	if cb != nil {
+		cb(ev)
+	}
+}
+
+// Len returns the number of events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of all events in append order.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Filter returns all events of the given kind.
+func (l *EventLog) Filter(kind string) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// First returns the earliest-appended event of the given kind, or false.
+func (l *EventLog) First(kind string) (Event, bool) {
+	for _, ev := range l.Events() {
+		if ev.Kind == kind {
+			return ev, true
+		}
+	}
+	return Event{}, false
+}
+
+// Last returns the latest-appended event of the given kind, or false.
+func (l *EventLog) Last(kind string) (Event, bool) {
+	evs := l.Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Kind == kind {
+			return evs[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// WriteJSONL dumps the log as one JSON object per line.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range l.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Int reads an integer field from the event's data, tolerating the
+// int/int64/float64 representations that survive JSON round-trips.
+func (e Event) Int(key string) (int64, bool) {
+	switch v := e.Data[key].(type) {
+	case int:
+		return int64(v), true
+	case int64:
+		return v, true
+	case uint64:
+		return int64(v), true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+// Ints reads an integer-slice field ([]int or JSON []any).
+func (e Event) Ints(key string) ([]int, bool) {
+	switch v := e.Data[key].(type) {
+	case []int:
+		return v, true
+	case []any:
+		out := make([]int, 0, len(v))
+		for _, x := range v {
+			f, ok := x.(float64)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, int(f))
+		}
+		return out, true
+	}
+	return nil, false
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogAppendAndQuery(t *testing.T) {
+	l := NewEventLog()
+	l.Emit(100, EvProfileStart, map[string]any{"kernels": []int{0, 1}})
+	l.Emit(200, EvRepartition, map[string]any{"partition": []int{5, 3}})
+	l.Emit(300, EvRepartition, map[string]any{"partition": []int{6, 2}})
+
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if got := l.Filter(EvRepartition); len(got) != 2 {
+		t.Fatalf("filter = %d events, want 2", len(got))
+	}
+	first, ok := l.First(EvRepartition)
+	if !ok || first.Cycle != 200 {
+		t.Fatalf("first = %+v ok=%v", first, ok)
+	}
+	last, ok := l.Last(EvRepartition)
+	if !ok || last.Cycle != 300 {
+		t.Fatalf("last = %+v ok=%v", last, ok)
+	}
+	if p, ok := first.Ints("partition"); !ok || len(p) != 2 || p[0] != 5 {
+		t.Fatalf("Ints = %v ok=%v", p, ok)
+	}
+	if _, ok := l.First("nope"); ok {
+		t.Fatal("First of absent kind must report false")
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(1, "x", nil) // must not panic
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log should be empty")
+	}
+}
+
+func TestEventLogJSONLRoundTrip(t *testing.T) {
+	l := NewEventLog()
+	l.Emit(5000, EvDecision, map[string]any{"partition": []int{4, 4}, "spatial": false})
+	var sb strings.Builder
+	if err := l.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EvDecision || ev.Cycle != 5000 {
+		t.Fatalf("round-trip = %+v", ev)
+	}
+	// JSON numbers decode as float64; the accessors must still read them.
+	if p, ok := ev.Ints("partition"); !ok || p[1] != 4 {
+		t.Fatalf("Ints after round-trip = %v ok=%v", p, ok)
+	}
+}
+
+func TestEventIntAccessor(t *testing.T) {
+	ev := Event{Data: map[string]any{"a": 7, "b": int64(8), "c": uint64(9), "d": 10.0}}
+	for key, want := range map[string]int64{"a": 7, "b": 8, "c": 9, "d": 10} {
+		if got, ok := ev.Int(key); !ok || got != want {
+			t.Fatalf("Int(%s) = %d ok=%v, want %d", key, got, ok, want)
+		}
+	}
+	if _, ok := ev.Int("missing"); ok {
+		t.Fatal("Int of missing key must report false")
+	}
+}
+
+func TestEventLogConcurrentEmit(t *testing.T) {
+	l := NewEventLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Emit(int64(j), "tick", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("len = %d, want 800", l.Len())
+	}
+}
+
+func TestEventLogOnEvent(t *testing.T) {
+	l := NewEventLog()
+	var seen []string
+	l.OnEvent = func(ev Event) { seen = append(seen, ev.Kind) }
+	l.Emit(1, "a", nil)
+	l.Emit(2, "b", nil)
+	if len(seen) != 2 || seen[0] != "a" || seen[1] != "b" {
+		t.Fatalf("OnEvent saw %v", seen)
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistrySnapshotAndDelta(t *testing.T) {
+	r := NewRegistry()
+	var c uint64 = 40
+	g := 1.5
+	r.Counter("ws_insts_total", func() uint64 { return c })
+	r.Gauge("ws_occupancy", func() float64 { return g })
+
+	s1 := r.Snapshot()
+	if got := s1.Get("ws_insts_total"); got != 40 {
+		t.Fatalf("counter = %v, want 40", got)
+	}
+	if got := s1.Get("ws_occupancy"); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	if s1.Get("missing") != 0 || s1.Has("missing") {
+		t.Fatal("missing sample should read 0 / Has false")
+	}
+
+	c, g = 100, 0.25
+	s2 := r.Snapshot()
+	if d := s2.Delta(s1, "ws_insts_total"); d != 60 {
+		t.Fatalf("delta = %v, want 60", d)
+	}
+	// Nil previous snapshot reads as zero.
+	if d := s2.Delta(nil, "ws_insts_total"); d != 100 {
+		t.Fatalf("delta vs nil = %v, want 100", d)
+	}
+	// The first snapshot is immutable.
+	if s1.Get("ws_insts_total") != 40 {
+		t.Fatal("snapshot mutated by later reads")
+	}
+}
+
+func TestRegistryCollector(t *testing.T) {
+	r := NewRegistry()
+	r.Collector(func(emit Emit) {
+		emit(Label("ws_sm_slots_total", "sm", "0"), Counter, 7)
+		emit(Label("ws_sm_slots_total", "sm", "1"), Counter, 9)
+	})
+	s := r.Snapshot()
+	if len(s.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s.Samples))
+	}
+	if got := s.Get(`ws_sm_slots_total{sm="1"}`); got != 9 {
+		t.Fatalf("labeled sample = %v, want 9", got)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", func() uint64 { return 0 })
+	r.Counter("x", func() uint64 { return 0 })
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("a_total", "sm", "3", "kernel", "1"); got != `a_total{sm="3",kernel="1"}` {
+		t.Fatalf("Label = %s", got)
+	}
+	if got := Label("a_total"); got != "a_total" {
+		t.Fatalf("unlabeled = %s", got)
+	}
+}
+
+func TestSnapshotPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("ws_x_total", "sm", "0"), func() uint64 { return 3 })
+	r.Counter(Label("ws_x_total", "sm", "1"), func() uint64 { return 4 })
+	r.Gauge("ws_y", func() float64 { return 2.5 })
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE ws_x_total counter\n" +
+		"ws_x_total{sm=\"0\"} 3\n" +
+		"ws_x_total{sm=\"1\"} 4\n" +
+		"# TYPE ws_y gauge\n" +
+		"ws_y 2.5\n"
+	if sb.String() != want {
+		t.Fatalf("prometheus text:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestSnapshotFamilyGrouping(t *testing.T) {
+	// "ab{...}" sorts after "abc" bytewise; family-aware ordering must
+	// still keep the ab series consecutive so TYPE lines are unique.
+	r := NewRegistry()
+	r.Counter(Label("ab", "k", "0"), func() uint64 { return 1 })
+	r.Counter("abc", func() uint64 { return 2 })
+	r.Counter("ab", func() uint64 { return 3 })
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "# TYPE ab counter"); n != 1 {
+		t.Fatalf("TYPE ab emitted %d times:\n%s", n, sb.String())
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ws_a_total", func() uint64 { return 12 })
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["ws_a_total"] != 12 {
+		t.Fatalf("json = %s", b)
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Hub decouples the single-threaded simulation loop from concurrent HTTP
+// readers: the loop publishes immutable snapshots, readers only ever see
+// the last published one. The event log is thread-safe on its own.
+type Hub struct {
+	mu   sync.RWMutex
+	snap *Snapshot
+	log  *EventLog
+}
+
+// NewHub wraps the given event log (nil allocates a fresh one).
+func NewHub(log *EventLog) *Hub {
+	if log == nil {
+		log = NewEventLog()
+	}
+	return &Hub{log: log}
+}
+
+// Publish installs a new current snapshot. Nil hubs ignore the call.
+func (h *Hub) Publish(s *Snapshot) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.snap = s
+	h.mu.Unlock()
+}
+
+// Snapshot returns the last published snapshot (nil before the first
+// Publish).
+func (h *Hub) Snapshot() *Snapshot {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.snap
+}
+
+// Log returns the hub's event log.
+func (h *Hub) Log() *EventLog {
+	if h == nil {
+		return nil
+	}
+	return h.log
+}
+
+// Server is the live metrics endpoint: registry snapshots as Prometheus
+// text (/metrics) and JSON (/snapshot), the event log as JSON (/events)
+// and JSONL (/events.jsonl).
+type Server struct {
+	hub  *Hub
+	addr net.Addr
+	srv  *http.Server
+}
+
+// StartServer listens on addr and serves the hub in a background
+// goroutine. It returns once the listener is bound, so callers fail fast
+// on a bad address.
+func StartServer(addr string, hub *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{hub: hub, addr: ln.Addr()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/events.jsonl", s.handleEventsJSONL)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr.String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, "wslicer observability\n\n"+
+		"/metrics        Prometheus text exposition\n"+
+		"/snapshot       registry snapshot as JSON\n"+
+		"/events         event log as JSON (?kind=... to filter)\n"+
+		"/events.jsonl   event log as JSON lines\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.hub.Snapshot()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	snap.WritePrometheus(w)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	snap := s.hub.Snapshot()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snap)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	evs := s.hub.Log().Events()
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		kept := evs[:0]
+		for _, ev := range evs {
+			if ev.Kind == kind {
+				kept = append(kept, ev)
+			}
+		}
+		evs = kept
+	}
+	if evs == nil {
+		evs = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(evs)
+}
+
+func (s *Server) handleEventsJSONL(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.hub.Log().WriteJSONL(w)
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func startTestServer(t *testing.T) (*Server, *Hub) {
+	t.Helper()
+	hub := NewHub(nil)
+	srv, err := StartServer("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, hub
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerServesSnapshots(t *testing.T) {
+	srv, hub := startTestServer(t)
+	base := "http://" + srv.Addr()
+
+	// Before the first publish, metrics endpoints report unavailable.
+	if code, _ := get(t, base+"/metrics"); code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-publish /metrics code = %d", code)
+	}
+
+	r := NewRegistry()
+	var insts uint64 = 1234
+	r.Counter("ws_kernel_thread_insts_total", func() uint64 { return insts })
+	hub.Publish(r.Snapshot())
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "ws_kernel_thread_insts_total 1234") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if !strings.Contains(body, "# TYPE ws_kernel_thread_insts_total counter") {
+		t.Fatalf("/metrics missing TYPE line: %q", body)
+	}
+
+	code, body = get(t, base+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot code = %d", code)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["ws_kernel_thread_insts_total"] != 1234 {
+		t.Fatalf("/snapshot = %v", m)
+	}
+
+	// A later publish replaces the snapshot.
+	insts = 5678
+	hub.Publish(r.Snapshot())
+	if _, body = get(t, base+"/metrics"); !strings.Contains(body, "5678") {
+		t.Fatalf("stale snapshot served: %q", body)
+	}
+}
+
+func TestServerServesEvents(t *testing.T) {
+	srv, hub := startTestServer(t)
+	base := "http://" + srv.Addr()
+
+	hub.Log().Emit(100, EvProfileStart, map[string]any{"kernels": []int{0, 1}})
+	hub.Log().Emit(250, EvRepartition, map[string]any{"partition": []int{5, 3}})
+
+	code, body := get(t, base+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("/events code = %d", code)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Kind != EvRepartition {
+		t.Fatalf("/events = %+v", evs)
+	}
+
+	_, body = get(t, base+"/events?kind="+EvRepartition)
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Cycle != 250 {
+		t.Fatalf("filtered /events = %+v", evs)
+	}
+
+	_, body = get(t, base+"/events.jsonl")
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("/events.jsonl lines = %d", len(lines))
+	}
+
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path code = %d", code)
+	}
+}

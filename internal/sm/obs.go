@@ -1,0 +1,44 @@
+package sm
+
+import (
+	"strconv"
+
+	"warpedslicer/internal/obs"
+)
+
+// EmitObs publishes an SM counter set through an obs collector callback
+// under the given labels. The GPU uses it both per SM ("sm","<i>") and for
+// the device-wide aggregate (no labels).
+func (st Stats) EmitObs(emit obs.Emit, kv ...string) {
+	c := func(name string, v uint64) {
+		emit(obs.Label(name, kv...), obs.Counter, float64(v))
+	}
+	c("ws_sm_slots_total", st.Slots)
+	c("ws_sm_issued_total", st.Issued)
+	c("ws_sm_stall_mem_total", st.StallMem)
+	c("ws_sm_stall_raw_total", st.StallRAW)
+	c("ws_sm_stall_exec_total", st.StallExec)
+	c("ws_sm_stall_ibuf_total", st.StallIBuf)
+	c("ws_sm_stall_idle_total", st.StallIdle)
+	c("ws_sm_alu_busy_total", st.ALUBusy)
+	c("ws_sm_sfu_busy_total", st.SFUBusy)
+	c("ws_sm_ldst_busy_total", st.LDSTBusy)
+	c("ws_sm_reg_cycles_total", st.RegCycles)
+	c("ws_sm_shm_cycles_total", st.ShmCycles)
+}
+
+// Register wires this SM's live counters into the registry: the scheduler
+// and stall counters, L1 activity, and per-kernel resident occupancy (the
+// series that makes profiling layouts and repartitions visible live).
+func (s *SM) Register(r *obs.Registry) {
+	id := strconv.Itoa(s.ID)
+	r.Collector(func(emit obs.Emit) {
+		st := s.stats
+		st.EmitObs(emit, "sm", id)
+		s.l1.Stats.EmitObs(emit, "cache", "l1", "sm", id)
+		for k := 0; k < MaxKernels; k++ {
+			emit(obs.Label("ws_sm_ctas_resident", "sm", id, "kernel", strconv.Itoa(k)),
+				obs.Gauge, float64(s.kUsed[k].CTAs))
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"warpedslicer/internal/obs"
+)
+
+// Chrome trace-event constants (the about://tracing JSON format). One
+// simulated core cycle is rendered as one microsecond.
+const (
+	chromePidKernels    = 0 // counter tracks: IPC, occupancy, stalls, bandwidth
+	chromePidController = 1 // controller decision events and phase spans
+)
+
+// chromeEvent is one entry of the Trace Event Format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object chrome://tracing loads.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the timeline — per-kernel IPC and occupancy
+// counters, the stall mix, DRAM bandwidth — and the attached event log's
+// controller decisions on one shared timeline, as Chrome trace-event JSON
+// loadable in chrome://tracing (or https://ui.perfetto.dev).
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	evs := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: chromePidKernels,
+			Args: map[string]any{"name": "kernel windows"}},
+		{Name: "process_name", Ph: "M", Pid: chromePidController,
+			Args: map[string]any{"name": "controller"}},
+	}
+
+	for _, p := range t.Points {
+		// Counter samples are stamped at the window's start so the value
+		// chrome draws over [start, end) is the value measured there.
+		ts := p.Cycle - t.Window
+		if ts < 0 {
+			ts = 0
+		}
+		ipc := make(map[string]any, len(p.KernelIPC))
+		ctas := make(map[string]any, len(p.CTAs))
+		for k := 0; k < t.kernels; k++ {
+			if k < len(p.KernelIPC) {
+				ipc[fmt.Sprintf("k%d", k)] = round3(p.KernelIPC[k])
+				ctas[fmt.Sprintf("k%d", k)] = p.CTAs[k]
+			}
+		}
+		evs = append(evs,
+			chromeEvent{Name: "ipc", Ph: "C", Ts: ts, Pid: chromePidKernels, Args: ipc},
+			chromeEvent{Name: "ctas", Ph: "C", Ts: ts, Pid: chromePidKernels, Args: ctas},
+			chromeEvent{Name: "stalls", Ph: "C", Ts: ts, Pid: chromePidKernels, Args: map[string]any{
+				"mem":  round3(p.StallMem),
+				"raw":  round3(p.StallRAW),
+				"exec": round3(p.StallExec),
+				"ibuf": round3(p.StallIBuf),
+			}},
+			chromeEvent{Name: "dram bandwidth", Ph: "C", Ts: ts, Pid: chromePidKernels,
+				Args: map[string]any{"util": round3(p.Bandwidth)}},
+		)
+	}
+
+	evs = append(evs, t.controllerEvents()...)
+
+	return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// controllerEvents renders the event log: every event as an instant, plus
+// duration spans for each profiling episode (profile_start -> sample_start
+// is warm-up; sample_start -> decision is sampling + algorithm delay).
+func (t *Timeline) controllerEvents() []chromeEvent {
+	if t.Events == nil {
+		return nil
+	}
+	var out []chromeEvent
+	var warmupFrom, sampleFrom int64 = -1, -1
+	for _, ev := range t.Events.Events() {
+		out = append(out, chromeEvent{
+			Name: ev.Kind, Ph: "i", Ts: ev.Cycle, Pid: chromePidController, S: "p",
+			Args: ev.Data,
+		})
+		switch ev.Kind {
+		case obs.EvProfileStart, obs.EvReprofile:
+			warmupFrom = ev.Cycle
+		case obs.EvSampleStart:
+			if warmupFrom >= 0 {
+				out = append(out, chromeEvent{Name: "warmup", Ph: "X",
+					Ts: warmupFrom, Dur: ev.Cycle - warmupFrom, Pid: chromePidController})
+				warmupFrom = -1
+			}
+			sampleFrom = ev.Cycle
+		case obs.EvDecision:
+			if sampleFrom >= 0 {
+				out = append(out, chromeEvent{Name: "sample+delay", Ph: "X",
+					Ts: sampleFrom, Dur: ev.Cycle - sampleFrom, Pid: chromePidController})
+				sampleFrom = -1
+			}
+		}
+	}
+	return out
+}
+
+// round3 keeps exported JSON compact and stable (3 decimal places).
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

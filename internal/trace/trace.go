@@ -1,17 +1,20 @@
 // Package trace collects windowed timelines from a running simulation:
 // per-kernel IPC, occupancy, stall mix and memory bandwidth per fixed-size
-// cycle window. Timelines are how the profiling controller's decisions can
-// be inspected (e.g. watching the repartition land), and they export to CSV
-// for plotting.
+// cycle window. Windows are computed as obs registry snapshot diffs, so the
+// timeline sees exactly the counters every other sink sees. Timelines are
+// how the profiling controller's decisions can be inspected (the attached
+// event log pins the repartition to its exact cycle), and they export to
+// CSV and to Chrome trace-event JSON for chrome://tracing.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"warpedslicer/internal/gpu"
-	"warpedslicer/internal/metrics"
+	"warpedslicer/internal/obs"
 )
 
 // Point is one window of one timeline.
@@ -24,8 +27,8 @@ type Point struct {
 	CTAs []int
 	// StallMem/StallRAW/StallExec/StallIBuf are window stall fractions.
 	StallMem, StallRAW, StallExec, StallIBuf float64
-	// Bandwidth is the DRAM bus utilization over the whole run so far
-	// (cumulative; the DRAM model does not expose windowed counters).
+	// Bandwidth is the DRAM bus utilization within this window (the
+	// delta of the bus-busy and mem-tick counters between snapshots).
 	Bandwidth float64
 }
 
@@ -34,14 +37,16 @@ type Timeline struct {
 	Window int64
 	Points []Point
 
+	// Events, when non-nil, is the run's structured event log. It is the
+	// primary source for RepartitionCycle and is rendered alongside the
+	// windowed counters by WriteChromeTrace.
+	Events *obs.EventLog
+
 	kernels int
 
-	prevInsts []uint64
-	prevMem   uint64
-	prevRAW   uint64
-	prevExec  uint64
-	prevIBuf  uint64
-	prevSlots uint64
+	g    *gpu.GPU
+	reg  *obs.Registry
+	prev *obs.Snapshot
 }
 
 // New creates a timeline with the given window length in cycles.
@@ -53,11 +58,20 @@ func New(window int64) *Timeline {
 }
 
 // Run advances the GPU in windows until `cycles` have elapsed (or all
-// kernels finish), recording one Point per window.
+// kernels finish), recording one Point per window. A Timeline may be
+// reused across Run calls; pointing it at a different GPU (or a GPU whose
+// kernel set grew) re-baselines the window diffs instead of misindexing
+// slots.
 func (t *Timeline) Run(g *gpu.GPU, cycles int64) {
+	if t.g != g {
+		t.g = g
+		t.reg = obs.NewRegistry()
+		g.Register(t.reg)
+		t.prev = nil
+	}
 	t.kernels = len(g.Kernels)
-	if t.prevInsts == nil {
-		t.prevInsts = make([]uint64, t.kernels)
+	if t.prev == nil {
+		t.prev = t.reg.Snapshot()
 	}
 	end := g.Now() + cycles
 	for g.Now() < end && !g.AllDone() {
@@ -70,31 +84,44 @@ func (t *Timeline) Run(g *gpu.GPU, cycles int64) {
 	}
 }
 
+// kernelSeries builds the registry series name for one kernel slot.
+func kernelSeries(name string, slot int) string {
+	return obs.Label(name, "kernel", strconv.Itoa(slot))
+}
+
+// frac returns a/b, or 0 when b is not positive.
+func frac(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
 // sample records one point at the GPU's current cycle.
 func (t *Timeline) sample(g *gpu.GPU) {
-	agg := g.AggregateSM()
+	snap := t.reg.Snapshot()
 	p := Point{Cycle: g.Now()}
 
+	window := snap.Delta(t.prev, "ws_gpu_cycle")
+	if window <= 0 {
+		window = float64(t.Window)
+	}
 	for slot := 0; slot < t.kernels; slot++ {
-		insts := g.KernelInsts(slot)
-		p.KernelIPC = append(p.KernelIPC, float64(insts-t.prevInsts[slot])/float64(t.Window))
-		t.prevInsts[slot] = insts
-		ctas := 0
-		for _, s := range g.SMs {
-			ctas += s.ResidentCTAs(slot)
-		}
-		p.CTAs = append(p.CTAs, ctas)
+		dInsts := snap.Delta(t.prev, kernelSeries("ws_kernel_thread_insts_total", slot))
+		p.KernelIPC = append(p.KernelIPC, dInsts/window)
+		p.CTAs = append(p.CTAs, int(snap.Get(kernelSeries("ws_kernel_ctas_resident", slot))))
 	}
 
-	dSlots := agg.Slots - t.prevSlots
-	p.StallMem = metrics.Frac(agg.StallMem-t.prevMem, dSlots)
-	p.StallRAW = metrics.Frac(agg.StallRAW-t.prevRAW, dSlots)
-	p.StallExec = metrics.Frac(agg.StallExec-t.prevExec, dSlots)
-	p.StallIBuf = metrics.Frac(agg.StallIBuf-t.prevIBuf, dSlots)
-	t.prevMem, t.prevRAW, t.prevExec, t.prevIBuf = agg.StallMem, agg.StallRAW, agg.StallExec, agg.StallIBuf
-	t.prevSlots = agg.Slots
+	dSlots := snap.Delta(t.prev, "ws_sm_slots_total")
+	p.StallMem = frac(snap.Delta(t.prev, "ws_sm_stall_mem_total"), dSlots)
+	p.StallRAW = frac(snap.Delta(t.prev, "ws_sm_stall_raw_total"), dSlots)
+	p.StallExec = frac(snap.Delta(t.prev, "ws_sm_stall_exec_total"), dSlots)
+	p.StallIBuf = frac(snap.Delta(t.prev, "ws_sm_stall_ibuf_total"), dSlots)
 
-	p.Bandwidth = g.Mem.Stats().BandwidthUtil()
+	p.Bandwidth = frac(snap.Delta(t.prev, "ws_dram_bus_busy_total"),
+		snap.Delta(t.prev, "ws_dram_ticks_total"))
+
+	t.prev = snap
 	t.Points = append(t.Points, p)
 }
 
@@ -128,16 +155,26 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// RepartitionCycle scans for the first window where kernel `slot`'s
-// resident CTA count changed direction after being stable — a heuristic
-// marker of the controller's repartition landing. Returns -1 if none.
+// RepartitionCycle returns the cycle the controller's repartition landed
+// for kernel `slot`, or -1 if none. With an attached event log the answer
+// is exact: the first repartition event that assigns the slot a non-zero
+// CTA budget. Without events it falls back to the CTA-direction heuristic
+// (the first window where the slot's resident CTA count changed after
+// being stable).
 func (t *Timeline) RepartitionCycle(slot int) int64 {
+	if t.Events != nil {
+		for _, ev := range t.Events.Filter(obs.EvRepartition) {
+			if slots, ok := ev.Ints("slots"); ok && slot >= 0 && slot < len(slots) && slots[slot] > 0 {
+				return ev.Cycle
+			}
+		}
+	}
 	if len(t.Points) < 3 {
 		return -1
 	}
 	for i := 2; i < len(t.Points); i++ {
 		a, b, c := t.Points[i-2], t.Points[i-1], t.Points[i]
-		if slot >= len(a.CTAs) || slot >= len(b.CTAs) || slot >= len(c.CTAs) {
+		if slot < 0 || slot >= len(a.CTAs) || slot >= len(b.CTAs) || slot >= len(c.CTAs) {
 			continue
 		}
 		if a.CTAs[slot] == b.CTAs[slot] && c.CTAs[slot] != b.CTAs[slot] {

@@ -8,6 +8,7 @@ import (
 	"warpedslicer/internal/core"
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 )
 
@@ -122,6 +123,110 @@ func TestTimelineStopsWhenAllDone(t *testing.T) {
 	}
 	if int64(len(tl.Points))*tl.Window > 200000 {
 		t.Fatal("timeline kept running long after completion")
+	}
+}
+
+// TestBandwidthIsWindowed replays an identical GPU window by window and
+// checks each Point.Bandwidth equals that window's DRAM bus utilization
+// delta — not the cumulative value since cycle 0.
+func TestBandwidthIsWindowed(t *testing.T) {
+	g1 := newTracedGPU()
+	tl := New(2000)
+	tl.Run(g1, 12000)
+
+	g2 := newTracedGPU()
+	var prevBusy, prevTicks uint64
+	sawDifference := false
+	for i, p := range tl.Points {
+		g2.RunCycles(2000)
+		st := g2.Mem.Stats()
+		dBusy, dTicks := st.BusBusy-prevBusy, st.MemTicks-prevTicks
+		want := 0.0
+		if dTicks > 0 {
+			want = float64(dBusy) / float64(dTicks)
+		}
+		if p.Bandwidth != want {
+			t.Fatalf("point %d bandwidth = %v, want windowed %v", i, p.Bandwidth, want)
+		}
+		if cum := st.BandwidthUtil(); cum != want {
+			sawDifference = true
+		}
+		prevBusy, prevTicks = st.BusBusy, st.MemTicks
+	}
+	if !sawDifference {
+		t.Fatal("windowed and cumulative bandwidth never diverged; test proves nothing")
+	}
+}
+
+// TestTimelineReuseAcrossGPUs guards the old bug where prevInsts was sized
+// once from the first GPU: reusing a Timeline on a second device must
+// re-baseline instead of diffing against the first device's counters.
+func TestTimelineReuseAcrossGPUs(t *testing.T) {
+	tl := New(2000)
+	g1 := gpu.New(config.Baseline(), policy.FCFS{})
+	g1.AddKernel(kernels.ByAbbr("IMG"), 0)
+	tl.Run(g1, 4000)
+
+	g2 := gpu.New(config.Baseline(), policy.FCFS{})
+	g2.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g2.AddKernel(kernels.ByAbbr("BLK"), 0)
+	tl.Run(g2, 4000)
+
+	if len(tl.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(tl.Points))
+	}
+	// The second device's points must carry both kernels and sane values.
+	for _, p := range tl.Points[2:] {
+		if len(p.KernelIPC) != 2 || len(p.CTAs) != 2 {
+			t.Fatalf("second-GPU point has arity %d, want 2", len(p.KernelIPC))
+		}
+		for k, ipc := range p.KernelIPC {
+			if ipc <= 0 {
+				t.Fatalf("second-GPU kernel %d ipc = %v, want > 0 (stale baseline?)", k, ipc)
+			}
+		}
+	}
+	// A fresh baseline means the second device's first window cannot be
+	// polluted by g1's cumulative counters (which would go negative or
+	// explode); sanity-bound it against the device's issue width.
+	if ipc := tl.Points[2].KernelIPC[0]; ipc > 64 {
+		t.Fatalf("second-GPU first-window ipc = %v, implausible", ipc)
+	}
+}
+
+func TestRepartitionCycleFromEvents(t *testing.T) {
+	ctrl := core.NewController()
+	ctrl.WarmupCycles = 4000
+	ctrl.SampleCycles = 2000
+	log := obs.NewEventLog()
+	ctrl.Log = log
+	g := gpu.New(config.Baseline(), ctrl)
+	g.Log = log
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g.AddKernel(kernels.ByAbbr("BLK"), 0)
+
+	tl := New(1000)
+	tl.Events = log
+	tl.Run(g, 30000)
+	if !ctrl.Decided() || ctrl.ChoseSpatial {
+		t.Skip("pair did not take the intra-SM path")
+	}
+	rep, ok := log.First(obs.EvRepartition)
+	if !ok {
+		t.Fatal("controller logged no repartition")
+	}
+	for slot := 0; slot < 2; slot++ {
+		if got := tl.RepartitionCycle(slot); got != rep.Cycle {
+			t.Fatalf("RepartitionCycle(%d) = %d, want exact event cycle %d", slot, got, rep.Cycle)
+		}
+	}
+	// The event answer is exact — not quantized to a window boundary.
+	if rep.Cycle%tl.Window == 0 {
+		t.Logf("note: repartition happened to land on a window boundary (%d)", rep.Cycle)
+	}
+	// Out-of-range slots fall back to the heuristic, and must not panic.
+	if got := tl.RepartitionCycle(99); got != -1 {
+		t.Fatalf("RepartitionCycle(99) = %d, want -1", got)
 	}
 }
 
