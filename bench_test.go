@@ -5,8 +5,10 @@
 package warpedslicer_bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -349,6 +351,90 @@ func TestObsOverheadBudget(t *testing.T) {
 		bare, inst, overhead*100)
 	if overhead >= 0.02 {
 		t.Errorf("passive instrumentation overhead %.2f%% exceeds the 2%% budget", overhead*100)
+	}
+}
+
+// BenchmarkPairSweepSerial runs a four-pair Figure 6 sweep on one worker.
+func BenchmarkPairSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Parallelism = 1
+		s := experiments.NewSession(o)
+		if len(experiments.Figure6From(s, experiments.Pairs()[:4], false)) != 4 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// BenchmarkPairSweepParallel is BenchmarkPairSweepSerial on the full
+// GOMAXPROCS worker pool; the ratio of the two is the parallel harness's
+// speedup on this machine.
+func BenchmarkPairSweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Parallelism = 0
+		s := experiments.NewSession(o)
+		if len(experiments.Figure6From(s, experiments.Pairs()[:4], false)) != 4 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// TestParallelSpeedup measures the parallel experiment runner against the
+// serial harness on a pair sweep, checks the two produce byte-identical
+// CSV output, and records the wall-clock comparison in BENCH_parallel.json.
+// The >= 2x speedup assertion only applies on machines with at least four
+// cores; single-core CI still verifies determinism and records the numbers.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	ws := experiments.Pairs()[:6]
+	sweep := func(parallelism int) ([]byte, float64) {
+		o := benchOptions()
+		o.Parallelism = parallelism
+		s := experiments.NewSession(o)
+		start := time.Now()
+		rows := experiments.Figure6From(s, ws, false)
+		elapsed := time.Since(start).Seconds()
+		var buf bytes.Buffer
+		if err := experiments.WriteFigure6CSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), elapsed
+	}
+
+	serialCSV, serialS := sweep(1)
+	parallelCSV, parallelS := sweep(0)
+
+	if !bytes.Equal(serialCSV, parallelCSV) {
+		t.Errorf("parallel sweep CSV differs from serial:\nserial:\n%s\nparallel:\n%s", serialCSV, parallelCSV)
+	}
+
+	cores := runtime.GOMAXPROCS(0)
+	speedup := 0.0
+	if parallelS > 0 {
+		speedup = serialS / parallelS
+	}
+	out := map[string]any{
+		"cores":      cores,
+		"workloads":  len(ws),
+		"serial_s":   serialS,
+		"parallel_s": parallelS,
+		"speedup":    speedup,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d-pair sweep on %d cores: serial %.2fs, parallel %.2fs, speedup %.2fx",
+		len(ws), cores, serialS, parallelS, speedup)
+
+	if cores >= 4 && speedup < 2 {
+		t.Errorf("speedup %.2fx on %d cores, want >= 2x", speedup, cores)
 	}
 }
 

@@ -62,6 +62,8 @@ func main() {
 		tlCSV     = flag.String("csv", "", "timeline: CSV output path (default stdout)")
 		csvDir    = flag.String("csvdir", "", "also write table2/fig3/fig6 results as CSV files here")
 
+		parallel = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve live registry snapshots and the event log over HTTP (e.g. :8080)")
 		chromeTrace = flag.String("chrometrace", "", "timeline: also write Chrome trace-event JSON here (chrome://tracing)")
 		eventsPath  = flag.String("events", "", "write the structured event log as JSONL to this file at exit")
@@ -79,6 +81,10 @@ func main() {
 		o.IsolationCycles = *isolation
 		o.Sample = *sample
 		o.Warmup = *warmup
+	}
+	o.Parallelism = *parallel
+	if err := o.Validate(); err != nil {
+		fatal(err)
 	}
 	// Every run keeps a structured event log; -v renders run summaries to
 	// stderr as they land, -events dumps the whole log, -metrics-addr
@@ -122,15 +128,17 @@ func main() {
 	}
 }
 
-// renderEvent is the -v renderer: one stderr line per completed run.
+// renderEvent is the -v renderer: one stderr line per completed run. The
+// run scope leads each line so concurrent runs' summaries stay
+// attributable under -parallel.
 func renderEvent(ev obs.Event) {
 	switch ev.Kind {
 	case obs.EvIsolationDone:
-		fmt.Fprintf(os.Stderr, "# isolation %-4v insts=%v ipc=%.1f\n",
-			ev.Data["kernel"], ev.Data["insts"], ev.Data["ipc"])
+		fmt.Fprintf(os.Stderr, "# [%s] isolation %-4v insts=%v ipc=%.1f\n",
+			ev.Run, ev.Data["kernel"], ev.Data["insts"], ev.Data["ipc"])
 	case obs.EvCoRunDone:
-		fmt.Fprintf(os.Stderr, "# corun %-8v %v ipc=%.1f cycles=%v\n",
-			ev.Data["policy"], ev.Data["workload"], ev.Data["ipc"], ev.Data["cycles"])
+		fmt.Fprintf(os.Stderr, "# [%s] corun %-8v %v ipc=%.1f cycles=%v\n",
+			ev.Run, ev.Data["policy"], ev.Data["workload"], ev.Data["ipc"], ev.Data["cycles"])
 	}
 }
 

@@ -34,7 +34,7 @@ func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
 func WriteFigure6CSV(w io.Writer, rows []Figure6Row) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"workload", "category", "leftover_ipc", "spatial", "even", "dynamic", "oracle", "partition",
+		"workload", "category", "leftover_ipc", "spatial", "even", "dynamic", "oracle", "partition", "oracle_partition",
 	}); err != nil {
 		return err
 	}
@@ -43,9 +43,18 @@ func WriteFigure6CSV(w io.Writer, rows []Figure6Row) error {
 		if !r.ChoseSpatial && r.Partition != nil {
 			part = fmt.Sprint(r.Partition)
 		}
+		// "spatial" when the oracle search picked spatial multitasking,
+		// the winning CTA combination otherwise; empty when no oracle ran.
+		opart := ""
+		switch {
+		case r.OracleChoseSpatial:
+			opart = "spatial"
+		case r.OraclePartition != nil:
+			opart = fmt.Sprint(r.OraclePartition)
+		}
 		rec := []string{
 			r.Workload, r.Category, f2(r.LeftOverIPC),
-			f3(r.Spatial), f3(r.Even), f3(r.Dynamic), f3(r.Oracle), part,
+			f3(r.Spatial), f3(r.Even), f3(r.Dynamic), f3(r.Oracle), part, opart,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

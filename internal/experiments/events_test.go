@@ -52,6 +52,46 @@ func TestSessionEmitsRunEvents(t *testing.T) {
 	}
 }
 
+// TestSessionEventsRunScoped checks that every event a session emits into
+// the shared log carries its run's scope tag, so concurrent runs' trails
+// stay attributable.
+func TestSessionEventsRunScoped(t *testing.T) {
+	o := Quick()
+	o.Events = obs.NewEventLog()
+	s := NewSession(o)
+	specs := []*kernels.Spec{kernels.ByAbbr("IMG"), kernels.ByAbbr("BLK")}
+
+	s.CoRun(specs, "dynamic")
+
+	for _, ev := range o.Events.Filter(obs.EvIsolationDone) {
+		want := "iso/" + ev.Data["kernel"].(string)
+		if ev.Run != want {
+			t.Fatalf("isolation_done run = %q, want %q", ev.Run, want)
+		}
+	}
+	done, _ := o.Events.First(obs.EvCoRunDone)
+	if done.Run != "corun/dynamic/IMG_BLK" {
+		t.Fatalf("corun_done run = %q", done.Run)
+	}
+	// The controller's decision trail and the GPU's lifecycle events ride
+	// the same scope as the co-run that produced them.
+	for _, kind := range []string{obs.EvDecision, obs.EvKernelDone} {
+		ev, ok := o.Events.First(kind)
+		if !ok {
+			t.Fatalf("no %s event", kind)
+		}
+		if ev.Run != "corun/dynamic/IMG_BLK" {
+			t.Fatalf("%s run = %q, want corun/dynamic/IMG_BLK", kind, ev.Run)
+		}
+	}
+	// No event may escape unscoped: every simulation runs under WithRun.
+	for _, ev := range o.Events.Events() {
+		if ev.Run == "" {
+			t.Fatalf("unscoped event: %+v", ev)
+		}
+	}
+}
+
 // TestSessionHubPublishesSnapshots checks the Hub wiring: a session with a
 // hub publishes registry snapshots while runs execute.
 func TestSessionHubPublishesSnapshots(t *testing.T) {

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"warpedslicer/internal/config"
@@ -54,6 +55,38 @@ type Options struct {
 	// PublishEvery is the snapshot publication period in cycles when Hub
 	// is set (default 2048).
 	PublishEvery int64
+	// Parallelism sizes the worker pool that fans independent simulations
+	// (isolation references, the oracle search, the figure sweeps) across
+	// cores. 0 means GOMAXPROCS; 1 forces serial execution. Results are
+	// collected by index, so any setting produces byte-identical CSVs,
+	// figures and golden files.
+	Parallelism int
+}
+
+// Validate rejects option values that would produce degenerate runs:
+// non-positive windows yield zero-cycle simulations whose IPC divisions
+// emit NaN rows into CSV output. NewSession panics on invalid options;
+// the CLI validates its flags up front for a readable error.
+func (o Options) Validate() error {
+	switch {
+	case o.IsolationCycles <= 0:
+		return fmt.Errorf("experiments: IsolationCycles = %d, must be positive", o.IsolationCycles)
+	case o.MaxCoRunCycles <= 0:
+		return fmt.Errorf("experiments: MaxCoRunCycles = %d, must be positive", o.MaxCoRunCycles)
+	case o.Sample <= 0:
+		return fmt.Errorf("experiments: Sample = %d, must be positive", o.Sample)
+	case o.Warmup < 0:
+		return fmt.Errorf("experiments: Warmup = %d, must be non-negative", o.Warmup)
+	case o.AlgDelay < 0:
+		return fmt.Errorf("experiments: AlgDelay = %d, must be non-negative", o.AlgDelay)
+	case o.OracleTargetFrac <= 0 || o.OracleTargetFrac > 1:
+		return fmt.Errorf("experiments: OracleTargetFrac = %g, must be in (0, 1]", o.OracleTargetFrac)
+	case o.PublishEvery < 0:
+		return fmt.Errorf("experiments: PublishEvery = %d, must be non-negative", o.PublishEvery)
+	case o.Parallelism < 0:
+		return fmt.Errorf("experiments: Parallelism = %d, must be non-negative", o.Parallelism)
+	}
+	return nil
 }
 
 // Defaults returns the standard evaluation options (scaled-down windows).
@@ -90,8 +123,13 @@ func Quick() Options {
 // GPU: the event log for kernel lifecycle events, and — when a Hub is set —
 // a registry published on a fixed cycle period. With neither configured
 // this is a no-op and the simulation runs with zero monitoring cost.
-func (o Options) Instrument(g *gpu.GPU) {
-	g.Log = o.Events
+func (o Options) Instrument(g *gpu.GPU) { o.instrument(g, o.Events) }
+
+// instrument is Instrument with an explicit (typically run-scoped) event
+// log, so concurrent simulations sharing one session log stay
+// attributable.
+func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
+	g.Log = log
 	if o.Hub == nil {
 		return
 	}
@@ -117,16 +155,36 @@ type Isolation struct {
 }
 
 // Session caches isolation runs and occupancy curves for one Options value.
+// Both caches are singleflight: under the parallel runner, concurrent
+// requests for the same kernel block on the one in-flight run instead of
+// duplicating it (the check-then-run gap of a plain map would re-run the
+// most expensive simulations).
 type Session struct {
 	O      Options
 	mu     sync.Mutex
-	iso    map[string]Isolation
-	curves map[string]Curve
+	iso    map[string]*isoEntry
+	curves map[string]*curveEntry
 }
 
-// NewSession creates a session.
+// isoEntry is one singleflight isolation-cache slot.
+type isoEntry struct {
+	once sync.Once
+	res  Isolation
+}
+
+// curveEntry is one singleflight occupancy-curve slot.
+type curveEntry struct {
+	once sync.Once
+	res  Curve
+}
+
+// NewSession creates a session. It panics on invalid Options (see
+// Options.Validate), mirroring gpu.New's handling of invalid configs.
 func NewSession(o Options) *Session {
-	return &Session{O: o, iso: make(map[string]Isolation), curves: make(map[string]Curve)}
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
+	return &Session{O: o, iso: make(map[string]*isoEntry), curves: make(map[string]*curveEntry)}
 }
 
 // greedyFill is the isolation dispatcher (single kernel, fill everything).
@@ -137,17 +195,26 @@ func (greedyFill) Fill(g *gpu.GPU) { policy.FillInterleaved(g) }
 func (greedyFill) Tick(*gpu.GPU)   {}
 
 // Isolation runs (or returns the cached) single-kernel reference run.
+// Concurrent callers for the same kernel share one run (singleflight):
+// the first runs, the rest block until its result lands.
 func (s *Session) Isolation(spec *kernels.Spec) Isolation {
 	s.mu.Lock()
-	if r, ok := s.iso[spec.Abbr]; ok {
-		s.mu.Unlock()
-		return r
+	e, ok := s.iso[spec.Abbr]
+	if !ok {
+		e = &isoEntry{}
+		s.iso[spec.Abbr] = e
 	}
 	s.mu.Unlock()
+	e.once.Do(func() { e.res = s.runIsolation(spec) })
+	return e.res
+}
 
+// runIsolation executes the single-kernel reference simulation.
+func (s *Session) runIsolation(spec *kernels.Spec) Isolation {
+	log := s.O.Events.WithRun("iso/" + spec.Abbr)
 	g := gpu.New(s.O.Cfg, greedyFill{})
 	g.SetSchedulers(s.O.Sched)
-	s.O.Instrument(g)
+	s.O.instrument(g, log)
 	g.AddKernel(spec, 0)
 	g.RunCycles(s.O.IsolationCycles)
 	r := Isolation{
@@ -158,13 +225,9 @@ func (s *Session) Isolation(spec *kernels.Spec) Isolation {
 		Mem:    g.Mem.Stats(),
 	}
 	r.IPC = float64(r.Insts) / float64(r.Cycles)
-	s.O.Events.Emit(g.Now(), obs.EvIsolationDone, map[string]any{
+	log.Emit(g.Now(), obs.EvIsolationDone, map[string]any{
 		"kernel": spec.Abbr, "insts": r.Insts, "ipc": r.IPC,
 	})
-
-	s.mu.Lock()
-	s.iso[spec.Abbr] = r
-	s.mu.Unlock()
 	return r
 }
 
@@ -191,8 +254,9 @@ type CoRun struct {
 	ChoseSpatial bool
 }
 
-// dispatcher builds the policy by name. "fixed" requires ctas.
-func (s *Session) dispatcher(name string, ctas []int) gpu.Dispatcher {
+// dispatcher builds the policy by name. "fixed" requires ctas; log is the
+// run-scoped event log a dynamic controller writes its decision trail to.
+func (s *Session) dispatcher(name string, ctas []int, log *obs.EventLog) gpu.Dispatcher {
 	switch name {
 	case "leftover":
 		return policy.LeftOver{}
@@ -211,20 +275,50 @@ func (s *Session) dispatcher(name string, ctas []int) gpu.Dispatcher {
 		c.AlgorithmDelay = s.O.AlgDelay
 		c.UseScaledIPC = s.O.UseScaledIPC
 		c.SymmetricScaling = s.O.SymmetricScaling
-		c.Log = s.O.Events
+		c.Log = log
 		return c
 	default:
 		panic(fmt.Sprintf("experiments: unknown policy %q", name))
 	}
 }
 
+// runScope builds the deterministic run identity stamped on every event a
+// simulation emits: kind ("corun", "oracle", "window"), policy — with the
+// explicit CTA partition when one is fixed — and workload. Being a pure
+// function of those identifiers, serial and parallel sessions tag their
+// event trails identically.
+func runScope(kind, policy string, ctas []int, specs []*kernels.Spec) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteByte('/')
+	b.WriteString(policy)
+	if len(ctas) > 0 {
+		b.WriteByte('(')
+		for i, n := range ctas {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", n)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte('/')
+	b.WriteString(WorkloadName(specs))
+	return b.String()
+}
+
 // CoRunTargets runs specs under the named policy with explicit instruction
 // targets.
 func (s *Session) CoRunTargets(specs []*kernels.Spec, name string, ctas []int, targets []uint64) CoRun {
-	d := s.dispatcher(name, ctas)
+	return s.coRunTargets("corun", specs, name, ctas, targets)
+}
+
+func (s *Session) coRunTargets(kind string, specs []*kernels.Spec, name string, ctas []int, targets []uint64) CoRun {
+	log := s.O.Events.WithRun(runScope(kind, name, ctas, specs))
+	d := s.dispatcher(name, ctas, log)
 	g := gpu.New(s.O.Cfg, d)
 	g.SetSchedulers(s.O.Sched)
-	s.O.Instrument(g)
+	s.O.instrument(g, log)
 	for i, spec := range specs {
 		g.AddKernel(spec, targets[i])
 	}
@@ -240,7 +334,7 @@ func (s *Session) CoRunTargets(specs []*kernels.Spec, name string, ctas []int, t
 		Mem:     g.Mem.Stats(),
 	}
 	var totalInsts uint64
-	for i, k := range g.Kernels {
+	for _, k := range g.Kernels {
 		insts := g.KernelInsts(k.Slot)
 		fin := k.FinishCycle
 		if !k.Done {
@@ -254,7 +348,6 @@ func (s *Session) CoRunTargets(specs []*kernels.Spec, name string, ctas []int, t
 		}
 		r.PerKernelIPC = append(r.PerKernelIPC, ipc)
 		totalInsts += insts
-		_ = i
 	}
 	if cycles > 0 {
 		r.IPC = float64(totalInsts) / float64(cycles)
@@ -263,7 +356,7 @@ func (s *Session) CoRunTargets(specs []*kernels.Spec, name string, ctas []int, t
 		r.Partition = c.Partition
 		r.ChoseSpatial = c.ChoseSpatial
 	}
-	s.O.Events.Emit(cycles, obs.EvCoRunDone, map[string]any{
+	log.Emit(cycles, obs.EvCoRunDone, map[string]any{
 		"policy": name, "workload": WorkloadName(specs),
 		"ipc": r.IPC, "cycles": cycles, "timeout": r.Timeout,
 	})
@@ -272,16 +365,20 @@ func (s *Session) CoRunTargets(specs []*kernels.Spec, name string, ctas []int, t
 
 // RunFixedCycles runs specs under the named policy for exactly `cycles`
 // cycles (no instruction targets) and reports the combined IPC. Used for
-// occupancy-curve measurement.
+// occupancy-curve measurement. Non-positive windows report zero IPC
+// rather than dividing by the cycle count.
 func (s *Session) RunFixedCycles(specs []*kernels.Spec, name string, ctas []int, cycles int64) CoRun {
-	d := s.dispatcher(name, ctas)
+	log := s.O.Events.WithRun(runScope("window", name, ctas, specs))
+	d := s.dispatcher(name, ctas, log)
 	g := gpu.New(s.O.Cfg, d)
 	g.SetSchedulers(s.O.Sched)
-	s.O.Instrument(g)
+	s.O.instrument(g, log)
 	for _, spec := range specs {
 		g.AddKernel(spec, 0)
 	}
-	g.RunCycles(cycles)
+	if cycles > 0 {
+		g.RunCycles(cycles)
+	}
 	r := CoRun{
 		Specs:  specs,
 		Policy: name,
@@ -292,12 +389,18 @@ func (s *Session) RunFixedCycles(specs []*kernels.Spec, name string, ctas []int,
 	var total uint64
 	for _, k := range g.Kernels {
 		insts := g.KernelInsts(k.Slot)
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(insts) / float64(cycles)
+		}
 		r.Insts = append(r.Insts, insts)
 		r.FinishCycles = append(r.FinishCycles, cycles)
-		r.PerKernelIPC = append(r.PerKernelIPC, float64(insts)/float64(cycles))
+		r.PerKernelIPC = append(r.PerKernelIPC, ipc)
 		total += insts
 	}
-	r.IPC = float64(total) / float64(cycles)
+	if cycles > 0 {
+		r.IPC = float64(total) / float64(cycles)
+	}
 	return r
 }
 
@@ -305,44 +408,60 @@ func (s *Session) RunFixedCycles(specs []*kernels.Spec, name string, ctas []int,
 // (the paper's methodology).
 func (s *Session) CoRun(specs []*kernels.Spec, name string) CoRun {
 	targets := make([]uint64, len(specs))
-	for i, spec := range specs {
-		targets[i] = s.Isolation(spec).Insts
-	}
+	s.parallelFor(len(specs), func(i int) {
+		targets[i] = s.Isolation(specs[i]).Insts
+	})
 	return s.CoRunTargets(specs, name, nil, targets)
 }
 
 // Oracle exhaustively searches intra-SM CTA partitions (plus spatial
 // multitasking) for the best combined IPC, exactly as the paper's oracle.
 // The search runs at OracleTargetFrac-scaled targets; the winner is re-run
-// at full targets.
+// at full targets. Candidates are independent simulations, so the search
+// fans across the session's worker pool; results are collected by index
+// and scanned in enumeration order, preserving the serial tie-breaking
+// exactly. ChoseSpatial reports a spatial-multitasking winner, so
+// downstream consumers can tell "oracle chose spatial" from "partition
+// missing".
 func (s *Session) Oracle(specs []*kernels.Spec) CoRun {
 	targets := make([]uint64, len(specs))
 	scaled := make([]uint64, len(specs))
-	for i, spec := range specs {
-		iso := s.Isolation(spec)
+	s.parallelFor(len(specs), func(i int) {
+		iso := s.Isolation(specs[i])
 		targets[i] = iso.Insts
 		scaled[i] = uint64(float64(iso.Insts) * s.O.OracleTargetFrac)
 		if scaled[i] == 0 {
 			scaled[i] = 1
 		}
-	}
+	})
+
+	// Spatial is part of the oracle's search space: it rides the pool as
+	// the entry after the last CTA combination.
+	combos := s.feasibleCombos(specs)
+	results := make([]CoRun, len(combos)+1)
+	s.parallelFor(len(results), func(i int) {
+		if i < len(combos) {
+			results[i] = s.coRunTargets("oracle", specs, "fixed", combos[i], scaled)
+		} else {
+			results[i] = s.coRunTargets("oracle", specs, "spatial", nil, scaled)
+		}
+	})
 
 	best := CoRun{}
 	bestCombo := []int(nil)
-	for _, combo := range s.feasibleCombos(specs) {
-		r := s.CoRunTargets(specs, "fixed", combo, scaled)
-		if bestCombo == nil || r.IPC > best.IPC {
-			best, bestCombo = r, combo
+	for i, combo := range combos {
+		if bestCombo == nil || results[i].IPC > best.IPC {
+			best, bestCombo = results[i], combo
 		}
 	}
-	// Spatial is part of the oracle's search space.
-	sp := s.CoRunTargets(specs, "spatial", nil, scaled)
+	sp := results[len(combos)]
 	if bestCombo == nil || sp.IPC > best.IPC {
-		final := s.CoRun(specs, "spatial")
+		final := s.coRunTargets("oracle-final", specs, "spatial", nil, targets)
 		final.Policy = "oracle"
+		final.ChoseSpatial = true
 		return final
 	}
-	final := s.CoRunTargets(specs, "fixed", bestCombo, targets)
+	final := s.coRunTargets("oracle-final", specs, "fixed", bestCombo, targets)
 	final.Policy = "oracle"
 	final.Partition = bestCombo
 	return final

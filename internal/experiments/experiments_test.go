@@ -210,7 +210,7 @@ func TestUnknownPolicyPanics(t *testing.T) {
 		}
 	}()
 	s := quickSession(t)
-	s.dispatcher("bogus", nil)
+	s.dispatcher("bogus", nil, nil)
 }
 
 func TestWorkloadName(t *testing.T) {

@@ -43,12 +43,15 @@ func Figure10a(o Options, ws []Workload) []Figure10aRow {
 		oo := o
 		oo.Sample, oo.AlgDelay = 5000, 0
 		s := NewSession(oo)
-		for i, w := range ws {
-			ref[i] = s.CoRun(w.Specs, "dynamic").IPC
-		}
+		s.parallelFor(len(ws), func(i int) {
+			ref[i] = s.CoRun(ws[i].Specs, "dynamic").IPC
+		})
 	}
-	var out []Figure10aRow
-	for _, st := range settings {
+	// Each setting owns a session (its windows change the simulations), so
+	// the whole settings sweep fans across the pool; rows land by index.
+	out := make([]Figure10aRow, len(settings))
+	parallelFor(o.parallelism(), len(settings), func(si int) {
+		st := settings[si]
 		oo := o
 		oo.Sample, oo.AlgDelay = st.sample, st.delay
 		if st.scaleOff {
@@ -56,15 +59,18 @@ func Figure10a(o Options, ws []Workload) []Figure10aRow {
 		}
 		oo.SymmetricScaling = st.symmetric
 		s := NewSession(oo)
+		ipcs := make([]float64, len(ws))
+		s.parallelFor(len(ws), func(i int) {
+			ipcs[i] = s.CoRun(ws[i].Specs, "dynamic").IPC
+		})
 		var norms []float64
-		for i, w := range ws {
-			ipc := s.CoRun(w.Specs, "dynamic").IPC
+		for i := range ws {
 			if ref[i] > 0 {
-				norms = append(norms, ipc/ref[i])
+				norms = append(norms, ipcs[i]/ref[i])
 			}
 		}
-		out = append(out, Figure10aRow{Label: st.label, Norm: metrics.Gmean(norms)})
-	}
+		out[si] = Figure10aRow{Label: st.label, Norm: metrics.Gmean(norms)}
+	})
 	return out
 }
 
@@ -75,6 +81,8 @@ type Figure10bRow struct {
 }
 
 // Figure10b evaluates the policies under GTO and round-robin scheduling.
+// Each scheduler's sweep is already parallel (runWorkloads); the two
+// sessions run in sequence so nested fan-out stays bounded.
 func Figure10b(o Options, ws []Workload) []Figure10bRow {
 	var out []Figure10bRow
 	for _, sched := range []sm.SchedulerKind{sm.GTO, sm.RR} {
@@ -114,10 +122,15 @@ type BigSMResult struct {
 // 64-warp configuration of §V-H.
 func BigSM(o Options, ws []Workload) BigSMResult {
 	s := NewSession(o)
+	los := make([]CoRun, len(ws))
+	dys := make([]CoRun, len(ws))
+	s.parallelFor(len(ws), func(i int) {
+		los[i] = s.CoRun(ws[i].Specs, "leftover")
+		dys[i] = s.CoRun(ws[i].Specs, "dynamic")
+	})
 	var perf, fair []float64
-	for _, w := range ws {
-		lo := s.CoRun(w.Specs, "leftover")
-		dy := s.CoRun(w.Specs, "dynamic")
+	for i := range ws {
+		lo, dy := los[i], dys[i]
 		if lo.IPC > 0 {
 			perf = append(perf, dy.IPC/lo.IPC)
 		}

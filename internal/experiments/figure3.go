@@ -37,22 +37,32 @@ type Curve struct {
 
 // OccupancyCurve measures one kernel's IPC while capping per-SM CTAs at
 // 1..max (the oracle input of §IV and the X-axis of Figure 3a).
+// Concurrent callers for the same kernel share one measurement
+// (singleflight), and the per-CTA-count runs — each an independent
+// simulation — fan across the session's worker pool.
 func (s *Session) OccupancyCurve(spec *kernels.Spec) Curve {
 	s.mu.Lock()
-	if c, ok := s.curves[spec.Abbr]; ok {
-		s.mu.Unlock()
-		return c
+	e, ok := s.curves[spec.Abbr]
+	if !ok {
+		e = &curveEntry{}
+		s.curves[spec.Abbr] = e
 	}
 	s.mu.Unlock()
+	e.once.Do(func() { e.res = s.measureCurve(spec) })
+	return e.res
+}
 
+// measureCurve runs the per-occupancy sweep behind OccupancyCurve.
+func (s *Session) measureCurve(spec *kernels.Spec) Curve {
 	cfg := s.O.Cfg
 	maxC := spec.MaxCTAs(cfg.SM.Registers, cfg.SM.SharedMemBytes, cfg.SM.MaxThreads, cfg.SM.MaxCTAs)
 	c := Curve{Abbr: spec.Abbr, MaxCTAs: maxC, IPC: make([]float64, maxC+1), Norm: make([]float64, maxC+1)}
 
-	for j := 1; j <= maxC; j++ {
+	s.parallelFor(maxC, func(i int) {
+		j := i + 1
 		r := s.RunFixedCycles([]*kernels.Spec{spec}, "fixed", []int{j}, s.O.IsolationCycles)
 		c.IPC[j] = r.IPC
-	}
+	})
 	peak := 0.0
 	for j := 1; j <= maxC; j++ {
 		if c.IPC[j] > peak {
@@ -67,10 +77,6 @@ func (s *Session) OccupancyCurve(spec *kernels.Spec) Curve {
 	iso := s.Isolation(spec)
 	c.L2MPKI = metrics.MPKI(iso.Mem.L2MissPerKernel[0], iso.SM.PerKernel[0].WarpInsts)
 	c.Category = classify(c)
-
-	s.mu.Lock()
-	s.curves[spec.Abbr] = c
-	s.mu.Unlock()
 	return c
 }
 
@@ -95,12 +101,14 @@ func classify(c Curve) Category {
 	return ComputeNonSaturating
 }
 
-// Figure3 measures every kernel's occupancy curve.
+// Figure3 measures every kernel's occupancy curve, fanning the kernels
+// across the session's worker pool.
 func Figure3(s *Session) []Curve {
-	var out []Curve
-	for _, spec := range kernels.Suite() {
-		out = append(out, s.OccupancyCurve(spec))
-	}
+	suite := kernels.Suite()
+	out := make([]Curve, len(suite))
+	s.parallelFor(len(suite), func(i int) {
+		out[i] = s.OccupancyCurve(suite[i])
+	})
 	return out
 }
 

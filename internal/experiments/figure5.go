@@ -35,8 +35,12 @@ func Figure5(s *Session, windows int) []Figure5Row {
 	if win <= 0 {
 		win = 5000
 	}
-	var rows []Figure5Row
-	for _, spec := range kernels.Suite() {
+	suite := kernels.Suite()
+	rows := make([]Figure5Row, len(suite))
+	// Each benchmark's windowed trace is an independent simulation; fan
+	// them across the worker pool and collect rows by index.
+	s.parallelFor(len(suite), func(idx int) {
+		spec := suite[idx]
 		g := gpu.New(s.O.Cfg, greedyFill{})
 		g.SetSchedulers(s.O.Sched)
 		g.AddKernel(spec, 0)
@@ -66,8 +70,8 @@ func Figure5(s *Session, windows int) []Figure5Row {
 			}
 			row.FirstWindowErr = err
 		}
-		rows = append(rows, row)
-	}
+		rows[idx] = row
+	})
 	return rows
 }
 

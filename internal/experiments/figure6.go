@@ -17,10 +17,13 @@ type Figure6Row struct {
 	// Normalized to Left-Over.
 	Spatial, Even, Dynamic, Oracle float64
 	// Partition chosen by the dynamic policy (nil = spatial fallback);
-	// OraclePartition is the exhaustive-search winner.
-	Partition       []int
-	ChoseSpatial    bool
-	OraclePartition []int
+	// OraclePartition is the exhaustive-search winner, and
+	// OracleChoseSpatial distinguishes "the oracle chose spatial
+	// multitasking" (no partition by construction) from "no oracle run".
+	Partition          []int
+	ChoseSpatial       bool
+	OraclePartition    []int
+	OracleChoseSpatial bool
 	// Raw runs for downstream experiments (Figure 7/9, energy).
 	Runs map[string]CoRun
 }
@@ -36,52 +39,64 @@ func Figure6From(s *Session, ws []Workload, withOracle bool) []Figure6Row {
 	return runWorkloads(s, ws, withOracle)
 }
 
-// runWorkloads evaluates the policy set on arbitrary workloads.
+// runWorkloads evaluates the policy set on arbitrary workloads. Workloads
+// are independent simulations, so the sweep fans across the session's
+// worker pool; rows are collected by index, keeping the output identical
+// to a serial sweep.
 func runWorkloads(s *Session, ws []Workload, withOracle bool) []Figure6Row {
-	var rows []Figure6Row
-	for _, w := range ws {
-		row := Figure6Row{Workload: w.Name(), Category: w.Category, Runs: map[string]CoRun{}}
-
-		lo := s.CoRun(w.Specs, "leftover")
-		row.LeftOverIPC = lo.IPC
-		row.Runs["leftover"] = lo
-
-		for _, p := range []string{"spatial", "even", "dynamic"} {
-			r := s.CoRun(w.Specs, p)
-			row.Runs[p] = r
-			norm := 0.0
-			if lo.IPC > 0 {
-				norm = r.IPC / lo.IPC
-			}
-			switch p {
-			case "spatial":
-				row.Spatial = norm
-			case "even":
-				row.Even = norm
-			case "dynamic":
-				row.Dynamic = norm
-				row.Partition = r.Partition
-				row.ChoseSpatial = r.ChoseSpatial
-			}
-		}
-		if withOracle {
-			or := s.Oracle(w.Specs)
-			row.Runs["oracle"] = or
-			if lo.IPC > 0 {
-				row.Oracle = or.IPC / lo.IPC
-			}
-			row.OraclePartition = or.Partition
-			// The oracle is by construction at least as good as every
-			// policy it subsumes.
-			for _, v := range []float64{row.Spatial, row.Even, row.Dynamic} {
-				if v > row.Oracle {
-					row.Oracle = v
-				}
-			}
-		}
-		rows = append(rows, row)
+	if len(ws) == 0 {
+		return nil
 	}
+	rows := make([]Figure6Row, len(ws))
+	s.parallelFor(len(ws), func(i int) {
+		rows[i] = runWorkload(s, ws[i], withOracle)
+	})
 	return rows
+}
+
+// runWorkload evaluates one workload under every policy.
+func runWorkload(s *Session, w Workload, withOracle bool) Figure6Row {
+	row := Figure6Row{Workload: w.Name(), Category: w.Category, Runs: map[string]CoRun{}}
+
+	lo := s.CoRun(w.Specs, "leftover")
+	row.LeftOverIPC = lo.IPC
+	row.Runs["leftover"] = lo
+
+	for _, p := range []string{"spatial", "even", "dynamic"} {
+		r := s.CoRun(w.Specs, p)
+		row.Runs[p] = r
+		norm := 0.0
+		if lo.IPC > 0 {
+			norm = r.IPC / lo.IPC
+		}
+		switch p {
+		case "spatial":
+			row.Spatial = norm
+		case "even":
+			row.Even = norm
+		case "dynamic":
+			row.Dynamic = norm
+			row.Partition = r.Partition
+			row.ChoseSpatial = r.ChoseSpatial
+		}
+	}
+	if withOracle {
+		or := s.Oracle(w.Specs)
+		row.Runs["oracle"] = or
+		if lo.IPC > 0 {
+			row.Oracle = or.IPC / lo.IPC
+		}
+		row.OraclePartition = or.Partition
+		row.OracleChoseSpatial = or.ChoseSpatial
+		// The oracle is by construction at least as good as every
+		// policy it subsumes.
+		for _, v := range []float64{row.Spatial, row.Even, row.Dynamic} {
+			if v > row.Oracle {
+				row.Oracle = v
+			}
+		}
+	}
+	return row
 }
 
 // Gmeans summarizes normalized IPC per policy over rows.

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"warpedslicer/internal/kernels"
+)
+
+// The parallel experiment engine. Every table and figure of the paper's
+// evaluation decomposes into independent gpu.New+run invocations (the
+// simulator's synthetic randomness is a pure function of stable
+// identifiers — see internal/rng), so the harness fans them across a
+// worker pool sized by Options.Parallelism and collects results by index.
+// Outputs are byte-identical to a serial run: only wall-clock order (and
+// therefore the interleaving of run-scoped events in a shared log)
+// differs.
+
+// parallelism resolves the worker-pool size: Parallelism when positive,
+// otherwise GOMAXPROCS. A value of 1 forces strictly serial execution.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(0) .. fn(n-1) on up to `workers` goroutines and
+// returns once all calls complete. Iterations are handed out by an atomic
+// counter, so callers must make fn(i) independent of every fn(j) and
+// write results only to index i. With workers <= 1 the loop degenerates
+// to a plain serial for, making serial-vs-parallel comparisons exact. A
+// panic in any iteration is re-raised in the caller.
+func parallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// parallelFor runs fn over [0, n) on the session's worker pool.
+func (s *Session) parallelFor(n int, fn func(i int)) {
+	parallelFor(s.O.parallelism(), n, fn)
+}
+
+// PrewarmIsolations records every spec's isolation reference through the
+// worker pool. Experiments that consume many cached isolations (Table II,
+// Figure 1, the co-run target derivations) call it so the expensive
+// single-kernel runs overlap; the singleflight cache guarantees each
+// kernel still runs exactly once.
+func (s *Session) PrewarmIsolations(specs []*kernels.Spec) {
+	s.parallelFor(len(specs), func(i int) { s.Isolation(specs[i]) })
+}

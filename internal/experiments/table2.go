@@ -28,6 +28,7 @@ type Table2Row struct {
 // Table2 reproduces Table II by running every benchmark in isolation.
 func Table2(s *Session) []Table2Row {
 	cfg := s.O.Cfg
+	s.PrewarmIsolations(kernels.Suite())
 	var rows []Table2Row
 	for _, spec := range kernels.Suite() {
 		iso := s.Isolation(spec)
@@ -86,6 +87,7 @@ type Figure1Row struct {
 
 // Figure1 reproduces the stall-cycle breakdown of Figure 1.
 func Figure1(s *Session) []Figure1Row {
+	s.PrewarmIsolations(kernels.Suite())
 	var rows []Figure1Row
 	for _, spec := range kernels.Suite() {
 		iso := s.Isolation(spec)

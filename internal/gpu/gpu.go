@@ -172,6 +172,10 @@ func (g *GPU) KernelInsts(slot int) uint64 {
 func (g *GPU) haltKernel(k *Kernel) {
 	k.Done = true
 	k.FinishCycle = g.now
+	// Re-sample at halt time: k.Insts may lag by up to the checkTargets
+	// period, and the emitted kernel_done count must agree with what any
+	// later KernelInsts read (the run's CoRun.Insts and targets) reports.
+	k.Insts = g.KernelInsts(k.Slot)
 	for _, s := range g.SMs {
 		s.HaltKernel(k.Slot)
 		s.SetQuota(k.Slot, sm.Quota{}) // no relaunches

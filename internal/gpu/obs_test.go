@@ -100,3 +100,47 @@ func TestGPUEmitsKernelLifecycleEvents(t *testing.T) {
 		}
 	}
 }
+
+// TestKernelDoneInstsMatchFinalCount is the regression test for the stale
+// kernel_done payload: haltKernel used to emit the instruction count from
+// the previous checkTargets sample, which could trail the true count by up
+// to the sampling period. The emitted insts must equal what KernelInsts
+// reports after the run (a halted kernel executes nothing further) and be
+// at or past the target that triggered the halt.
+func TestKernelDoneInstsMatchFinalCount(t *testing.T) {
+	log := obs.NewEventLog()
+	g := gpu.New(config.Baseline(), policy.FCFS{})
+	g.Log = log
+	const target = 40_000
+	g.AddKernel(kernels.ByAbbr("IMG"), target)
+	g.AddKernel(kernels.ByAbbr("BLK"), target)
+	g.Run(2_000_000)
+	if !g.AllDone() {
+		t.Fatal("co-run did not finish")
+	}
+
+	done := log.Filter(obs.EvKernelDone)
+	if len(done) != 2 {
+		t.Fatalf("kernel_done events = %d, want 2", len(done))
+	}
+	for _, ev := range done {
+		slot, ok := ev.Int("kernel")
+		if !ok {
+			t.Fatalf("kernel_done without slot: %+v", ev)
+		}
+		insts, ok := ev.Int("insts")
+		if !ok {
+			t.Fatalf("kernel_done without insts: %+v", ev)
+		}
+		final := g.KernelInsts(int(slot))
+		if uint64(insts) != final {
+			t.Errorf("slot %d: kernel_done insts = %d, final count = %d", slot, insts, final)
+		}
+		if insts < target {
+			t.Errorf("slot %d: halted below target: %d < %d", slot, insts, target)
+		}
+		if k := g.Kernels[slot]; k.Insts != final {
+			t.Errorf("slot %d: Kernel.Insts = %d, final count = %d", slot, k.Insts, final)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -48,9 +49,13 @@ const (
 
 // Event is one structured observation. Cycle is simulated time (core
 // cycles); events from the experiments harness (which spans many runs) use
-// the cycle within their run.
+// the cycle within their run. Run, when non-empty, identifies which
+// simulation emitted the event (see EventLog.WithRun): concurrent runs
+// share one log, and the run scope keeps each cycle-stamped trail
+// attributable.
 type Event struct {
 	Cycle int64          `json:"cycle"`
+	Run   string         `json:"run,omitempty"`
 	Kind  string         `json:"kind"`
 	Data  map[string]any `json:"data,omitempty"`
 }
@@ -63,23 +68,60 @@ type EventLog struct {
 
 	// OnEvent, when non-nil, observes every appended event (called with
 	// the log unlocked, in append order from the emitting goroutine).
+	// Set it on the root log; scoped views (WithRun) share the root's
+	// callback.
 	OnEvent func(Event)
+
+	// root/run implement run-scoped views: a view stamps its run identity
+	// on every event and delegates storage (and OnEvent) to the root.
+	root *EventLog
+	run  string
 }
 
 // NewEventLog returns an empty log.
 func NewEventLog() *EventLog { return &EventLog{} }
 
-// Emit appends one event. Nil logs are silently ignored so emitters need
-// no guards.
+// WithRun returns a view of the log that stamps every emitted event with
+// the given run scope. The view shares the parent's storage, so queries
+// and WriteJSONL on any view see the whole log. Run scopes must be pure
+// functions of stable identifiers (workload, policy, partition) so a
+// parallel session produces the same scope set as a serial one. An empty
+// run (or a nil log) returns the receiver unchanged.
+func (l *EventLog) WithRun(run string) *EventLog {
+	if l == nil || run == "" {
+		return l
+	}
+	return &EventLog{root: l.storage(), run: run}
+}
+
+// Run returns the view's run scope ("" on a root log).
+func (l *EventLog) Run() string {
+	if l == nil {
+		return ""
+	}
+	return l.run
+}
+
+// storage resolves the shared root log backing this view.
+func (l *EventLog) storage() *EventLog {
+	if l.root != nil {
+		return l.root
+	}
+	return l
+}
+
+// Emit appends one event, stamped with the view's run scope. Nil logs are
+// silently ignored so emitters need no guards.
 func (l *EventLog) Emit(cycle int64, kind string, data map[string]any) {
 	if l == nil {
 		return
 	}
-	ev := Event{Cycle: cycle, Kind: kind, Data: data}
-	l.mu.Lock()
-	l.events = append(l.events, ev)
-	cb := l.OnEvent
-	l.mu.Unlock()
+	ev := Event{Cycle: cycle, Run: l.run, Kind: kind, Data: data}
+	st := l.storage()
+	st.mu.Lock()
+	st.events = append(st.events, ev)
+	cb := st.OnEvent
+	st.mu.Unlock()
 	if cb != nil {
 		cb(ev)
 	}
@@ -90,9 +132,10 @@ func (l *EventLog) Len() int {
 	if l == nil {
 		return 0
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.events)
+	st := l.storage()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.events)
 }
 
 // Events returns a copy of all events in append order.
@@ -100,9 +143,39 @@ func (l *EventLog) Events() []Event {
 	if l == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return append([]Event(nil), l.events...)
+	st := l.storage()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]Event(nil), st.events...)
+}
+
+// Runs returns the sorted set of distinct run scopes present in the log
+// (excluding the empty scope). Serial and parallel sessions over the same
+// experiments produce identical sets.
+func (l *EventLog) Runs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ev := range l.Events() {
+		if ev.Run != "" && !seen[ev.Run] {
+			seen[ev.Run] = true
+			out = append(out, ev.Run)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FilterRun returns all events emitted under the given run scope, in
+// append order. Within one scope that order is the run's own emission
+// order even when many runs share the log concurrently.
+func (l *EventLog) FilterRun(run string) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Run == run {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // Filter returns all events of the given kind.

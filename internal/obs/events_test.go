@@ -93,6 +93,104 @@ func TestEventLogConcurrentEmit(t *testing.T) {
 	}
 }
 
+func TestEventLogWithRunStampsAndSharesStorage(t *testing.T) {
+	root := NewEventLog()
+	a := root.WithRun("corun/dynamic/IMG_BLK")
+	b := root.WithRun("iso/IMG")
+
+	root.Emit(1, "tick", nil)
+	a.Emit(2, "tick", nil)
+	b.Emit(3, "tick", nil)
+	a.Emit(4, "tock", nil)
+
+	// Views append into the root: every view sees the whole log.
+	for _, l := range []*EventLog{root, a, b} {
+		if l.Len() != 4 {
+			t.Fatalf("len via view = %d, want 4", l.Len())
+		}
+	}
+	evs := root.Events()
+	wantRuns := []string{"", "corun/dynamic/IMG_BLK", "iso/IMG", "corun/dynamic/IMG_BLK"}
+	for i, ev := range evs {
+		if ev.Run != wantRuns[i] {
+			t.Fatalf("event %d run = %q, want %q", i, ev.Run, wantRuns[i])
+		}
+	}
+	if a.Run() != "corun/dynamic/IMG_BLK" || root.Run() != "" {
+		t.Fatalf("Run() accessors = %q / %q", a.Run(), root.Run())
+	}
+
+	// Runs() is the sorted distinct non-empty scope set.
+	runs := root.Runs()
+	if len(runs) != 2 || runs[0] != "corun/dynamic/IMG_BLK" || runs[1] != "iso/IMG" {
+		t.Fatalf("Runs() = %v", runs)
+	}
+	// FilterRun keeps per-scope append order.
+	got := a.FilterRun("corun/dynamic/IMG_BLK")
+	if len(got) != 2 || got[0].Cycle != 2 || got[1].Cycle != 4 {
+		t.Fatalf("FilterRun = %+v", got)
+	}
+}
+
+func TestEventLogWithRunOfViewRebasesOnRoot(t *testing.T) {
+	root := NewEventLog()
+	v := root.WithRun("a").WithRun("b")
+	v.Emit(1, "x", nil)
+	if evs := root.Events(); len(evs) != 1 || evs[0].Run != "b" {
+		t.Fatalf("nested view events = %+v", root.Events())
+	}
+}
+
+func TestEventLogWithRunDegenerateCases(t *testing.T) {
+	var nilLog *EventLog
+	if nilLog.WithRun("x") != nil {
+		t.Fatal("nil log WithRun must stay nil")
+	}
+	nilLog.WithRun("x").Emit(1, "k", nil) // must not panic
+
+	root := NewEventLog()
+	if root.WithRun("") != root {
+		t.Fatal("empty run scope must return the receiver")
+	}
+}
+
+func TestEventLogWithRunJSONL(t *testing.T) {
+	root := NewEventLog()
+	root.WithRun("iso/NN").Emit(9, EvIsolationDone, map[string]any{"kernel": "NN"})
+	var sb strings.Builder
+	if err := root.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Run != "iso/NN" {
+		t.Fatalf("round-tripped run = %q", ev.Run)
+	}
+	// The empty scope must stay omitted from the wire format.
+	root2 := NewEventLog()
+	root2.Emit(1, "k", nil)
+	sb.Reset()
+	if err := root2.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `"run"`) {
+		t.Fatalf("unscoped event serialized a run field: %s", sb.String())
+	}
+}
+
+func TestEventLogWithRunSharesOnEvent(t *testing.T) {
+	root := NewEventLog()
+	var seen []string
+	root.OnEvent = func(ev Event) { seen = append(seen, ev.Run+":"+ev.Kind) }
+	root.WithRun("r1").Emit(1, "a", nil)
+	root.Emit(2, "b", nil)
+	if len(seen) != 2 || seen[0] != "r1:a" || seen[1] != ":b" {
+		t.Fatalf("OnEvent saw %v", seen)
+	}
+}
+
 func TestEventLogOnEvent(t *testing.T) {
 	l := NewEventLog()
 	var seen []string

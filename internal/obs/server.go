@@ -98,7 +98,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "wslicer observability\n\n"+
 		"/metrics        Prometheus text exposition\n"+
 		"/snapshot       registry snapshot as JSON\n"+
-		"/events         event log as JSON (?kind=... to filter)\n"+
+		"/events         event log as JSON (?kind=... / ?run=... to filter)\n"+
 		"/events.jsonl   event log as JSON lines\n")
 }
 
@@ -128,6 +128,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		kept := evs[:0]
 		for _, ev := range evs {
 			if ev.Kind == kind {
+				kept = append(kept, ev)
+			}
+		}
+		evs = kept
+	}
+	if run := r.URL.Query().Get("run"); run != "" {
+		kept := evs[:0]
+		for _, ev := range evs {
+			if ev.Run == run {
 				kept = append(kept, ev)
 			}
 		}
