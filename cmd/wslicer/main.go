@@ -16,6 +16,7 @@
 //	fig6     Figure 6   30 pairs x {Spatial,Even,Dynamic,Oracle} vs Left-Over
 //	table3   Table III  CTA partitions chosen by Warped-Slicer vs Even
 //	fig7     Figure 7   utilization, cache miss rates, stall breakdown
+//	fig7c    Figure 7c  per-benchmark stall breakdown, alone vs shared (CSV)
 //	fig8     Figure 8   3-kernel workloads
 //	fig9     Figure 9   fairness (min speedup) and ANTT
 //	energy   §V-G       energy and dynamic power comparison
@@ -60,7 +61,7 @@ func main() {
 		tlWindow  = flag.Int64("window", 5000, "timeline: sampling window in cycles")
 		tlCycles  = flag.Int64("cycles", 120_000, "timeline: total cycles to trace")
 		tlCSV     = flag.String("csv", "", "timeline: CSV output path (default stdout)")
-		csvDir    = flag.String("csvdir", "", "also write table2/fig3/fig6 results as CSV files here")
+		csvDir    = flag.String("csvdir", "", "also write table2/fig3/fig6/fig7c results as CSV files here")
 
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 
@@ -234,6 +235,15 @@ func run(name string, o experiments.Options, ws []experiments.Workload, withOrac
 		b := experiments.Figure7bFrom(rows)
 		c := experiments.Figure7cFrom(rows)
 		fmt.Print(experiments.FormatFigure7(a, b, c))
+	case "fig7c":
+		header("Figure 7c: per-benchmark stall breakdown (alone vs shared)")
+		rows := experiments.Figure6From(s, ws, false)
+		det := experiments.Figure7cDetail(s, rows)
+		record("figure7c", det)
+		maybeCSV("figure7c.csv", func(f *os.File) error { return experiments.WriteFigure7cCSV(f, det) })
+		if err := experiments.WriteFigure7cCSV(os.Stdout, det); err != nil {
+			fatal(err)
+		}
 	case "fig8":
 		header("Figure 8: three kernels per SM")
 		fmt.Print(experiments.FormatFigure8(experiments.Figure8(s)))
@@ -393,6 +403,12 @@ func runAll(o experiments.Options, ws []experiments.Workload, withOracle bool) {
 		experiments.Figure7aFrom(s, rows),
 		experiments.Figure7bFrom(rows),
 		experiments.Figure7cFrom(rows)))
+	fmt.Println()
+
+	header("Figure 7c: per-benchmark stall breakdown (alone vs shared)")
+	det := experiments.Figure7cDetail(s, rows)
+	record("figure7c", det)
+	fmt.Print(experiments.FormatFigure7cDetail(det))
 	fmt.Println()
 
 	header("Figure 8: three kernels per SM")

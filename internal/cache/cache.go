@@ -8,7 +8,11 @@
 // installs the line when the refill returns.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"warpedslicer/internal/obs"
+)
 
 // Result classifies an access.
 type Result uint8
@@ -80,6 +84,12 @@ type Cache struct {
 	tick  uint64
 
 	Stats Stats
+
+	// EvictionAge records, for each eviction, how many cache operations
+	// (the LRU clock) the victim survived since its last touch. A
+	// left-shifted distribution means lines die before reuse — the
+	// thrashing signature intra-SM sharing can induce.
+	EvictionAge obs.Hist
 }
 
 // New constructs a cache. sizeBytes must be divisible by lineBytes*assoc.
@@ -200,6 +210,7 @@ func (c *Cache) Fill(addr uint64) {
 	}
 	if c.lines[victim].valid {
 		c.Stats.Evictions++
+		c.EvictionAge.Observe(int64(c.tick - c.lines[victim].used))
 	}
 	c.lines[victim] = line{tag: la, valid: true, used: c.tick}
 }
@@ -225,4 +236,5 @@ func (c *Cache) Reset() {
 	c.mshr = make(map[uint64]struct{}, c.mshrMax)
 	c.tick = 0
 	c.Stats = Stats{}
+	c.EvictionAge = obs.Hist{}
 }

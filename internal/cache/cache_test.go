@@ -234,3 +234,27 @@ func TestSmallWorkingSetAlwaysHitsProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestEvictionAgeHistogram: every eviction records the victim's age on the
+// LRU clock, so the histogram count tracks Stats.Evictions exactly.
+func TestEvictionAgeHistogram(t *testing.T) {
+	c := newTest() // 4 sets, 4-way
+	// Fill one set beyond capacity: lines mapping to set 0 are 64-byte
+	// lines at stride sets*64 = 256.
+	for i := 0; i < 6; i++ {
+		addr := uint64(i) * 256
+		if c.Access(addr, false) == Miss {
+			c.Fill(addr)
+		}
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("no evictions; test is vacuous")
+	}
+	if got := c.EvictionAge.Count(); got != c.Stats.Evictions {
+		t.Fatalf("eviction-age observations = %d, Stats.Evictions = %d", got, c.Stats.Evictions)
+	}
+	c.Reset()
+	if c.EvictionAge.Count() != 0 {
+		t.Fatal("Reset did not clear the eviction-age histogram")
+	}
+}

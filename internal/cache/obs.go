@@ -21,7 +21,10 @@ func (s Stats) EmitObs(emit obs.Emit, kv ...string) {
 }
 
 // Register wires this cache's live counters into the registry under the
-// given labels.
+// given labels, including the eviction-age histogram.
 func (c *Cache) Register(r *obs.Registry, kv ...string) {
-	r.Collector(func(emit obs.Emit) { c.Stats.EmitObs(emit, kv...) })
+	r.Collector(func(emit obs.Emit) {
+		c.Stats.EmitObs(emit, kv...)
+		c.EvictionAge.Emit(emit, "ws_cache_eviction_age_ops", kv...)
+	})
 }

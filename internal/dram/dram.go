@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"warpedslicer/internal/memreq"
+	"warpedslicer/internal/obs"
 )
 
 // Config holds the channel geometry and timing.
@@ -73,6 +74,14 @@ type Channel struct {
 	lastActAt int64 // for tRRD
 
 	Stats Stats
+
+	// RowHitService / RowMissService record per-transaction service time
+	// (arrival to data-complete, memory cycles) split by row-buffer
+	// outcome. A row miss pays precharge+activate, so the two
+	// distributions separate cleanly; their counts match
+	// Stats.RowHits/RowMisses by construction.
+	RowHitService  obs.Hist
+	RowMissService obs.Hist
 }
 
 // NewChannel constructs a channel. Zero-valued timing fields are rejected.
@@ -193,6 +202,11 @@ func (ch *Channel) issue(now int64) {
 	ch.Stats.Served++
 	if p.req.Write {
 		ch.Stats.Writes++
+	}
+	if rowHit {
+		ch.RowHitService.Observe(done - p.arrival)
+	} else {
+		ch.RowMissService.Observe(done - p.arrival)
 	}
 
 	ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)

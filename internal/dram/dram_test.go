@@ -221,3 +221,38 @@ func TestQueueOccupancyStat(t *testing.T) {
 		t.Fatal("ticks not counted")
 	}
 }
+
+// TestServiceHistogramsMatchRowStats checks the per-outcome service-time
+// histograms: their counts equal the row-hit/row-miss counters, and a row
+// miss (precharge + activate) is never serviced faster than the fastest
+// possible row hit.
+func TestServiceHistogramsMatchRowStats(t *testing.T) {
+	ch := NewChannel(testCfg())
+	const n = 64
+	enq, done := 0, 0
+	for now := int64(0); now < 100000 && done < n; now++ {
+		if enq < n && !ch.Full() {
+			// Mixed stream: bursts of same-row traffic with row changes.
+			ch.Enqueue(memreq.Request{LineAddr: uint64(enq/8)*8192 + uint64(enq%8)*128}, now)
+			enq++
+		}
+		done += len(ch.Tick(now))
+	}
+	if done != n {
+		t.Fatalf("served %d of %d", done, n)
+	}
+	if got := ch.RowHitService.Count(); got != ch.Stats.RowHits {
+		t.Errorf("row-hit histogram count = %d, Stats.RowHits = %d", got, ch.Stats.RowHits)
+	}
+	if got := ch.RowMissService.Count(); got != ch.Stats.RowMisses {
+		t.Errorf("row-miss histogram count = %d, Stats.RowMisses = %d", got, ch.Stats.RowMisses)
+	}
+	if ch.Stats.RowHits == 0 || ch.Stats.RowMisses == 0 {
+		t.Fatal("traffic pattern produced no hit/miss mix; test is vacuous")
+	}
+	cfg := testCfg()
+	minMiss := uint64(cfg.TRP + cfg.TRCD + cfg.TCL + cfg.BurstCycles)
+	if mean := float64(ch.RowMissService.Sum()) / float64(ch.RowMissService.Count()); mean < float64(minMiss) {
+		t.Errorf("mean row-miss service %.1f below timing floor %d", mean, minMiss)
+	}
+}

@@ -19,5 +19,9 @@ func (ch *Channel) Register(r *obs.Registry, kv ...string) {
 		c("ws_dram_ticks_total", st.Ticks)
 		c("ws_dram_queue_occupancy_total", st.QueueOccupancy)
 		emit(obs.Label("ws_dram_queue_len", kv...), obs.Gauge, float64(ch.QueueLen()))
+		hitKV := append(append([]string(nil), kv...), "row", "hit")
+		missKV := append(append([]string(nil), kv...), "row", "miss")
+		ch.RowHitService.Emit(emit, "ws_dram_service_cycles", hitKV...)
+		ch.RowMissService.Emit(emit, "ws_dram_service_cycles", missKV...)
 	})
 }

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"warpedslicer/internal/metrics"
+	"warpedslicer/internal/sm"
+)
+
+// Figure7cDetailRow is one bar of the paper's Figure 7c: one benchmark's
+// issue-slot stall mix under one configuration — running alone, or sharing
+// the GPU with its co-runner under a multiprogramming policy. Fractions are
+// of all issue slots in the run, from the per-kernel attribution counters,
+// so a benchmark's shared-mode bars and its co-runner's sum to the SM-wide
+// stall classes (the conservation invariant).
+type Figure7cDetailRow struct {
+	Workload string // co-run name, e.g. "IMG+BLK"
+	Kernel   string // benchmark abbreviation
+	Slot     int    // kernel slot within the co-run (0 when alone)
+	Config   string // "alone", "leftover", "spatial", "even", "dynamic"
+
+	Mem, RAW, Exec, IBuf, Total float64
+}
+
+// stallFractions converts one kernel slot's attribution counters into
+// fractions of the run's issue slots.
+func stallFractions(st sm.Stats, slot int) (mem, raw, exec, ibuf float64) {
+	ks := st.PerKernel[slot]
+	return metrics.Frac(ks.StallMem, st.Slots),
+		metrics.Frac(ks.StallRAW, st.Slots),
+		metrics.Frac(ks.StallExec, st.Slots),
+		metrics.Frac(ks.StallIBuf, st.Slots)
+}
+
+func detailRow(workload, kernel, config string, slot int, st sm.Stats) Figure7cDetailRow {
+	r := Figure7cDetailRow{Workload: workload, Kernel: kernel, Slot: slot, Config: config}
+	r.Mem, r.RAW, r.Exec, r.IBuf = stallFractions(st, slot)
+	r.Total = r.Mem + r.RAW + r.Exec + r.IBuf
+	return r
+}
+
+// Figure7cDetail reproduces the paper's per-benchmark stall breakdown from
+// completed Figure 6 runs: for every workload, each benchmark's stall mix
+// alone (its cached isolation run) and under each sharing policy. Rows are
+// ordered workload-major, then config (alone first), then slot.
+func Figure7cDetail(s *Session, rows []Figure6Row) []Figure7cDetailRow {
+	var out []Figure7cDetailRow
+	for _, row := range rows {
+		lo, ok := row.Runs["leftover"]
+		if !ok || len(lo.Specs) == 0 {
+			continue
+		}
+		for _, spec := range lo.Specs {
+			iso := s.Isolation(spec)
+			// An isolation run hosts its kernel in slot 0 regardless of
+			// where it sits in the co-run.
+			out = append(out, detailRow(row.Workload, spec.Abbr, "alone", 0, iso.SM))
+		}
+		for _, p := range []string{"leftover", "spatial", "even", "dynamic"} {
+			r, ok := row.Runs[p]
+			if !ok {
+				continue
+			}
+			for i, spec := range r.Specs {
+				out = append(out, detailRow(row.Workload, spec.Abbr, p, i, r.SM))
+			}
+		}
+	}
+	return out
+}
+
+// WriteFigure7cCSV exports the per-benchmark stall breakdown.
+func WriteFigure7cCSV(w io.Writer, rows []Figure7cDetailRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "kernel", "slot", "config", "mem", "raw", "exec", "ibuf", "total",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Workload, r.Kernel, fmt.Sprint(r.Slot), r.Config,
+			f4(r.Mem), f4(r.RAW), f4(r.Exec), f4(r.IBuf), f4(r.Total),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatFigure7cDetail renders the breakdown grouped by workload. The alone
+// row uses the benchmark's isolation run; shared rows show how the policy
+// redistributes (and inflates) each class.
+func FormatFigure7cDetail(rows []Figure7cDetailRow) string {
+	var b strings.Builder
+	last := ""
+	for _, r := range rows {
+		if r.Workload != last {
+			if last != "" {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "%s\n", r.Workload)
+			last = r.Workload
+		}
+		fmt.Fprintf(&b, "  %-4s %-8s MEM=%5.1f%% RAW=%5.1f%% EXE=%5.1f%% IBUF=%5.1f%% Total=%5.1f%%\n",
+			r.Kernel, r.Config, r.Mem*100, r.RAW*100, r.Exec*100, r.IBuf*100, r.Total*100)
+	}
+	return b.String()
+}
+
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }

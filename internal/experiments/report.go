@@ -63,6 +63,25 @@ func BuildReport(pairRows, tripleRows []Figure6Row, fair []Figure9Row, energy []
 				Holds:    g.Oracle >= g.Dynamic && g.Dynamic/g.Oracle > 0.8,
 			})
 		}
+		var loMem, dynMem float64
+		for _, c := range Figure7cFrom(pairRows) {
+			switch c.Policy {
+			case "leftover":
+				loMem = c.Mem
+			case "dynamic":
+				dynMem = c.Mem
+			}
+		}
+		if loMem > 0 {
+			add(PaperClaim{
+				ID:       "Fig.7c mem stalls",
+				Claim:    "Memory stalls dominate sharing and shrink under Warped-Slicer vs Left-Over",
+				Paper:    0.90,
+				Measured: dynMem,
+				Holds:    dynMem <= loMem,
+				Note:     fmt.Sprintf("leftover=%.2f dynamic=%.2f", loMem, dynMem),
+			})
+		}
 	}
 	if len(tripleRows) > 0 {
 		g := SummarizeFigure6(tripleRows)

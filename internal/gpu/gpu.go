@@ -157,11 +157,15 @@ func (g *GPU) LaunchCTA(s *sm.SM, k *Kernel) bool {
 }
 
 // KernelInsts returns kernel slot's cumulative thread instructions across
-// all SMs.
+// all SMs. Out-of-range slots read as 0: wrapping them modulo MaxKernels
+// would silently charge one kernel's progress to another.
 func (g *GPU) KernelInsts(slot int) uint64 {
+	if slot < 0 || slot >= MaxKernels {
+		return 0
+	}
 	var total uint64
 	for _, s := range g.SMs {
-		total += s.Stats().PerKernel[slot%MaxKernels].ThreadInsts
+		total += s.Stats().PerKernel[slot].ThreadInsts
 	}
 	return total
 }
@@ -304,6 +308,10 @@ func (g *GPU) AggregateSM() sm.Stats {
 			agg.PerKernel[i].CTAsDone += st.PerKernel[i].CTAsDone
 			agg.PerKernel[i].CTAsLaunched += st.PerKernel[i].CTAsLaunched
 			agg.PerKernel[i].LoadsIssued += st.PerKernel[i].LoadsIssued
+			agg.PerKernel[i].StallMem += st.PerKernel[i].StallMem
+			agg.PerKernel[i].StallRAW += st.PerKernel[i].StallRAW
+			agg.PerKernel[i].StallExec += st.PerKernel[i].StallExec
+			agg.PerKernel[i].StallIBuf += st.PerKernel[i].StallIBuf
 		}
 		agg.L1.Loads += st.L1.Loads
 		agg.L1.LoadHits += st.L1.LoadHits

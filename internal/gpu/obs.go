@@ -37,10 +37,13 @@ func (g *GPU) Register(r *obs.Registry) {
 		}
 	})
 
-	// Device-wide SM aggregate (one Stats walk per snapshot).
+	// Device-wide SM aggregate (one Stats walk per snapshot). The
+	// label-free per-kernel stall series feed the trace layer's
+	// per-kernel stall tracks.
 	r.Collector(func(emit obs.Emit) {
 		agg := g.AggregateSM()
 		agg.EmitObs(emit)
+		agg.EmitKernelObs(emit)
 		agg.L1.EmitObs(emit, "cache", "l1")
 	})
 

@@ -10,6 +10,7 @@ import (
 	"warpedslicer/internal/config"
 	"warpedslicer/internal/dram"
 	"warpedslicer/internal/memreq"
+	"warpedslicer/internal/obs"
 )
 
 // MaxKernels bounds the number of concurrently resident kernels the
@@ -72,6 +73,15 @@ type Subsystem struct {
 	perKServed  [MaxKernels]uint64
 	perKL2Miss  [MaxKernels]uint64
 	perKL2Acc   [MaxKernels]uint64
+
+	// l1RT is the L1-miss round-trip latency histogram in core cycles:
+	// from the SM submitting the miss to the reply leaving the reply
+	// network (the quantity every partitioning decision trades against).
+	l1RT obs.Hist
+	// l2Wait is the L2-bank input-queue wait in core cycles: time between
+	// a request finishing its interconnect traversal and the bank
+	// consuming it.
+	l2Wait obs.Hist
 }
 
 // New builds the memory subsystem for the given configuration.
@@ -157,6 +167,7 @@ func (m *Subsystem) Tick(now int64) []memreq.Request {
 			break
 		}
 		replies = append(replies, t.req)
+		m.l1RT.Observe(now - t.req.Issued)
 		budget--
 	}
 	m.replyNet = keepR
@@ -205,6 +216,7 @@ func (m *Subsystem) tickPartition(p *partition, coreNow int64) {
 			if !req.Write {
 				m.perKL2Acc[req.Kernel%MaxKernels]++
 			}
+			m.l2Wait.Observe(coreNow - t.readyAt)
 			p.input = p.input[1:]
 		}
 	}

@@ -176,3 +176,32 @@ func TestDrainedInitially(t *testing.T) {
 		t.Fatal("fresh subsystem should be drained")
 	}
 }
+
+// TestLatencyHistogramsPopulate drives reads through the full hierarchy and
+// checks both subsystem histograms record them: every delivered reply is one
+// L1-miss round-trip observation, and every consumed request one L2-queue
+// wait observation.
+func TestLatencyHistogramsPopulate(t *testing.T) {
+	m := newSub()
+	const n = 32
+	for i := 0; i < n; i++ {
+		if !m.Submit(memreq.Request{LineAddr: uint64(i) * 4096, SM: 0, Issued: 0}, 0) {
+			t.Fatalf("submit %d failed", i)
+		}
+	}
+	drive(t, m, n, 50000)
+
+	if got := m.l1RT.Count(); got != n {
+		t.Errorf("l1 round-trip observations = %d, want %d", got, n)
+	}
+	// Round trips must at least cover two icnt traversals plus the L2 hit
+	// latency (all requests here miss L2 and visit DRAM, so strictly more).
+	cfg := config.Baseline()
+	floor := uint64(2*cfg.Icnt.LatencyCycles + cfg.L2.HitLatency)
+	if mean := float64(m.l1RT.Sum()) / float64(m.l1RT.Count()); mean <= float64(floor) {
+		t.Errorf("mean round trip %.1f not above floor %d", mean, floor)
+	}
+	if m.l2Wait.Count() == 0 {
+		t.Error("l2 queue-wait histogram empty")
+	}
+}

@@ -16,10 +16,22 @@ func (m *Subsystem) Register(r *obs.Registry) {
 		p.l2.Register(r, "cache", "l2", "chan", ch)
 		p.dram.Register(r, "chan", ch)
 	}
+	r.Histogram("ws_l1_miss_roundtrip_cycles", &m.l1RT)
+	r.Histogram("ws_l2_queue_wait_cycles", &m.l2Wait)
 	r.Collector(func(emit obs.Emit) {
 		st := m.Stats()
 		emit("ws_dram_bus_busy_total", obs.Counter, float64(st.BusBusy))
 		emit("ws_dram_ticks_total", obs.Counter, float64(st.MemTicks))
+		// Aggregate the per-channel service-time histograms into two
+		// label-free device-wide series (the per-channel detail stays
+		// available under ws_dram_service_cycles{chan=...,row=...}).
+		var hit, miss obs.Hist
+		for _, p := range m.parts {
+			hit.Merge(&p.dram.RowHitService)
+			miss.Merge(&p.dram.RowMissService)
+		}
+		hit.Emit(emit, "ws_dram_row_hit_service_cycles")
+		miss.Emit(emit, "ws_dram_row_miss_service_cycles")
 		st.L2.EmitObs(emit, "cache", "l2")
 		for k := 0; k < MaxKernels; k++ {
 			kl := strconv.Itoa(k)

@@ -16,9 +16,10 @@ import (
 	"sync"
 )
 
-// Kind distinguishes monotonic counters from point-in-time gauges. The
-// Prometheus text exposition uses it for # TYPE lines, and windowed
-// consumers (package trace) diff counters between snapshots.
+// Kind distinguishes monotonic counters from point-in-time gauges and
+// histogram components. The Prometheus text exposition uses it for # TYPE
+// lines, and windowed consumers (package trace) diff counters between
+// snapshots.
 type Kind uint8
 
 const (
@@ -26,13 +27,21 @@ const (
 	Counter Kind = iota
 	// Gauge is an instantaneous value that may move either way.
 	Gauge
+	// Histogram marks the component series of one histogram (_bucket,
+	// _sum, _count). Buckets are cumulative and monotonic, so snapshot
+	// diffs work exactly as for Counter; see Hist and Snapshot.HistWindow.
+	Histogram
 )
 
 func (k Kind) String() string {
-	if k == Counter {
+	switch k {
+	case Counter:
 		return "counter"
+	case Gauge:
+		return "gauge"
+	default:
+		return "histogram"
 	}
-	return "gauge"
 }
 
 // Emit is the callback a Collector uses to publish samples.
@@ -189,17 +198,34 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 	return json.Marshal(m)
 }
 
+// typeFamily returns the family name a sample's # TYPE line declares.
+// Histogram component series (_bucket/_sum/_count) all declare their
+// shared base name, per the Prometheus histogram convention.
+func typeFamily(name string, kind Kind) string {
+	fam := family(name)
+	if kind != Histogram {
+		return fam
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(fam, suf) {
+			return fam[:len(fam)-len(suf)]
+		}
+	}
+	return fam
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format (one # TYPE line per metric family, labels preserved).
+// format (one # TYPE line per metric family, labels preserved; histogram
+// components share one `# TYPE <base> histogram` declaration).
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
-	lastFamily := ""
+	declared := make(map[string]bool)
 	for _, smp := range s.Samples {
-		fam := family(smp.Name)
-		if fam != lastFamily {
+		fam := typeFamily(smp.Name, smp.Kind)
+		if !declared[fam] {
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, smp.Kind); err != nil {
 				return err
 			}
-			lastFamily = fam
+			declared[fam] = true
 		}
 		if _, err := fmt.Fprintf(w, "%s %g\n", smp.Name, smp.Value); err != nil {
 			return err

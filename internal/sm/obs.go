@@ -27,6 +27,25 @@ func (st Stats) EmitObs(emit obs.Emit, kv ...string) {
 	c("ws_sm_shm_cycles_total", st.ShmCycles)
 }
 
+// EmitKernelObs publishes the per-kernel stall-attribution counters under
+// the given labels plus a "kernel" label per slot. Summing one class over
+// all kernel slots reproduces the matching SM-wide ws_sm_stall_* counter.
+func (st Stats) EmitKernelObs(emit obs.Emit, kv ...string) {
+	for k := 0; k < MaxKernels; k++ {
+		lbl := make([]string, 0, len(kv)+2)
+		lbl = append(lbl, kv...)
+		lbl = append(lbl, "kernel", strconv.Itoa(k))
+		ks := st.PerKernel[k]
+		c := func(name string, v uint64) {
+			emit(obs.Label(name, lbl...), obs.Counter, float64(v))
+		}
+		c("ws_sm_kernel_stall_mem_total", ks.StallMem)
+		c("ws_sm_kernel_stall_raw_total", ks.StallRAW)
+		c("ws_sm_kernel_stall_exec_total", ks.StallExec)
+		c("ws_sm_kernel_stall_ibuf_total", ks.StallIBuf)
+	}
+}
+
 // Register wires this SM's live counters into the registry: the scheduler
 // and stall counters, L1 activity, and per-kernel resident occupancy (the
 // series that makes profiling layouts and repartitions visible live).
@@ -35,6 +54,7 @@ func (s *SM) Register(r *obs.Registry) {
 	r.Collector(func(emit obs.Emit) {
 		st := s.stats
 		st.EmitObs(emit, "sm", id)
+		st.EmitKernelObs(emit, "sm", id)
 		s.l1.Stats.EmitObs(emit, "cache", "l1", "sm", id)
 		for k := 0; k < MaxKernels; k++ {
 			emit(obs.Label("ws_sm_ctas_resident", "sm", id, "kernel", strconv.Itoa(k)),

@@ -70,30 +70,45 @@ func (s *SM) issueFrom(sched int, now int64) {
 
 	order := s.order(sched, candidates)
 
-	var sawMem, sawRAW, sawExec, sawIBuf bool
+	// For each stall class remember whether it occurred and which kernel
+	// slot the highest-priority blocked warp belonged to: the stalled
+	// issue slot is charged to that kernel, so the per-kernel counters
+	// sum exactly to the SM-wide class counters.
+	sawMem, sawRAW, sawExec, sawIBuf := -1, -1, -1, -1
 	for _, r := range order {
 		in, blk := r.w.Peek(now, s.cfg.SM.FetchDelay)
+		k := r.w.Kernel % MaxKernels
 		switch blk {
 		case warp.BlockDone, warp.BlockBarrier:
 			continue
 		case warp.BlockIBuffer:
-			sawIBuf = true
+			if sawIBuf < 0 {
+				sawIBuf = k
+			}
 			continue
 		case warp.BlockRAW:
-			sawRAW = true
+			if sawRAW < 0 {
+				sawRAW = k
+			}
 			continue
 		case warp.BlockMemory:
-			sawMem = true
+			if sawMem < 0 {
+				sawMem = k
+			}
 			continue
 		}
 		// Exits must wait for outstanding loads so the CTA's resources
 		// are not freed under in-flight replies.
 		if in.Kind == isa.EXIT && r.w.OutstandingLoads > 0 {
-			sawMem = true
+			if sawMem < 0 {
+				sawMem = k
+			}
 			continue
 		}
 		if !s.unitFree(in, now) {
-			sawExec = true
+			if sawExec < 0 {
+				sawExec = k
+			}
 			continue
 		}
 		s.issue(r, in, now)
@@ -102,14 +117,18 @@ func (s *SM) issueFrom(sched int, now int64) {
 	}
 
 	switch {
-	case sawMem:
+	case sawMem >= 0:
 		s.stats.StallMem++
-	case sawRAW:
+		s.stats.PerKernel[sawMem].StallMem++
+	case sawRAW >= 0:
 		s.stats.StallRAW++
-	case sawExec:
+		s.stats.PerKernel[sawRAW].StallRAW++
+	case sawExec >= 0:
 		s.stats.StallExec++
-	case sawIBuf:
+		s.stats.PerKernel[sawExec].StallExec++
+	case sawIBuf >= 0:
 		s.stats.StallIBuf++
+		s.stats.PerKernel[sawIBuf].StallIBuf++
 	default:
 		s.stats.StallIdle++
 	}

@@ -100,6 +100,12 @@ type KernelStats struct {
 	CTAsDone     uint64
 	CTAsLaunched uint64
 	LoadsIssued  uint64
+	// Per-kernel stall attribution: each SM-wide stalled slot is charged
+	// to the kernel of the highest-priority warp blocked for the winning
+	// class, so summing a class over kernel slots reproduces the SM-wide
+	// counter exactly (the conservation invariant the tests pin). Idle
+	// slots have no blocked warp and are deliberately unattributed.
+	StallMem, StallRAW, StallExec, StallIBuf uint64
 }
 
 // Stats is the per-SM counter set.

@@ -296,3 +296,41 @@ func TestUsedNeverExceedsLimits(t *testing.T) {
 		t.Fatalf("over-allocated: %+v", u)
 	}
 }
+
+// TestPerKernelStallConservation pins the attribution invariant: with two
+// kernels sharing one SM, every stalled issue slot of each class is charged
+// to exactly one kernel, so per-kernel counters sum to the SM-wide class.
+func TestPerKernelStallConservation(t *testing.T) {
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	q := Unlimited()
+	q.CTAs = 2
+	s.SetQuota(0, q)
+	s.SetQuota(1, q)
+	for n := 0; s.Launch(0, kernels.ByAbbr("IMG"), 1<<40, n); n++ {
+	}
+	for n := 0; s.Launch(1, kernels.ByAbbr("BLK"), 2<<40, n); n++ {
+	}
+	runSM(s, sub, 20000)
+
+	st := s.Stats()
+	var mem, raw, exec, ibuf uint64
+	for _, ks := range st.PerKernel {
+		mem += ks.StallMem
+		raw += ks.StallRAW
+		exec += ks.StallExec
+		ibuf += ks.StallIBuf
+	}
+	if mem != st.StallMem || raw != st.StallRAW || exec != st.StallExec || ibuf != st.StallIBuf {
+		t.Fatalf("per-kernel sums (%d/%d/%d/%d) != SM-wide (%d/%d/%d/%d)",
+			mem, raw, exec, ibuf, st.StallMem, st.StallRAW, st.StallExec, st.StallIBuf)
+	}
+	if mem+raw+exec+ibuf == 0 {
+		t.Fatal("co-run recorded no attributable stalls; test is vacuous")
+	}
+	if st.PerKernel[0].StallMem+st.PerKernel[0].StallRAW+st.PerKernel[0].StallExec+st.PerKernel[0].StallIBuf == 0 ||
+		st.PerKernel[1].StallMem+st.PerKernel[1].StallRAW+st.PerKernel[1].StallExec+st.PerKernel[1].StallIBuf == 0 {
+		t.Fatal("stalls attributed to only one of the two resident kernels")
+	}
+}

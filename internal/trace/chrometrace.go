@@ -71,7 +71,29 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 			}},
 			chromeEvent{Name: "dram bandwidth", Ph: "C", Ts: ts, Pid: chromePidKernels,
 				Args: map[string]any{"util": round3(p.Bandwidth)}},
+			chromeEvent{Name: "l1 miss latency", Ph: "C", Ts: ts, Pid: chromePidKernels,
+				Args: map[string]any{
+					"p50": round3(p.LatP50),
+					"p95": round3(p.LatP95),
+					"p99": round3(p.LatP99),
+				}},
 		)
+		// One stall-attribution counter track per kernel slot, so the
+		// per-kernel stall mix stacks next to that kernel's IPC track.
+		for k := 0; k < t.kernels; k++ {
+			if k >= len(p.KernelStallMem) {
+				break
+			}
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("stalls k%d", k), Ph: "C", Ts: ts, Pid: chromePidKernels,
+				Args: map[string]any{
+					"mem":  round3(p.KernelStallMem[k]),
+					"raw":  round3(at(p.KernelStallRAW, k)),
+					"exec": round3(at(p.KernelStallExec, k)),
+					"ibuf": round3(at(p.KernelStallIBuf, k)),
+				},
+			})
+		}
 	}
 
 	evs = append(evs, t.controllerEvents()...)

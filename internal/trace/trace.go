@@ -27,6 +27,15 @@ type Point struct {
 	CTAs []int
 	// StallMem/StallRAW/StallExec/StallIBuf are window stall fractions.
 	StallMem, StallRAW, StallExec, StallIBuf float64
+	// KernelStallMem/RAW/Exec/IBuf split the window stall fractions per
+	// kernel slot (same denominator: issue slots in the window), from the
+	// device-wide ws_sm_kernel_stall_* attribution counters. Each slice
+	// is indexed like KernelIPC.
+	KernelStallMem, KernelStallRAW, KernelStallExec, KernelStallIBuf []float64
+	// LatP50/LatP95/LatP99 are window percentiles of the L1-miss
+	// round-trip latency (core cycles), from the
+	// ws_l1_miss_roundtrip_cycles histogram diff.
+	LatP50, LatP95, LatP99 float64
 	// Bandwidth is the DRAM bus utilization within this window (the
 	// delta of the bus-busy and mem-tick counters between snapshots).
 	Bandwidth float64
@@ -97,6 +106,15 @@ func frac(a, b float64) float64 {
 	return a / b
 }
 
+// at reads s[k], tolerating short slices (points recorded before a kernel
+// set grew).
+func at(s []float64, k int) float64 {
+	if k < len(s) {
+		return s[k]
+	}
+	return 0
+}
+
 // sample records one point at the GPU's current cycle.
 func (t *Timeline) sample(g *gpu.GPU) {
 	snap := t.reg.Snapshot()
@@ -118,6 +136,22 @@ func (t *Timeline) sample(g *gpu.GPU) {
 	p.StallExec = frac(snap.Delta(t.prev, "ws_sm_stall_exec_total"), dSlots)
 	p.StallIBuf = frac(snap.Delta(t.prev, "ws_sm_stall_ibuf_total"), dSlots)
 
+	for slot := 0; slot < t.kernels; slot++ {
+		p.KernelStallMem = append(p.KernelStallMem,
+			frac(snap.Delta(t.prev, kernelSeries("ws_sm_kernel_stall_mem_total", slot)), dSlots))
+		p.KernelStallRAW = append(p.KernelStallRAW,
+			frac(snap.Delta(t.prev, kernelSeries("ws_sm_kernel_stall_raw_total", slot)), dSlots))
+		p.KernelStallExec = append(p.KernelStallExec,
+			frac(snap.Delta(t.prev, kernelSeries("ws_sm_kernel_stall_exec_total", slot)), dSlots))
+		p.KernelStallIBuf = append(p.KernelStallIBuf,
+			frac(snap.Delta(t.prev, kernelSeries("ws_sm_kernel_stall_ibuf_total", slot)), dSlots))
+	}
+
+	lat := snap.HistWindow(t.prev, "ws_l1_miss_roundtrip_cycles")
+	p.LatP50 = lat.Quantile(0.50)
+	p.LatP95 = lat.Quantile(0.95)
+	p.LatP99 = lat.Quantile(0.99)
+
 	p.Bandwidth = frac(snap.Delta(t.prev, "ws_dram_bus_busy_total"),
 		snap.Delta(t.prev, "ws_dram_ticks_total"))
 
@@ -132,7 +166,11 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 	for k := 0; k < t.kernels; k++ {
 		fmt.Fprintf(&head, ",ipc_k%d,ctas_k%d", k, k)
 	}
-	head.WriteString(",stall_mem,stall_raw,stall_exec,stall_ibuf,bandwidth\n")
+	head.WriteString(",stall_mem,stall_raw,stall_exec,stall_ibuf")
+	for k := 0; k < t.kernels; k++ {
+		fmt.Fprintf(&head, ",stall_mem_k%d,stall_raw_k%d,stall_exec_k%d,stall_ibuf_k%d", k, k, k, k)
+	}
+	head.WriteString(",lat_p50,lat_p95,lat_p99,bandwidth\n")
 	if _, err := io.WriteString(w, head.String()); err != nil {
 		return err
 	}
@@ -146,8 +184,15 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 			}
 			fmt.Fprintf(&row, ",%.3f,%d", ipc, ctas)
 		}
-		fmt.Fprintf(&row, ",%.4f,%.4f,%.4f,%.4f,%.4f\n",
-			p.StallMem, p.StallRAW, p.StallExec, p.StallIBuf, p.Bandwidth)
+		fmt.Fprintf(&row, ",%.4f,%.4f,%.4f,%.4f",
+			p.StallMem, p.StallRAW, p.StallExec, p.StallIBuf)
+		for k := 0; k < t.kernels; k++ {
+			fmt.Fprintf(&row, ",%.4f,%.4f,%.4f,%.4f",
+				at(p.KernelStallMem, k), at(p.KernelStallRAW, k),
+				at(p.KernelStallExec, k), at(p.KernelStallIBuf, k))
+		}
+		fmt.Fprintf(&row, ",%.1f,%.1f,%.1f,%.4f\n",
+			p.LatP50, p.LatP95, p.LatP99, p.Bandwidth)
 		if _, err := io.WriteString(w, row.String()); err != nil {
 			return err
 		}

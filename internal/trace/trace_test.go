@@ -71,9 +71,48 @@ func TestTimelineCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "cycle,ipc_k0,ctas_k0,ipc_k1,ctas_k1") {
 		t.Fatalf("bad header: %s", lines[0])
 	}
+	for _, col := range []string{
+		"stall_mem_k0", "stall_ibuf_k1", "lat_p50", "lat_p95", "lat_p99",
+	} {
+		if !strings.Contains(lines[0], ","+col) {
+			t.Fatalf("header missing %s: %s", col, lines[0])
+		}
+	}
+	// 1 cycle + 2*(ipc,ctas) + 4 SM-wide stalls + 2*4 per-kernel stalls
+	// + 3 latency percentiles + bandwidth = 21 columns.
+	want := len(strings.Split(lines[0], ","))
 	for _, l := range lines[1:] {
-		if len(strings.Split(l, ",")) != 10 {
-			t.Fatalf("bad column count in %q", l)
+		if len(strings.Split(l, ",")) != want || want != 21 {
+			t.Fatalf("bad column count in %q (want %d)", l, want)
+		}
+	}
+}
+
+// TestTimelinePerKernelStallsSumToTotal checks each window's per-kernel
+// stall fractions against the SM-wide class fraction — the windowed face of
+// the conservation invariant (equal denominators make the sums exact up to
+// float rounding).
+func TestTimelinePerKernelStallsSumToTotal(t *testing.T) {
+	g := newTracedGPU()
+	tl := New(2000)
+	tl.Run(g, 12000)
+	for i, p := range tl.Points {
+		check := func(class string, total float64, per []float64) {
+			sum := 0.0
+			for _, v := range per {
+				sum += v
+			}
+			if diff := sum - total; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("point %d %s: per-kernel sum %.12f != total %.12f", i, class, sum, total)
+			}
+		}
+		check("mem", p.StallMem, p.KernelStallMem)
+		check("raw", p.StallRAW, p.KernelStallRAW)
+		check("exec", p.StallExec, p.KernelStallExec)
+		check("ibuf", p.StallIBuf, p.KernelStallIBuf)
+		if p.LatP50 < 0 || p.LatP95 < p.LatP50 || p.LatP99 < p.LatP95 {
+			t.Fatalf("point %d latency percentiles not ordered: p50=%g p95=%g p99=%g",
+				i, p.LatP50, p.LatP95, p.LatP99)
 		}
 	}
 }
