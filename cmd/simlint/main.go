@@ -1,0 +1,89 @@
+// Command simlint runs the repository's simulator-specific static
+// analyzers (internal/lint) and exits non-zero on any finding:
+//
+//	go run ./cmd/simlint ./...
+//
+// Flags:
+//
+//	-rules determinism,obsregister,cycleguard   run a subset
+//	-list                                       print the analyzers and exit
+//
+// Findings are waived in source with `//simlint:allow <rule> -- reason`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"warpedslicer/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		want := make(map[string]bool)
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(os.Stderr, "simlint: unknown rule %q\n", r)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.NewLoader().Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			// Analysis precision depends on clean type-checking; surface
+			// loader problems rather than silently passing.
+			fmt.Fprintf(os.Stderr, "simlint: %s: type error: %v\n", p.ImportPath, e)
+			failed = true
+		}
+	}
+
+	cwd, _ := os.Getwd()
+	for _, d := range lint.Run(pkgs, analyzers) {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"warpedslicer/internal/core"
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/metrics"
 	"warpedslicer/internal/policy"
 )
 
@@ -40,7 +41,7 @@ func main() {
 		g.AddKernel(img, imgTarget)
 		g.AddKernel(nn, nnTarget)
 		cycles := g.Run(3_000_000)
-		ipc := float64(g.KernelInsts(0)+g.KernelInsts(1)) / float64(cycles)
+		ipc := metrics.IPC(g.KernelInsts(0)+g.KernelInsts(1), cycles)
 		fmt.Printf("%-12s finished in %7d cycles, combined IPC %.1f\n", name, cycles, ipc)
 		return ipc, cycles, d
 	}

@@ -1,0 +1,29 @@
+// Package assert provides build-tag-gated runtime invariant checks for
+// the simulator's hot loop.
+//
+// By default (no tags) Enabled is the constant false and Failf is a
+// no-op, so guarded checks compile to nothing — the observability
+// overhead budget (BENCH_obs.json) holds. Building with
+//
+//	go test -tags simassert ./...
+//
+// flips Enabled to true and makes Failf panic with the violated
+// invariant, turning every simulated cycle into a self-checking test:
+//
+//	if assert.Enabled {
+//		if got != want {
+//			assert.Failf("sm %d: ...", id)
+//		}
+//	}
+//
+// The `if assert.Enabled` guard is required at every call site: it is
+// what lets the compiler delete both the check and its operand
+// computation in the default build.
+//
+// The invariants asserted across the tree are the contracts the paper's
+// numbers rest on: per-tick issue-slot conservation and Table I occupancy
+// bounds in internal/sm, water-fill feasibility in internal/core, quota
+// sanity in internal/policy, and MSHR/queue bounds in internal/cache,
+// internal/dram and internal/mem. CI runs the full suite with
+// `go test -race -tags simassert ./...` so they hold on every push.
+package assert

@@ -1,0 +1,15 @@
+//go:build simassert
+
+package assert
+
+import "fmt"
+
+// Enabled reports whether runtime invariant checks are compiled in.
+const Enabled = true
+
+// Failf reports an invariant violation. Violations are programming
+// errors, never data errors, so it panics: the stack trace points at the
+// cycle and component that broke the contract.
+func Failf(format string, args ...any) {
+	panic("simassert: " + fmt.Sprintf(format, args...))
+}

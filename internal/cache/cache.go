@@ -11,6 +11,7 @@ package cache
 import (
 	"fmt"
 
+	"warpedslicer/internal/assert"
 	"warpedslicer/internal/obs"
 )
 
@@ -163,6 +164,9 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		return ReservationFail
 	}
 	c.mshr[la] = struct{}{}
+	if assert.Enabled && len(c.mshr) > c.mshrMax {
+		assert.Failf("cache: MSHR overflow after allocation: %d > %d", len(c.mshr), c.mshrMax)
+	}
 	c.Stats.Loads++
 	c.Stats.LoadMiss++
 	return Miss

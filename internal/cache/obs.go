@@ -21,10 +21,13 @@ func (s Stats) EmitObs(emit obs.Emit, kv ...string) {
 }
 
 // Register wires this cache's live counters into the registry under the
-// given labels, including the eviction-age histogram.
+// given labels, including the eviction-age histogram and the LRU clock
+// (ws_cache_ops_total — the denominator for eviction-age rates, since the
+// histogram's x-axis is measured in cache operations).
 func (c *Cache) Register(r *obs.Registry, kv ...string) {
 	r.Collector(func(emit obs.Emit) {
 		c.Stats.EmitObs(emit, kv...)
+		emit(obs.Label("ws_cache_ops_total", kv...), obs.Counter, float64(c.tick))
 		c.EvictionAge.Emit(emit, "ws_cache_eviction_age_ops", kv...)
 	})
 }

@@ -1,0 +1,28 @@
+package cache
+
+import (
+	"testing"
+
+	"warpedslicer/internal/obs"
+)
+
+// TestRegisterEmitsOpsCounter pins the obsregister fix: the LRU clock is
+// the denominator for eviction-age rates, so Register must expose it as
+// ws_cache_ops_total (one tick per Access or Fill).
+func TestRegisterEmitsOpsCounter(t *testing.T) {
+	c := newTest()
+	c.Access(0x100, false) // miss, allocates MSHR
+	c.Fill(0x100)
+	c.Access(0x100, false) // hit
+
+	r := obs.NewRegistry()
+	c.Register(r)
+	snap := r.Snapshot()
+
+	if !snap.Has("ws_cache_ops_total") {
+		t.Fatal("ws_cache_ops_total not emitted")
+	}
+	if got := snap.Get("ws_cache_ops_total"); got != 3 {
+		t.Errorf("ws_cache_ops_total = %v, want 3 (2 accesses + 1 fill)", got)
+	}
+}

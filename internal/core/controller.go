@@ -1,7 +1,9 @@
 package core
 
 import (
+	"warpedslicer/internal/assert"
 	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/metrics"
 	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/sm"
@@ -222,7 +224,7 @@ func (c *Controller) Tick(g *gpu.GPU) {
 			return
 		}
 		insts := totalInsts(g)
-		ipc := float64(insts-c.lastPhaseInsts) / float64(c.PhaseWindow)
+		ipc := metrics.IPC(insts-c.lastPhaseInsts, c.PhaseWindow)
 		c.lastPhaseInsts = insts
 		c.nextPhaseCheck = now + c.PhaseWindow
 		if c.lastPhaseIPC > 0 {
@@ -319,7 +321,7 @@ func (c *Controller) computeCurves(g *gpu.GPU) {
 		dSlots := st.Slots - c.baseSlots[i]
 		dMem := st.StallMem - c.baseStallMem[i]
 
-		ipc := float64(dInsts) / float64(c.SampleCycles)
+		ipc := metrics.IPC(dInsts, c.SampleCycles)
 		if c.UseScaledIPC && dSlots > 0 {
 			phiMem := float64(dMem) / float64(dSlots)
 			if c.SymmetricScaling || float64(c.cap[i]) >= ctaAvg {
@@ -427,6 +429,23 @@ func (c *Controller) decide(g *gpu.GPU) {
 		return
 	}
 	c.ChoseSpatial = false
+	if assert.Enabled {
+		// Water-fill feasibility: the chosen partition must fit the Table I
+		// resource totals it was solved against.
+		var need sm.Quota
+		for i, d := range demands {
+			n := alloc.CTAs[i]
+			need.Regs += d.Need.Regs * n
+			need.Shm += d.Need.Shm * n
+			need.Threads += d.Need.Threads * n
+			need.CTAs += d.Need.CTAs * n
+		}
+		if need.Regs > total.Regs || need.Shm > total.Shm ||
+			need.Threads > total.Threads || need.CTAs > total.CTAs {
+			assert.Failf("core: water-fill partition %v oversubscribes the SM: need %+v, total %+v",
+				alloc.CTAs, need, total)
+		}
+	}
 	// Map active-kernel allocations back to kernel slots for ApplyFixed.
 	full := make([]int, len(g.Kernels))
 	for i, kn := range c.profiled {

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZeroSampleWindowStaysFinite pins the cycleguard fix in
+// computeCurves: a degenerate zero-cycle sampling window (the kind a
+// sensitivity sweep can produce) must yield zero IPC samples, never
+// NaN/Inf curves, and the controller must still reach a decision.
+func TestZeroSampleWindowStaysFinite(t *testing.T) {
+	c := fastController()
+	c.SampleCycles = 0
+	g := newDynGPU(c, "IMG", "BLK")
+	g.RunCycles(c.WarmupCycles + 500)
+
+	if !c.Decided() {
+		t.Fatal("controller never decided")
+	}
+	for i, curve := range c.Curves {
+		for j, v := range curve {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("Curves[%d][%d] = %v, must be finite", i, j, v)
+			}
+		}
+	}
+	// A zero-length window measures zero IPC for everyone; the controller
+	// must resolve that degenerate input one way or the other, not wedge.
+	if !c.ChoseSpatial && len(c.Partition) == 0 {
+		t.Fatal("controller neither partitioned nor fell back to spatial")
+	}
+}

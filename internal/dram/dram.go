@@ -10,6 +10,7 @@ package dram
 import (
 	"fmt"
 
+	"warpedslicer/internal/assert"
 	"warpedslicer/internal/memreq"
 	"warpedslicer/internal/obs"
 )
@@ -121,6 +122,16 @@ func (ch *Channel) rowOf(lineAddr uint64) uint64 {
 func (ch *Channel) Tick(now int64) []memreq.Request {
 	ch.Stats.Ticks++
 	ch.Stats.QueueOccupancy += uint64(len(ch.queue))
+
+	if assert.Enabled {
+		if len(ch.queue) > ch.cfg.QueueDepth {
+			assert.Failf("dram: scheduling queue overflow: %d > %d", len(ch.queue), ch.cfg.QueueDepth)
+		}
+		if ch.Stats.RowHits+ch.Stats.RowMisses != ch.Stats.Served {
+			assert.Failf("dram: row-buffer accounting broken: hits %d + misses %d != served %d",
+				ch.Stats.RowHits, ch.Stats.RowMisses, ch.Stats.Served)
+		}
+	}
 
 	ch.issue(now)
 

@@ -19,6 +19,7 @@ import (
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
+	"warpedslicer/internal/metrics"
 	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/sm"
@@ -224,7 +225,7 @@ func (s *Session) runIsolation(spec *kernels.Spec) Isolation {
 		SM:     g.AggregateSM(),
 		Mem:    g.Mem.Stats(),
 	}
-	r.IPC = float64(r.Insts) / float64(r.Cycles)
+	r.IPC = metrics.IPC(r.Insts, r.Cycles)
 	log.Emit(g.Now(), obs.EvIsolationDone, map[string]any{
 		"kernel": spec.Abbr, "insts": r.Insts, "ipc": r.IPC,
 	})

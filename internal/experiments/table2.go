@@ -50,19 +50,27 @@ func Table2(s *Session) []Table2Row {
 			L2MPKI:   metrics.MPKI(iso.Mem.L2MissPerKernel[0], warpInsts),
 			Type:     spec.Class.String(),
 		}
-		// Profile% estimates the one-time 5K-cycle sampling cost against
-		// the kernel's full-grid runtime, extrapolated from the isolation
-		// window's CTA completion rate.
-		ctasDone := agg.PerKernel[0].CTAsDone
-		if ctasDone > 0 {
-			fullRuntime := float64(spec.GridDim) * float64(iso.Cycles) / float64(ctasDone)
-			row.ProfilePct = float64(s.O.Sample) / fullRuntime * 100
-		} else {
-			row.ProfilePct = float64(s.O.Sample) / float64(iso.Cycles) * 100
-		}
+		row.ProfilePct = profilePct(s.O.Sample, iso.Cycles, spec.GridDim,
+			agg.PerKernel[0].CTAsDone)
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// profilePct estimates the one-time sampling cost against the kernel's
+// full-grid runtime, extrapolated from the isolation window's CTA
+// completion rate. With no completed CTAs (or a degenerate zero-cycle
+// window) it falls back to the sampling window's share of the isolation
+// window itself.
+func profilePct(sample, isoCycles int64, gridDim int, ctasDone uint64) float64 {
+	if isoCycles <= 0 {
+		return 0
+	}
+	if ctasDone > 0 {
+		fullRuntime := float64(gridDim) * float64(isoCycles) / float64(ctasDone)
+		return float64(sample) / fullRuntime * 100
+	}
+	return float64(sample) / float64(isoCycles) * 100
 }
 
 // FormatTable2 renders the rows as an aligned text table.

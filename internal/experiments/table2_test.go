@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestProfilePct pins the cycleguard fix in the Table II Profile% column:
+// every branch must stay finite, including the degenerate zero-cycle and
+// zero-CTA cases.
+func TestProfilePct(t *testing.T) {
+	cases := []struct {
+		name     string
+		sample   int64
+		isoCyc   int64
+		gridDim  int
+		ctasDone uint64
+		want     float64
+	}{
+		{"extrapolated", 5000, 40_000, 64, 16, 5000 / (64 * 40_000.0 / 16) * 100},
+		{"no ctas falls back to window share", 5000, 40_000, 64, 0, 5000 / 40_000.0 * 100},
+		{"zero isolation window", 5000, 0, 64, 0, 0},
+		{"zero window with ctas", 5000, 0, 64, 3, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := profilePct(c.sample, c.isoCyc, c.gridDim, c.ctasDone)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("profilePct = %v, must be finite", got)
+			}
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("profilePct = %v, want %v", got, c.want)
+			}
+		})
+	}
+}

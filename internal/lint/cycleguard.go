@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CycleGuard flags division or modulo where the denominator is a cycle,
+// tick, instruction, slot, or window count and the enclosing function
+// never compares that expression against zero. This is the RunFixedCycles
+// bug class from PR 2: a zero-cycle (or zero-instruction) denominator
+// turns a rate into NaN/Inf — or panics for integers — exactly in the
+// degenerate configurations sweeps love to produce. Constant denominators
+// are exempt; internal/metrics has guarded helpers (IPC, Frac, MPKI) for
+// the common rates.
+var CycleGuard = &Analyzer{
+	Name: "cycleguard",
+	Doc:  "division/modulo by a cycle or instruction count must be zero-guarded in the same function",
+	Run:  runCycleGuard,
+}
+
+// cycleish denominator name fragments (lower-cased substring match).
+var cycleKeywords = []string{"cycle", "tick", "inst", "slot", "win"}
+
+func runCycleGuard(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guards := collectGuards(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.QUO && be.Op != token.REM) {
+					return true
+				}
+				denom := stripConversions(p, be.Y)
+				if isConstExpr(p, denom) || !cycleishExpr(denom) {
+					return true
+				}
+				key := types.ExprString(denom)
+				if guards[key] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(be.Pos()),
+					Rule: "cycleguard",
+					Msg: fmt.Sprintf("unguarded %s by %q; compare it against zero first "+
+						"(or use the guarded helpers in internal/metrics)", opName(be.Op), key),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func opName(op token.Token) string {
+	if op == token.REM {
+		return "modulo"
+	}
+	return "division"
+}
+
+// collectGuards gathers every expression the function compares against a
+// small constant (0 or 1) with ==, !=, <, <=, >, >= — `if cycles == 0 {
+// return 0 }` and `if cycles > 0 { ... }` both count. The guard scope is
+// the whole function: flow-sensitivity is not worth the false positives
+// at this codebase's function sizes.
+func collectGuards(p *Package, body *ast.BlockStmt) map[string]bool {
+	guards := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		if isSmallConst(p, be.Y) {
+			guards[types.ExprString(stripConversions(p, be.X))] = true
+		}
+		if isSmallConst(p, be.X) {
+			guards[types.ExprString(stripConversions(p, be.Y))] = true
+		}
+		return true
+	})
+	return guards
+}
+
+// stripConversions unwraps parentheses and type conversions, so
+// float64(s.Cycles) and s.Cycles compare equal between guard and use.
+func stripConversions(p *Package, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		tv, ok := p.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+// isConstExpr reports whether the expression has a compile-time constant
+// value (typed or untyped) — dividing by a constant needs no guard.
+func isConstExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isSmallConst matches the constants 0 and 1, the values meaningful as
+// zero-guard bounds.
+func isSmallConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return false
+	}
+	n, ok := constant.Int64Val(v)
+	return ok && (n == 0 || n == 1)
+}
+
+// cycleishExpr reports whether any identifier in the expression names a
+// cycle/instruction-like quantity.
+func cycleishExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && cycleishName(id.Name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func cycleishName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, kw := range cycleKeywords {
+		if strings.Contains(lower, kw) {
+			return true
+		}
+	}
+	return false
+}

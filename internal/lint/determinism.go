@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Determinism enforces the reproducibility contract on the simulator
+// packages: a run must be a pure function of its inputs, so the parallel
+// experiment runner (PR 2) and every figure sweep produce byte-identical
+// output regardless of scheduling, environment, or host clock.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global PRNGs, environment reads, unsanctioned " +
+		"goroutines, and order-dependent map iteration in simulator packages",
+	Run: runDeterminism,
+}
+
+// bannedImports are packages whose presence alone breaks reproducibility.
+var bannedImports = map[string]string{
+	"math/rand":    "global PRNG is seeded from the clock; use internal/rng (deterministic, seed-threaded)",
+	"math/rand/v2": "PRNG state is process-global; use internal/rng (deterministic, seed-threaded)",
+}
+
+// bannedCalls maps "pkgpath.Func" to the reason it is forbidden.
+var bannedCalls = map[string]string{
+	"time.Now":     "wall-clock read; simulator time must derive from the cycle counter",
+	"time.Since":   "wall-clock read; simulator time must derive from the cycle counter",
+	"time.Until":   "wall-clock read; simulator time must derive from the cycle counter",
+	"os.Getenv":    "environment read makes results depend on ambient state; thread it through Options/Config",
+	"os.LookupEnv": "environment read makes results depend on ambient state; thread it through Options/Config",
+	"os.Environ":   "environment read makes results depend on ambient state; thread it through Options/Config",
+}
+
+// goroutineAllow lists the sanctioned concurrency sites, as slash-separated
+// file-path suffixes: the experiments worker pool (which re-joins before
+// any result is observed) and the obs HTTP listener (pull-only, outside
+// the simulated state).
+var goroutineAllow = []string{
+	"internal/experiments/parallel.go",
+	"internal/obs/server.go",
+}
+
+func runDeterminism(p *Package) []Diagnostic {
+	if !p.Sim {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:  p.Fset.Position(n.Pos()),
+			Rule: "determinism",
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	for i, f := range p.Files {
+		// Test files never ship in a simulation binary; the loader already
+		// excludes them (go/build GoFiles), but keep the intent explicit.
+		_ = i
+
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, ok := bannedImports[path]; ok {
+				report(imp, "import %q is banned in simulator packages: %s", path, why)
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(p, n); fn != nil && fn.Pkg() != nil {
+					key := fn.Pkg().Path() + "." + fn.Name()
+					if why, ok := bannedCalls[key]; ok {
+						report(n, "call to %s is banned in simulator packages: %s", key, why)
+					}
+				}
+			case *ast.GoStmt:
+				file := filepath.ToSlash(p.Fset.Position(n.Pos()).Filename)
+				for _, allow := range goroutineAllow {
+					if strings.HasSuffix(file, allow) {
+						return true
+					}
+				}
+				report(n, "go statement outside the sanctioned worker pool (%s); "+
+					"goroutine interleaving is nondeterministic", strings.Join(goroutineAllow, ", "))
+			case *ast.RangeStmt:
+				checkMapRange(p, f, n, report)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// calleeFunc resolves the called function of a call expression, or nil.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkMapRange flags `range m` over a map whose body has order-dependent
+// effects: floating-point accumulation (FP addition does not commute),
+// appending to a slice declared outside the loop (element order leaks), or
+// writing output (CSV/trace rows come out in map order). Iterating a map
+// for order-insensitive work — summing integers, building another map —
+// is fine, and so is the canonical fix itself: collecting keys into a
+// slice that is then passed to sort/slices sorting in the same file.
+func checkMapRange(p *Package, f *ast.File, rng *ast.RangeStmt, report func(ast.Node, string, ...any)) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if kind, target := orderDependentAssign(p, rng, n); kind != "" {
+				if target != nil && sortedLater(p, f, target) {
+					return false
+				}
+				report(rng, "map iteration order leaks: body %s; sort the keys first", kind)
+				return false
+			}
+		case *ast.CallExpr:
+			if name := outputCall(p, n); name != "" {
+				report(rng, "map iteration order leaks: body writes output via %s; sort the keys first", name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// orderDependentAssign classifies an assignment inside a map-range body as
+// order-dependent. It returns a description (or "") and, for appends, the
+// target slice object so the caller can recognize the keys-then-sort idiom.
+func orderDependentAssign(p *Package, rng *ast.RangeStmt, as *ast.AssignStmt) (string, types.Object) {
+	// Floating-point compound accumulation: x += f, x -= f, x *= f, x /= f.
+	switch as.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+		if len(as.Lhs) == 1 && isFloat(p, as.Lhs[0]) {
+			return "accumulates floating-point values (FP addition is not associative)", nil
+		}
+	}
+	// Append to a slice that outlives the loop: x = append(x, ...).
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) {
+			continue
+		}
+		if i < len(as.Lhs) && declaredOutside(p, rng, as.Lhs[i]) {
+			var target types.Object
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				target = p.Info.Uses[id]
+			}
+			return "appends to a slice declared outside the loop (element order follows map order)", target
+		}
+	}
+	return "", nil
+}
+
+// sortFuncs are the sort/slices entry points that make a collected key
+// slice order-independent again.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Strings": true, "Ints": true,
+	"Float64s": true, "Slice": true, "SliceStable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedLater reports whether obj is passed to a sort call anywhere in the
+// file — the collect-keys-then-sort idiom the analyzer recommends.
+func sortedLater(p *Package, f *ast.File, obj types.Object) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if (pkg != "sort" && pkg != "slices") || !sortFuncs[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isFloat(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// declaredOutside reports whether the assigned expression refers to
+// storage declared outside the range statement (so successive iterations
+// accumulate into it in map order).
+func declaredOutside(p *Package, rng *ast.RangeStmt, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[lhs]
+		if obj == nil {
+			obj = p.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		// Field or element of something addressable; conservatively treat
+		// as outer storage.
+		return true
+	}
+	return false
+}
+
+// outputCall reports whether a call writes external output (printing,
+// io/csv writers, encoders), returning a short name for the message.
+func outputCall(p *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "fmt." + name
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteAll", "Encode":
+		return fn.Pkg().Name() + "." + name
+	}
+	return ""
+}

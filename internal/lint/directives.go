@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directives indexes //simlint:allow waivers by file and line. A waiver on
+// line N suppresses findings of the named rule on line N (trailing comment)
+// and on line N+1 (comment above the statement). The rule name "all"
+// waives every analyzer.
+type directives struct {
+	// byLine maps filename -> line -> set of waived rule names.
+	byLine map[string]map[int]map[string]bool
+}
+
+const directivePrefix = "//simlint:allow"
+
+func collectDirectives(p *Package) directives {
+	d := directives{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// Everything after "--" is the human justification.
+				text, _, _ = strings.Cut(text, "--")
+				pos := p.Fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					d.byLine[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = make(map[string]bool)
+					lines[pos.Line] = rules
+				}
+				for _, r := range strings.Fields(text) {
+					rules[r] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d directives) allowed(pos token.Position, rule string) bool {
+	lines := d.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if rules := lines[line]; rules != nil && (rules[rule] || rules["all"]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata expect.golden files")
+
+// TestGolden runs the full analyzer suite over each testdata package and
+// compares the rendered diagnostics against the package's expect.golden.
+// Regenerate with: go test ./internal/lint -run TestGolden -update
+func TestGolden(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("testdata", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			p, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p == nil {
+				t.Fatalf("no buildable Go files in %s", dir)
+			}
+			for _, terr := range p.TypeErrors {
+				t.Errorf("testdata must type-check: %v", terr)
+			}
+			// Testdata exercises the simulator-package rules regardless of
+			// its location under internal/lint.
+			p.Sim = true
+
+			var b strings.Builder
+			for _, d := range Run([]*Package{p}, Analyzers()) {
+				fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+			}
+			got := b.String()
+
+			golden := filepath.Join(dir, "expect.golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+// Package lint is simlint's analysis engine: a stdlib-only (go/parser,
+// go/ast, go/types — no module dependencies) static-analysis suite that
+// machine-checks the two contracts this repository's results rest on:
+//
+//   - byte-identical reproducibility: the parallel experiment runner and
+//     every figure sweep assume a simulation is a pure function of its
+//     inputs, so wall-clock reads, ambient environment, global PRNGs,
+//     unsanctioned goroutines, and order-dependent map iteration are
+//     forbidden in the simulator packages (analyzer "determinism");
+//   - counter conservation: every counter a package increments must be
+//     registered on that package's observability surface (obs.go), or the
+//     per-kernel/SM-wide conservation invariants and the Prometheus
+//     endpoint silently under-report (analyzer "obsregister"); and
+//     divisions by cycle or instruction counts must be zero-guarded, the
+//     bug class that produced NaN rows in early CSV output (analyzer
+//     "cycleguard").
+//
+// Findings can be waived with an explicit justification comment on the
+// offending line (or the line above):
+//
+//	//simlint:allow <rule> -- <reason>
+//
+// The cmd/simlint driver runs every analyzer over a package pattern and
+// exits non-zero on any unwaived finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	// Dir is the package directory; ImportPath its module import path
+	// (used only as an identifier for testdata packages).
+	Dir        string
+	ImportPath string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	// FileNames holds the base name of each file, parallel to Files.
+	FileNames []string
+
+	Types *types.Package
+	Info  *types.Info
+
+	// Sim marks packages subject to the determinism contract: the
+	// simulator packages under internal/, minus the lint tool itself
+	// (developer tooling, not part of any simulated run).
+	Sim bool
+
+	// TypeErrors collects type-checker errors. The tree must build before
+	// linting (CI runs go build first); errors degrade analysis precision,
+	// so the driver reports them and fails.
+	TypeErrors []error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Analyzer is one named analysis pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, ObsRegister, CycleGuard}
+}
+
+// Run applies the given analyzers to every package, drops findings waived
+// by //simlint:allow directives, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		dirs := collectDirectives(p)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if dirs.allowed(d.Pos, a.Name) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadSkipsTestdata checks the recursive pattern walk excludes
+// testdata (and so the fixture packages never leak into a ./... run).
+func TestLoadSkipsTestdata(t *testing.T) {
+	pkgs, err := NewLoader().Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") {
+			t.Errorf("testdata package loaded: %s", p.Dir)
+		}
+		if p.ImportPath != "warpedslicer/internal/lint" {
+			t.Errorf("unexpected package under internal/lint: %s", p.ImportPath)
+		}
+	}
+}
+
+// TestSimPackageScope pins which packages the determinism contract
+// covers: simulator code under internal/, minus the lint tool itself and
+// anything outside internal/ (cmd, examples — wall-clock use is
+// legitimate there).
+func TestSimPackageScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"warpedslicer/internal/sm", true},
+		{"warpedslicer/internal/experiments", true},
+		{"warpedslicer/internal/assert", true},
+		{"warpedslicer/internal/lint", false},
+		{"warpedslicer/internal/lint/testdata/determ_bad", false},
+		{"warpedslicer/cmd/wslicer", false},
+		{"warpedslicer/examples/quickstart", false},
+	}
+	for _, c := range cases {
+		if got := simPackage(c.path); got != c.want {
+			t.Errorf("simPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestDirectiveParsing checks waiver placement: same line and the line
+// above suppress, two lines above does not, and "all" waives any rule.
+func TestDirectiveParsing(t *testing.T) {
+	loader := NewLoader()
+	p, err := loader.LoadDir("testdata/cycle_ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := collectDirectives(p)
+	var file string
+	for f := range d.byLine {
+		file = f
+	}
+	if file == "" {
+		t.Fatal("no directives collected from testdata/cycle_ok")
+	}
+	var line int
+	for l := range d.byLine[file] {
+		line = l
+	}
+	pos := p.Fset.Position(p.Files[0].Pos())
+	pos.Line = line
+	if !d.allowed(pos, "cycleguard") {
+		t.Errorf("directive on line %d does not waive its own line", line)
+	}
+	pos.Line = line + 1
+	if !d.allowed(pos, "cycleguard") {
+		t.Errorf("directive on line %d does not waive the next line", line)
+	}
+	pos.Line = line + 2
+	if d.allowed(pos, "cycleguard") {
+		t.Errorf("directive on line %d must not waive two lines below", line)
+	}
+	pos.Line = line
+	if d.allowed(pos, "determinism") {
+		t.Error("cycleguard waiver must not cover other rules")
+	}
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages with one shared FileSet and
+// importer, so cross-package object identities resolve consistently. The
+// importer compiles dependencies from source via the go command — no
+// export data, no network, stdlib only.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load resolves package patterns into analyzed packages. A pattern is a
+// directory, or a directory followed by "/..." for a recursive walk.
+// testdata, vendor, and hidden directories are skipped, matching the go
+// tool's behaviour for the ./... pattern.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "...")
+		root = filepath.Clean(root)
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir, or (nil, nil) if dir holds no
+// buildable Go files. File selection goes through go/build so build
+// constraints apply — e.g. the simassert-tagged assertion bodies are
+// excluded under the default (assert-off) configuration, exactly like a
+// plain go build.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	importPath := importPathFor(dir)
+	p := &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       l.Fset,
+		Sim:        simPackage(importPath),
+	}
+
+	sort.Strings(bp.GoFiles)
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+		p.FileNames = append(p.FileNames, name)
+	}
+
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check returns the (possibly incomplete) package even on error; the
+	// errors are already captured above for the driver to surface.
+	p.Types, _ = conf.Check(importPath, l.Fset, p.Files, p.Info)
+	return p, nil
+}
+
+// importPathFor derives the module import path for dir by locating the
+// enclosing go.mod. It falls back to the directory base name when no
+// module is found; the result is only an identifier, never imported.
+func importPathFor(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.Base(dir)
+	}
+	for root := abs; ; {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			if mod := modulePath(data); mod != "" {
+				rel, err := filepath.Rel(root, abs)
+				if err != nil || rel == "." {
+					return mod
+				}
+				return mod + "/" + filepath.ToSlash(rel)
+			}
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return filepath.Base(abs)
+		}
+		root = parent
+	}
+}
+
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// simPackage reports whether an import path falls under the determinism
+// contract: simulator code under internal/, excluding the lint tool
+// itself (developer tooling that never runs inside a simulation).
+func simPackage(importPath string) bool {
+	if !strings.Contains(importPath, "internal/") {
+		return false
+	}
+	if strings.Contains(importPath, "internal/lint") {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ObsRegister cross-checks a package's counters against its observability
+// surface: every uint64 counter field (or array/slice of them) and every
+// obs.Hist that the package increments must be referenced from the
+// package's obs.go — directly or through package-local helpers obs.go
+// calls. An incremented-but-unregistered counter silently breaks the
+// per-kernel conservation invariant (PR 3) and under-reports on the
+// Prometheus surface. Packages without an obs.go are exempt (they have no
+// observability surface to keep in sync).
+var ObsRegister = &Analyzer{
+	Name: "obsregister",
+	Doc:  "every counter/histogram field a package increments must be registered in its obs.go",
+	Run:  runObsRegister,
+}
+
+func runObsRegister(p *Package) []Diagnostic {
+	obsFile := -1
+	for i, name := range p.FileNames {
+		if name == "obs.go" {
+			obsFile = i
+			break
+		}
+	}
+	if obsFile < 0 || p.Types == nil {
+		return nil
+	}
+
+	// Field objects reachable from obs.go: seed with obs.go itself, then
+	// follow package-local calls (e.g. mem's obs.go emits via Stats(),
+	// which is where the per-kernel arrays are actually read).
+	registered := make(map[*types.Var]bool)
+	decls := packageFuncDecls(p)
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(body ast.Node)
+	visit = func(body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						registered[v] = true
+					}
+				}
+			case *ast.Ident:
+				obj := p.Info.Uses[n]
+				if obj == nil {
+					obj = p.Info.Defs[n]
+				}
+				switch obj := obj.(type) {
+				case *types.Var:
+					if obj.IsField() {
+						registered[obj] = true
+					}
+				case *types.Func:
+					if obj.Pkg() == p.Types {
+						if d := decls[obj]; d != nil && !visited[d] {
+							visited[d] = true
+							visit(d.Body)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(p.Files[obsFile])
+
+	// Counter increment sites across the whole package.
+	type site struct {
+		obj  *types.Var
+		pos  token.Pos
+		text string
+	}
+	var sites []site
+	seen := make(map[*types.Var]bool)
+	record := func(e ast.Expr) {
+		v, text := counterField(p, e)
+		if v == nil || seen[v] {
+			return
+		}
+		seen[v] = true
+		sites = append(sites, site{obj: v, pos: e.Pos(), text: text})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				if n.Tok == token.INC {
+					record(n.X)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+					record(n.Lhs[0])
+				}
+			case *ast.CallExpr:
+				// Histogram samples: <field>.Observe(v).
+				if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && se.Sel.Name == "Observe" {
+					if recv, ok := ast.Unparen(se.X).(*ast.SelectorExpr); ok && isObsHist(p, recv) {
+						record(recv)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	var diags []Diagnostic
+	for _, s := range sites {
+		if registered[s.obj] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  p.Fset.Position(s.pos),
+			Rule: "obsregister",
+			Msg: fmt.Sprintf("counter %s is incremented here but never referenced from obs.go; "+
+				"register it or the observability surface silently under-reports", s.text),
+		})
+	}
+	return diags
+}
+
+// packageFuncDecls maps each function/method object to its declaration.
+func packageFuncDecls(p *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// counterField resolves an incremented expression to a counter-typed field
+// of a struct declared in this package. It unwraps indexing, so
+// perK[slot]++ attributes to the perK array field. The second return is
+// the field expression rendered for messages.
+func counterField(p *Package, e ast.Expr) (*types.Var, string) {
+	e = ast.Unparen(e)
+	for {
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	se, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := p.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	v, ok := sel.Obj().(*types.Var)
+	if !ok || v.Pkg() != p.Types {
+		return nil, ""
+	}
+	if !isCounterType(v.Type()) && !isObsHistType(v.Type()) {
+		return nil, ""
+	}
+	return v, types.ExprString(se)
+}
+
+// isCounterType reports whether t is uint64 or an array/slice of uint64 —
+// the repo's counter convention.
+func isCounterType(t types.Type) bool {
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		return t.Kind() == types.Uint64
+	case *types.Array:
+		return isCounterType(t.Elem())
+	case *types.Slice:
+		return isCounterType(t.Elem())
+	}
+	return false
+}
+
+func isObsHist(p *Package, se *ast.SelectorExpr) bool {
+	sel, ok := p.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return false
+	}
+	v, ok := sel.Obj().(*types.Var)
+	return ok && v.Pkg() == p.Types && isObsHistType(v.Type())
+}
+
+// isObsHistType matches internal/obs.Hist (by value or pointer).
+func isObsHistType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Hist" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}

@@ -1,0 +1,22 @@
+// Package cycle_bad holds positive cases for the cycleguard analyzer.
+package cycle_bad
+
+func ipc(insts uint64, cycles int64) float64 {
+	return float64(insts) / float64(cycles) // flagged: cycles unguarded
+}
+
+func phase(now int64, window int64) int64 {
+	return now % window // flagged: window unguarded
+}
+
+func rate(stalls, slots uint64) float64 {
+	return float64(stalls) / float64(slots) // flagged: slots unguarded
+}
+
+// A guard on a different expression does not cover the denominator.
+func wrongGuard(insts uint64, cycles int64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return float64(insts) / float64(cycles) // flagged: cycles still unguarded
+}

@@ -1,0 +1,36 @@
+// Package cycle_ok holds negative cases for the cycleguard analyzer.
+package cycle_ok
+
+// The denominator is compared against zero in the same function.
+func ipc(insts uint64, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(insts) / float64(cycles)
+}
+
+// A positive-direction guard also counts.
+func rate(stalls, slots uint64) float64 {
+	out := 0.0
+	if slots > 0 {
+		out = float64(stalls) / float64(slots)
+	}
+	return out
+}
+
+// Constant denominators need no guard.
+func bucket(cycle int64) int64 {
+	const lanes = 32
+	return cycle / lanes
+}
+
+// Non-cycleish denominators are out of scope.
+func mean(sum float64, n int) float64 {
+	return sum / float64(n)
+}
+
+// A waiver with justification suppresses the finding.
+func waived(insts uint64, cycles int64) float64 {
+	//simlint:allow cycleguard -- caller validates cycles > 0
+	return float64(insts) / float64(cycles)
+}

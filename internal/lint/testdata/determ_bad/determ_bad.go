@@ -1,0 +1,54 @@
+// Package determ_bad holds positive cases for the determinism analyzer:
+// every construct here must produce exactly one finding.
+package determ_bad
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func ambient() string {
+	return os.Getenv("WS_SEED")
+}
+
+func prng() int {
+	return rand.Int()
+}
+
+func spawn(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+func accumulate(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+func collect(rows map[int]string) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	return out
+}
+
+func dump(rows map[int]string) {
+	for k, v := range rows {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,61 @@
+// Package determ_ok holds negative cases for the determinism analyzer:
+// nothing here may be flagged.
+package determ_ok
+
+import (
+	"sort"
+	"time"
+)
+
+// Integer accumulation over a map is order-independent.
+func sumInts(counts map[string]uint64) uint64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Building another map is order-independent.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// The canonical fix: collect keys, sort, iterate — the key-collecting
+// append inside the map range must not be flagged.
+func sortedSum(weights map[string]float64) float64 {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += weights[k]
+	}
+	return total
+}
+
+// An explicit duration constant is fine; only clock reads are banned.
+const pollInterval = 50 * time.Millisecond
+
+// Appending inside a range over a slice is ordered input, not a map.
+func copySlice(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// A waived goroutine: the justification directive suppresses the finding.
+func waived(done chan struct{}) {
+	//simlint:allow determinism -- test fixture for the waiver mechanism
+	go func() {
+		close(done)
+	}()
+}

@@ -1,0 +1,15 @@
+package obsreg_bad
+
+// register is this package's observability surface. It reaches Hits
+// directly and Emitted through a helper, so both count as registered;
+// Misses, Ops, PerSlot and Latency do not appear and must be flagged at
+// their increment sites.
+func (e *engine) register(emit func(string, float64)) {
+	emit("hits", float64(e.s.Hits))
+	e.emitHists(emit)
+}
+
+func (e *engine) emitHists(emit func(string, float64)) {
+	_ = e.s.Emitted
+	emit("emitted", 0)
+}

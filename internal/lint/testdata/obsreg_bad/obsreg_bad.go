@@ -1,0 +1,31 @@
+// Package obsreg_bad holds positive cases for the obsregister analyzer:
+// counters incremented here but absent from obs.go must be flagged.
+package obsreg_bad
+
+import "warpedslicer/internal/obs"
+
+type stats struct {
+	Hits     uint64
+	Misses   uint64
+	Ops      uint64
+	PerSlot  [4]uint64
+	Latency  obs.Hist
+	Emitted  obs.Hist
+	notACtr  int
+	fraction float64
+}
+
+type engine struct {
+	s stats
+}
+
+func (e *engine) work(slot int, lat int64) {
+	e.s.Hits++          // registered in obs.go: ok
+	e.s.Misses++        // flagged: never referenced from obs.go
+	e.s.Ops += 2        // flagged: never referenced from obs.go
+	e.s.PerSlot[slot]++ // flagged: never referenced from obs.go
+	e.s.Latency.Observe(lat)
+	e.s.Emitted.Observe(lat)
+	e.s.notACtr++       // int, not a counter: ignored
+	e.s.fraction += 1.5 // float, not a counter: ignored
+}

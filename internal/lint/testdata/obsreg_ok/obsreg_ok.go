@@ -1,0 +1,12 @@
+// Package obsreg_ok holds negative cases for the obsregister analyzer:
+// a package without an obs.go has no observability surface to keep in
+// sync, so its counters are never flagged.
+package obsreg_ok
+
+type counters struct {
+	Events uint64
+}
+
+func (c *counters) bump() {
+	c.Events++
+}

@@ -6,6 +6,7 @@
 package mem
 
 import (
+	"warpedslicer/internal/assert"
 	"warpedslicer/internal/cache"
 	"warpedslicer/internal/config"
 	"warpedslicer/internal/dram"
@@ -126,6 +127,9 @@ func (m *Subsystem) Submit(req memreq.Request, now int64) bool {
 		return false
 	}
 	m.reqNet = append(m.reqNet, timed{req: req, readyAt: now + int64(m.cfg.Icnt.LatencyCycles)})
+	if assert.Enabled && len(m.reqNet) > m.reqCap {
+		assert.Failf("mem: request-network overflow after submit: %d > %d", len(m.reqNet), m.reqCap)
+	}
 	return true
 }
 

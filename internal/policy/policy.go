@@ -6,6 +6,7 @@
 package policy
 
 import (
+	"warpedslicer/internal/assert"
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/sm"
 )
@@ -166,6 +167,13 @@ func ApplyFixed(g *gpu.GPU, ctas []int) {
 			Shm:     spec.SharedMemPerTA * n,
 			Threads: spec.BlockDim * n,
 			CTAs:    n,
+		}
+		if assert.Enabled {
+			if q.Regs > g.Cfg.SM.Registers || q.Shm > g.Cfg.SM.SharedMemBytes ||
+				q.Threads > g.Cfg.SM.MaxThreads || q.CTAs > g.Cfg.SM.MaxCTAs {
+				assert.Failf("policy: quota for kernel %d exceeds Table I limits: %+v (SM: regs %d shm %d threads %d ctas %d)",
+					k.Slot, q, g.Cfg.SM.Registers, g.Cfg.SM.SharedMemBytes, g.Cfg.SM.MaxThreads, g.Cfg.SM.MaxCTAs)
+			}
 		}
 		for _, s := range g.SMs {
 			s.SetAllowed(nil)

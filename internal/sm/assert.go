@@ -1,0 +1,68 @@
+package sm
+
+import "warpedslicer/internal/assert"
+
+// checkInvariants verifies, at the end of every cycle, the conservation
+// and bound invariants the SM maintains by construction. It runs only
+// under the simassert build tag (the call in Cycle is gated on
+// assert.Enabled); the default build compiles it out entirely.
+func (s *SM) checkInvariants() {
+	st := &s.stats
+
+	// Issue-slot conservation: every scheduler slot of every cycle is
+	// accounted to exactly one of issued or a stall class (PR 3's Figure 7
+	// attribution depends on this partition being exact).
+	stalls := st.StallMem + st.StallRAW + st.StallExec + st.StallIBuf + st.StallIdle
+	if st.Slots != st.Issued+stalls {
+		assert.Failf("sm %d cycle %d: issue-slot conservation broken: slots=%d issued=%d stalls=%d",
+			s.ID, st.Cycles, st.Slots, st.Issued, stalls)
+	}
+
+	// Per-kernel stall attribution sums exactly to the SM-wide classes,
+	// and per-kernel warp instructions sum to the issued total.
+	var mem, raw, exec, ibuf, warpInsts uint64
+	for k := 0; k < MaxKernels; k++ {
+		ks := &st.PerKernel[k]
+		mem += ks.StallMem
+		raw += ks.StallRAW
+		exec += ks.StallExec
+		ibuf += ks.StallIBuf
+		warpInsts += ks.WarpInsts
+	}
+	if mem != st.StallMem || raw != st.StallRAW || exec != st.StallExec || ibuf != st.StallIBuf {
+		assert.Failf("sm %d cycle %d: per-kernel stall sums diverge from SM-wide classes: "+
+			"mem %d/%d raw %d/%d exec %d/%d ibuf %d/%d",
+			s.ID, st.Cycles, mem, st.StallMem, raw, st.StallRAW, exec, st.StallExec, ibuf, st.StallIBuf)
+	}
+	if warpInsts != st.Issued {
+		assert.Failf("sm %d cycle %d: per-kernel warp insts %d != issued %d",
+			s.ID, st.Cycles, warpInsts, st.Issued)
+	}
+
+	// Occupancy never exceeds the Table I limits Launch enforces.
+	if s.usedRegs > s.cfg.SM.Registers || s.usedShm > s.cfg.SM.SharedMemBytes ||
+		s.usedThreads > s.cfg.SM.MaxThreads || s.usedCTAs > s.cfg.SM.MaxCTAs {
+		assert.Failf("sm %d cycle %d: occupancy exceeds Table I limits: regs %d/%d shm %d/%d threads %d/%d ctas %d/%d",
+			s.ID, st.Cycles, s.usedRegs, s.cfg.SM.Registers, s.usedShm, s.cfg.SM.SharedMemBytes,
+			s.usedThreads, s.cfg.SM.MaxThreads, s.usedCTAs, s.cfg.SM.MaxCTAs)
+	}
+
+	// Per-kernel resource accounting sums to the SM-wide pools.
+	var used Quota
+	for k := 0; k < MaxKernels; k++ {
+		used.Regs += s.kUsed[k].Regs
+		used.Shm += s.kUsed[k].Shm
+		used.Threads += s.kUsed[k].Threads
+		used.CTAs += s.kUsed[k].CTAs
+	}
+	if used.Regs != s.usedRegs || used.Shm != s.usedShm ||
+		used.Threads != s.usedThreads || used.CTAs != s.usedCTAs {
+		assert.Failf("sm %d cycle %d: per-kernel usage %+v diverges from SM pools {%d %d %d %d}",
+			s.ID, st.Cycles, used, s.usedRegs, s.usedShm, s.usedThreads, s.usedCTAs)
+	}
+
+	// The L1 miss queue respects its configured bound.
+	if len(s.memQ) > s.memQCap {
+		assert.Failf("sm %d cycle %d: memQ overflow: %d > %d", s.ID, st.Cycles, len(s.memQ), s.memQCap)
+	}
+}

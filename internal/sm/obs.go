@@ -27,9 +27,11 @@ func (st Stats) EmitObs(emit obs.Emit, kv ...string) {
 	c("ws_sm_shm_cycles_total", st.ShmCycles)
 }
 
-// EmitKernelObs publishes the per-kernel stall-attribution counters under
-// the given labels plus a "kernel" label per slot. Summing one class over
-// all kernel slots reproduces the matching SM-wide ws_sm_stall_* counter.
+// EmitKernelObs publishes the per-kernel counters under the given labels
+// plus a "kernel" label per slot: the stall-attribution classes (summing
+// one class over all kernel slots reproduces the matching SM-wide
+// ws_sm_stall_* counter) and the progress counters (instructions, CTA
+// launches/completions, loads issued).
 func (st Stats) EmitKernelObs(emit obs.Emit, kv ...string) {
 	for k := 0; k < MaxKernels; k++ {
 		lbl := make([]string, 0, len(kv)+2)
@@ -43,6 +45,11 @@ func (st Stats) EmitKernelObs(emit obs.Emit, kv ...string) {
 		c("ws_sm_kernel_stall_raw_total", ks.StallRAW)
 		c("ws_sm_kernel_stall_exec_total", ks.StallExec)
 		c("ws_sm_kernel_stall_ibuf_total", ks.StallIBuf)
+		c("ws_sm_kernel_warp_insts_total", ks.WarpInsts)
+		c("ws_sm_kernel_thread_insts_total", ks.ThreadInsts)
+		c("ws_sm_kernel_ctas_launched_total", ks.CTAsLaunched)
+		c("ws_sm_kernel_ctas_done_total", ks.CTAsDone)
+		c("ws_sm_kernel_loads_issued_total", ks.LoadsIssued)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"warpedslicer/internal/assert"
 	"warpedslicer/internal/cache"
 	"warpedslicer/internal/isa"
 	"warpedslicer/internal/memreq"
@@ -19,6 +20,10 @@ func (s *SM) Cycle(now int64) {
 	for sched := 0; sched < s.cfg.SM.Schedulers; sched++ {
 		s.stats.Slots++
 		s.issueFrom(sched, now)
+	}
+
+	if assert.Enabled {
+		s.checkInvariants()
 	}
 }
 
