@@ -22,6 +22,7 @@ import (
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/power"
 	"warpedslicer/internal/sm"
+	"warpedslicer/internal/span"
 )
 
 func benchOptions() experiments.Options { return experiments.Quick() }
@@ -336,6 +337,11 @@ func TestObsOverheadBudget(t *testing.T) {
 		if instrumented {
 			g.Log = obs.NewEventLog()
 			g.Register(obs.NewRegistry())
+		} else {
+			// The bare configuration also turns span sampling off, so the
+			// budget covers the default 1-in-64 sampling and recording cost,
+			// not just the registry.
+			g.Mem.Spans.SetPeriod(0)
 		}
 		g.AddKernel(kernels.ByAbbr("MM"), 0)
 		g.RunCycles(1000)
@@ -368,6 +374,7 @@ func TestObsOverheadBudget(t *testing.T) {
 	// their cost is already inside bare/inst above; pin the per-Observe
 	// price separately so a histogram regression is visible on its own.
 	histNs := timeHistObserve()
+	sampleNs := timeSpanSample()
 
 	mergeBenchJSON(t, "BENCH_obs.json", map[string]any{
 		"bare_ns_per_cycle":         bare,
@@ -377,9 +384,10 @@ func TestObsOverheadBudget(t *testing.T) {
 		"rounds":                    rounds,
 		"cycles_per_round":          chunk,
 		"hist_ns_per_observe":       histNs,
+		"span_sampling_ns_per_req":  sampleNs,
 	})
-	t.Logf("bare %.1f ns/cycle, instrumented %.1f ns/cycle, overhead %.2f%%, hist observe %.2f ns",
-		bare, inst, overhead*100, histNs)
+	t.Logf("bare %.1f ns/cycle, instrumented %.1f ns/cycle, overhead %.2f%%, hist observe %.2f ns, span sample %.2f ns",
+		bare, inst, overhead*100, histNs, sampleNs)
 	if overhead >= 0.02 {
 		t.Errorf("passive instrumentation overhead %.2f%% exceeds the 2%% budget", overhead*100)
 	}
@@ -454,6 +462,47 @@ func BenchmarkHistObserve(b *testing.B) {
 		h.Observe(int64(i) & 0xfffff)
 	}
 	histSink += h.Count()
+}
+
+// sampleSink defeats dead-code elimination in the span-sampling timers.
+var sampleSink int
+
+// timeSpanSample returns the cost of one span.Sampler.Sample decision in
+// nanoseconds (min of 3 rounds of 1<<22 calls over varying line/cycle).
+// This is the price every L1 miss pays at the default period; only the
+// 1-in-64 sampled requests pay the recording path on top.
+func timeSpanSample() float64 {
+	const n = 1 << 22
+	s := span.Sampler{Period: span.DefaultPeriod}
+	best := -1.0
+	for r := 0; r < 3; r++ {
+		hits := 0
+		start := time.Now()
+		for i := int64(0); i < n; i++ {
+			if s.Sample(uint64(i)<<7, i, int(i&7)) {
+				hits++
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / n
+		sampleSink += hits
+		if best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// BenchmarkSpanSample prices the per-request sampling decision: one
+// splitmix-style hash and a modulo.
+func BenchmarkSpanSample(b *testing.B) {
+	s := span.Sampler{Period: span.DefaultPeriod}
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if s.Sample(uint64(i)<<7, int64(i), i&7) {
+			hits++
+		}
+	}
+	sampleSink += hits
 }
 
 // BenchmarkPairSweepSerial runs a four-pair Figure 6 sweep on one worker.

@@ -17,6 +17,7 @@
 //	table3   Table III  CTA partitions chosen by Warped-Slicer vs Even
 //	fig7     Figure 7   utilization, cache miss rates, stall breakdown
 //	fig7c    Figure 7c  per-benchmark stall breakdown, alone vs shared (CSV)
+//	figmemdecomp        sampled-span latency decomposition, alone vs shared (CSV)
 //	fig8     Figure 8   3-kernel workloads
 //	fig9     Figure 9   fairness (min speedup) and ANTT
 //	energy   §V-G       energy and dynamic power comparison
@@ -61,7 +62,7 @@ func main() {
 		tlWindow  = flag.Int64("window", 5000, "timeline: sampling window in cycles")
 		tlCycles  = flag.Int64("cycles", 120_000, "timeline: total cycles to trace")
 		tlCSV     = flag.String("csv", "", "timeline: CSV output path (default stdout)")
-		csvDir    = flag.String("csvdir", "", "also write table2/fig3/fig6/fig7c results as CSV files here")
+		csvDir    = flag.String("csvdir", "", "also write table2/fig3/fig6/fig7c/figmemdecomp results as CSV files here")
 
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 
@@ -244,6 +245,14 @@ func run(name string, o experiments.Options, ws []experiments.Workload, withOrac
 		if err := experiments.WriteFigure7cCSV(os.Stdout, det); err != nil {
 			fatal(err)
 		}
+	case "figmemdecomp":
+		header("Memory-interference decomposition: sampled span stages, alone vs shared")
+		rows := experiments.FigMemDecomp(s, ws)
+		record("figmemdecomp", rows)
+		maybeCSV("figmemdecomp.csv", func(f *os.File) error { return experiments.WriteMemDecompCSV(f, rows) })
+		if err := experiments.WriteMemDecompCSV(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
 	case "fig8":
 		header("Figure 8: three kernels per SM")
 		fmt.Print(experiments.FormatFigure8(experiments.Figure8(s)))
@@ -409,6 +418,12 @@ func runAll(o experiments.Options, ws []experiments.Workload, withOracle bool) {
 	det := experiments.Figure7cDetail(s, rows)
 	record("figure7c", det)
 	fmt.Print(experiments.FormatFigure7cDetail(det))
+	fmt.Println()
+
+	header("Memory-interference decomposition: sampled span stages, alone vs shared")
+	md := experiments.FigMemDecomp(s, ws)
+	record("figmemdecomp", md)
+	fmt.Print(experiments.FormatMemDecomp(md))
 	fmt.Println()
 
 	header("Figure 8: three kernels per SM")

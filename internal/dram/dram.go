@@ -13,6 +13,7 @@ import (
 	"warpedslicer/internal/assert"
 	"warpedslicer/internal/memreq"
 	"warpedslicer/internal/obs"
+	"warpedslicer/internal/span"
 )
 
 // Config holds the channel geometry and timing.
@@ -75,6 +76,11 @@ type Channel struct {
 	lastActAt int64 // for tRRD
 
 	Stats Stats
+
+	// Spans, when set, receives row-buffer outcome and queue/service
+	// annotations for traced requests (see package span). The memory
+	// partition injects it; a nil collector disables the hook.
+	Spans *span.Collector
 
 	// RowHitService / RowMissService record per-transaction service time
 	// (arrival to data-complete, memory cycles) split by row-buffer
@@ -218,6 +224,11 @@ func (ch *Channel) issue(now int64) {
 		ch.RowHitService.Observe(done - p.arrival)
 	} else {
 		ch.RowMissService.Observe(done - p.arrival)
+	}
+	if p.req.Span != 0 {
+		// Memory-clock annotation: how the queue wait and device service
+		// split inside the core-clock dram stage the span already times.
+		ch.Spans.MarkDRAMIssue(p.req.Span, rowHit, now-p.arrival, done-now)
 	}
 
 	ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)

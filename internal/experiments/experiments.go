@@ -23,6 +23,7 @@ import (
 	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/sm"
+	"warpedslicer/internal/span"
 )
 
 // Options parameterizes a Session.
@@ -140,7 +141,10 @@ func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
 	if g.MonitorEvery <= 0 {
 		g.MonitorEvery = 2048
 	}
-	g.Monitor = func(*gpu.GPU) { o.Hub.Publish(reg.Snapshot()) }
+	g.Monitor = func(gg *gpu.GPU) {
+		o.Hub.Publish(reg.Snapshot())
+		o.Hub.PublishSpans(gg.Mem.Spans.Summary())
+	}
 }
 
 // Isolation is a cached single-kernel run.
@@ -153,6 +157,9 @@ type Isolation struct {
 	IPC   float64
 	SM    sm.Stats
 	Mem   mem.Stats
+	// Spans holds the run's sampled memory-request decomposition (the
+	// kernel occupies slot 0, so Spans.PerKernel[0] is its breakdown).
+	Spans span.Totals
 }
 
 // Session caches isolation runs and occupancy curves for one Options value.
@@ -224,6 +231,7 @@ func (s *Session) runIsolation(spec *kernels.Spec) Isolation {
 		Insts:  g.KernelInsts(0),
 		SM:     g.AggregateSM(),
 		Mem:    g.Mem.Stats(),
+		Spans:  g.Mem.Spans.Totals(),
 	}
 	r.IPC = metrics.IPC(r.Insts, r.Cycles)
 	log.Emit(g.Now(), obs.EvIsolationDone, map[string]any{
@@ -250,6 +258,9 @@ type CoRun struct {
 	PerKernelIPC []float64
 	SM           sm.Stats
 	Mem          mem.Stats
+	// Spans holds the run's sampled memory-request decomposition, indexed
+	// by kernel slot (the figmemdecomp interference attribution source).
+	Spans span.Totals
 	// Partition/ChoseSpatial are filled for the dynamic policy.
 	Partition    []int
 	ChoseSpatial bool
@@ -333,6 +344,7 @@ func (s *Session) coRunTargets(kind string, specs []*kernels.Spec, name string, 
 		Targets: targets,
 		SM:      g.AggregateSM(),
 		Mem:     g.Mem.Stats(),
+		Spans:   g.Mem.Spans.Totals(),
 	}
 	var totalInsts uint64
 	for _, k := range g.Kernels {
@@ -386,6 +398,7 @@ func (s *Session) RunFixedCycles(specs []*kernels.Spec, name string, ctas []int,
 		Cycles: cycles,
 		SM:     g.AggregateSM(),
 		Mem:    g.Mem.Stats(),
+		Spans:  g.Mem.Spans.Totals(),
 	}
 	var total uint64
 	for _, k := range g.Kernels {

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"warpedslicer/internal/span"
+)
+
+// MemDecompRow is one line of the memory-interference decomposition: one
+// benchmark's sampled L1-miss latency split across the hierarchy stages,
+// in one mode — running alone (its isolation run), sharing the GPU with
+// its co-runner under the even intra-SM partition, or the per-stage
+// delta between the two. The delta rows are the experiment's point: they
+// attribute the added shared-mode latency to specific stages (L2 bank
+// queueing, DRAM backpressure, DRAM service, ...) — the mechanism behind
+// the paper's Figure 7 memory-stall growth, which endpoint histograms
+// cannot localize.
+type MemDecompRow struct {
+	Workload string // co-run name, e.g. "IMG_BLK"
+	Category string // Table II pairing category
+	Kernel   string // benchmark abbreviation
+	Slot     int    // kernel slot within the co-run (0 when alone)
+	Mode     string // "alone", "shared", "delta"
+	Policy   string // sharing policy of the shared run
+
+	// Spans counts completed traced requests behind the means.
+	Spans uint64
+	// EndToEnd is the mean traced L1-miss round trip in core cycles; the
+	// Stage columns partition it exactly (conservation).
+	EndToEnd float64
+	Stage    [span.NumStages]float64
+
+	// Mix fractions over completed spans (hit/merged of all spans, row
+	// hits of DRAM-visiting spans).
+	L2HitFrac, MergedFrac, RowHitFrac float64
+}
+
+func memDecompRow(workload, category, kernel, mode, policy string, slot int, t span.StageTotals) MemDecompRow {
+	r := MemDecompRow{
+		Workload: workload, Category: category, Kernel: kernel,
+		Slot: slot, Mode: mode, Policy: policy,
+		Spans:    t.Completed,
+		EndToEnd: t.MeanEndToEnd(),
+	}
+	for st := span.Stage(0); st < span.NumStages; st++ {
+		r.Stage[st] = t.Mean(st)
+	}
+	if t.Completed > 0 {
+		r.L2HitFrac = float64(t.L2Hits) / float64(t.Completed)
+		r.MergedFrac = float64(t.Merged) / float64(t.Completed)
+	}
+	if dram := t.RowHits + t.RowMisses; dram > 0 {
+		r.RowHitFrac = float64(t.RowHits) / float64(dram)
+	}
+	return r
+}
+
+// delta computes shared minus alone, column by column. Counts keep the
+// shared run's values (they size the shared-mode sample).
+func (r MemDecompRow) delta(alone MemDecompRow) MemDecompRow {
+	d := r
+	d.Mode = "delta"
+	d.EndToEnd -= alone.EndToEnd
+	for st := range d.Stage {
+		d.Stage[st] -= alone.Stage[st]
+	}
+	d.L2HitFrac -= alone.L2HitFrac
+	d.MergedFrac -= alone.MergedFrac
+	d.RowHitFrac -= alone.RowHitFrac
+	return d
+}
+
+// MemDecompPolicy is the sharing policy the decomposition co-runs under:
+// the even intra-SM partition, which always shares every SM (the dynamic
+// controller may choose spatial multitasking, which would leave nothing
+// to decompose for cleanly-separable pairs).
+const MemDecompPolicy = "even"
+
+// FigMemDecomp runs each workload's kernels alone and shared under the
+// even partition, and decomposes the traced L1-miss latency per stage
+// per kernel in each mode. Workloads fan across the session's worker
+// pool; rows are collected by index, so output is byte-identical for any
+// Parallelism. Row order: workload-major, then kernel slot, each as
+// alone/shared/delta.
+func FigMemDecomp(s *Session, ws []Workload) []MemDecompRow {
+	perWS := make([][]MemDecompRow, len(ws))
+	s.parallelFor(len(ws), func(i int) {
+		perWS[i] = s.memDecompWorkload(ws[i])
+	})
+	var out []MemDecompRow
+	for _, rows := range perWS {
+		out = append(out, rows...)
+	}
+	return out
+}
+
+func (s *Session) memDecompWorkload(w Workload) []MemDecompRow {
+	co := s.CoRun(w.Specs, MemDecompPolicy)
+	name := w.Name()
+	var out []MemDecompRow
+	for slot, spec := range w.Specs {
+		iso := s.Isolation(spec) // cached: CoRun already ran it for targets
+		alone := memDecompRow(name, w.Category, spec.Abbr, "alone", MemDecompPolicy,
+			0, iso.Spans.PerKernel[0])
+		shared := memDecompRow(name, w.Category, spec.Abbr, "shared", MemDecompPolicy,
+			slot, co.Spans.PerKernel[slot])
+		out = append(out, alone, shared, shared.delta(alone))
+	}
+	return out
+}
+
+// WriteMemDecompCSV exports the decomposition. The stage columns of any
+// alone/shared row sum to end_to_end (up to float rendering); delta rows
+// difference the two modes column-wise.
+func WriteMemDecompCSV(w io.Writer, rows []MemDecompRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "category", "kernel", "slot", "mode", "policy", "spans", "end_to_end"}
+	for st := span.Stage(0); st < span.NumStages; st++ {
+		header = append(header, st.String())
+	}
+	header = append(header, "l2_hit_frac", "merged_frac", "dram_row_hit_frac")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Workload, r.Category, r.Kernel, fmt.Sprint(r.Slot), r.Mode, r.Policy,
+			fmt.Sprint(r.Spans), f4(r.EndToEnd),
+		}
+		for st := span.Stage(0); st < span.NumStages; st++ {
+			rec = append(rec, f4(r.Stage[st]))
+		}
+		rec = append(rec, f4(r.L2HitFrac), f4(r.MergedFrac), f4(r.RowHitFrac))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatMemDecomp renders the decomposition grouped by workload, one
+// compact line per (kernel, mode), stages in pipeline order.
+func FormatMemDecomp(rows []MemDecompRow) string {
+	var b strings.Builder
+	last := ""
+	for _, r := range rows {
+		if r.Workload != last {
+			if last != "" {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "%s (%s)\n", r.Workload, r.Category)
+			last = r.Workload
+		}
+		fmt.Fprintf(&b, "  %-4s %-6s n=%-5d e2e=%8.1f", r.Kernel, r.Mode, r.Spans, r.EndToEnd)
+		for st := span.Stage(0); st < span.NumStages; st++ {
+			if v := r.Stage[st]; v != 0 {
+				fmt.Fprintf(&b, " %s=%.1f", st, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

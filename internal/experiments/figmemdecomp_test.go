@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"warpedslicer/internal/span"
+)
+
+// decompWorkloads is the subset the decomposition tests run: the first
+// Compute+Memory pair (interference must show there) plus the first pair
+// overall, deduplicated.
+func decompWorkloads(t *testing.T) []Workload {
+	t.Helper()
+	ws := []Workload{Pairs()[0]}
+	for _, w := range Pairs() {
+		if w.Category == "Compute+Memory" {
+			if w.Name() != ws[0].Name() {
+				ws = append(ws, w)
+			}
+			break
+		}
+	}
+	if len(ws) < 2 {
+		t.Fatal("no Compute+Memory pair in Pairs()")
+	}
+	return ws
+}
+
+// TestMemDecompConservation pins the CSV-facing face of the span
+// conservation invariant: in every alone and shared row, the stage
+// columns partition end_to_end; delta rows difference the two exactly.
+func TestMemDecompConservation(t *testing.T) {
+	s := quickSession(t)
+	ws := decompWorkloads(t)
+	rows := FigMemDecomp(s, ws)
+	// Per workload: 2 kernels x {alone, shared, delta}.
+	if want := len(ws) * 2 * 3; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	byMode := map[string][]MemDecompRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+		if r.Mode == "delta" {
+			continue
+		}
+		if r.Spans == 0 {
+			t.Errorf("%s/%s/%s traced no spans; sampling period too sparse for the suite windows",
+				r.Workload, r.Kernel, r.Mode)
+			continue
+		}
+		var sum float64
+		for st := span.Stage(0); st < span.NumStages; st++ {
+			if r.Stage[st] < 0 {
+				t.Errorf("%s/%s/%s: stage %s mean %v negative", r.Workload, r.Kernel, r.Mode, st, r.Stage[st])
+			}
+			sum += r.Stage[st]
+		}
+		// Both sides are integer totals over the same count, so they agree
+		// to float summation error, not model error.
+		if diff := math.Abs(sum - r.EndToEnd); diff > 1e-6*r.EndToEnd {
+			t.Errorf("%s/%s/%s: stage sum %v != end_to_end %v", r.Workload, r.Kernel, r.Mode, sum, r.EndToEnd)
+		}
+	}
+	for _, mode := range []string{"alone", "shared", "delta"} {
+		if len(byMode[mode]) != len(ws)*2 {
+			t.Fatalf("mode %s has %d rows, want %d", mode, len(byMode[mode]), len(ws)*2)
+		}
+	}
+	// Delta rows are exactly shared minus alone, column-wise.
+	for i := 0; i+2 < len(rows); i += 3 {
+		alone, shared, delta := rows[i], rows[i+1], rows[i+2]
+		if alone.Mode != "alone" || shared.Mode != "shared" || delta.Mode != "delta" {
+			t.Fatalf("row triplet at %d has modes %s/%s/%s", i, alone.Mode, shared.Mode, delta.Mode)
+		}
+		if d := delta.EndToEnd - (shared.EndToEnd - alone.EndToEnd); math.Abs(d) > 1e-9 {
+			t.Errorf("%s/%s delta end_to_end off by %v", delta.Workload, delta.Kernel, d)
+		}
+		for st := span.Stage(0); st < span.NumStages; st++ {
+			if d := delta.Stage[st] - (shared.Stage[st] - alone.Stage[st]); math.Abs(d) > 1e-9 {
+				t.Errorf("%s/%s delta %s off by %v", delta.Workload, delta.Kernel, st, d)
+			}
+		}
+	}
+}
+
+// TestMemDecompInterferenceVisible checks the experiment's raison d'être:
+// sharing the GPU with a co-runner adds traced latency somewhere in the
+// hierarchy for the memory-intensive pairing — the delta rows localize
+// interference the end-to-end histograms can only total.
+func TestMemDecompInterferenceVisible(t *testing.T) {
+	s := quickSession(t)
+	ws := decompWorkloads(t)
+	rows := FigMemDecomp(s, ws)
+	var found bool
+	for _, r := range rows {
+		if r.Mode == "delta" && r.EndToEnd > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no delta row shows added shared-mode latency across %d workloads:\n%s",
+			len(ws), FormatMemDecomp(rows))
+	}
+}
+
+// TestMemDecompCSVDeterministic is the span-pipeline determinism
+// contract end to end: a serial session and a maximally parallel session
+// must render byte-identical CSV, sampled spans included.
+func TestMemDecompCSVDeterministic(t *testing.T) {
+	ws := decompWorkloads(t)
+	render := func(parallelism int) []byte {
+		o := Quick()
+		o.Parallelism = parallelism
+		var buf bytes.Buffer
+		if err := WriteMemDecompCSV(&buf, FigMemDecomp(NewSession(o), ws)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("CSV differs between -parallel 1 and -parallel 4.\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+// TestMemDecompCSVShape sanity-checks the header and one data row.
+func TestMemDecompCSVShape(t *testing.T) {
+	s := quickSession(t)
+	rows := FigMemDecomp(s, decompWorkloads(t)[:1])
+	var buf bytes.Buffer
+	if err := WriteMemDecompCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 1+len(rows) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(rows))
+	}
+	wantCols := 8 + int(span.NumStages) + 3
+	for i, ln := range lines {
+		if got := bytes.Count(ln, []byte(",")) + 1; got != wantCols {
+			t.Fatalf("line %d has %d columns, want %d: %s", i, got, wantCols, ln)
+		}
+	}
+	if !bytes.HasPrefix(lines[0], []byte("workload,category,kernel,slot,mode,policy,spans,end_to_end,icnt_req")) {
+		t.Fatalf("unexpected header: %s", lines[0])
+	}
+	if FormatMemDecomp(rows) == "" {
+		t.Fatal("empty format")
+	}
+}

@@ -1,0 +1,21 @@
+package obsreg_span
+
+// register is this package's observability surface. It reaches Sampled
+// directly and the nested per-kernel counters through emitKernel, so
+// Stages, EndToEnd and Completed all count as registered; Dropped never
+// appears and must be flagged at its increment site.
+func (c *collector) register(emit func(string, float64)) {
+	emit("sampled", float64(c.t.Sampled))
+	for k := range c.t.PerKernel {
+		c.emitKernel(k, emit)
+	}
+}
+
+func (c *collector) emitKernel(k int, emit func(string, float64)) {
+	t := &c.t.PerKernel[k]
+	emit("completed", float64(t.Completed))
+	emit("end_to_end", float64(t.EndToEnd))
+	for _, v := range t.Stages {
+		emit("stage", float64(v))
+	}
+}

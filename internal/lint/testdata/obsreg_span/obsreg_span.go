@@ -1,0 +1,31 @@
+// Package obsreg_span mirrors the span collector's aggregation shape:
+// counters nested one struct and two array indexes deep
+// (totals.PerKernel[k].Stages[st] += d), some bumped through a pointer
+// into the array element. The analyzer must attribute each increment to
+// its field through every layer and match it against obs.go.
+package obsreg_span
+
+type stageTotals struct {
+	Stages    [8]uint64
+	EndToEnd  uint64
+	Completed uint64
+	Dropped   uint64
+}
+
+type totals struct {
+	PerKernel [4]stageTotals
+	Sampled   uint64
+}
+
+type collector struct {
+	t totals
+}
+
+func (c *collector) complete(k, st int, d uint64) {
+	c.t.Sampled++                    // registered in obs.go: ok
+	c.t.PerKernel[k].Stages[st] += d // registered via emitKernel: ok
+	pk := &c.t.PerKernel[k]
+	pk.EndToEnd += d // registered through the element pointer: ok
+	pk.Completed++   // registered: ok
+	pk.Dropped++     // flagged: never referenced from obs.go
+}

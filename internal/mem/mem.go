@@ -12,6 +12,7 @@ import (
 	"warpedslicer/internal/dram"
 	"warpedslicer/internal/memreq"
 	"warpedslicer/internal/obs"
+	"warpedslicer/internal/span"
 )
 
 // MaxKernels bounds the number of concurrently resident kernels the
@@ -29,7 +30,9 @@ type partition struct {
 	dram    *dram.Channel
 	input   []timed                     // requests that traversed the icnt
 	waiters map[uint64][]memreq.Request // line -> reads waiting for DRAM
-	retry   []memreq.Request            // L2 misses blocked on a full DRAM queue
+	// retry holds requests blocked on a full DRAM queue; readyAt is the
+	// core cycle they were parked (source of the backpressure histogram).
+	retry []timed
 }
 
 // Stats aggregates memory-system activity.
@@ -83,6 +86,15 @@ type Subsystem struct {
 	// a request finishing its interconnect traversal and the bank
 	// consuming it.
 	l2Wait obs.Hist
+	// retryWait is the time requests spend parked in a partition's retry
+	// slice because the DRAM scheduling queue was full, in core cycles.
+	// Invisible to l2Wait (the bank already consumed the request), it is
+	// the queue-side signature of DRAM backpressure.
+	retryWait obs.Hist
+
+	// Spans traces a deterministic sample of L1-miss round trips through
+	// every stage of the hierarchy (see package span).
+	Spans *span.Collector
 }
 
 // New builds the memory subsystem for the given configuration.
@@ -91,6 +103,8 @@ func New(cfg config.GPU) *Subsystem {
 		cfg:         cfg,
 		reqCap:      cfg.Icnt.FlitsPerCycle * 16,
 		perSMServed: make([]uint64, cfg.NumSMs),
+		Spans: span.NewCollector(span.DefaultPeriod,
+			int64(cfg.Icnt.LatencyCycles), int64(cfg.L2.HitLatency)),
 	}
 	for i := 0; i < cfg.Memory.Channels; i++ {
 		m.parts = append(m.parts, &partition{
@@ -107,6 +121,9 @@ func New(cfg config.GPU) *Subsystem {
 			}),
 			waiters: make(map[uint64][]memreq.Request),
 		})
+	}
+	for _, p := range m.parts {
+		p.dram.Spans = m.Spans
 	}
 	return m
 }
@@ -172,6 +189,7 @@ func (m *Subsystem) Tick(now int64) []memreq.Request {
 		}
 		replies = append(replies, t.req)
 		m.l1RT.Observe(now - t.req.Issued)
+		m.Spans.Complete(t.req.Span, now)
 		budget--
 	}
 	m.replyNet = keepR
@@ -180,9 +198,13 @@ func (m *Subsystem) Tick(now int64) []memreq.Request {
 
 // tickPartition runs one memory-clock cycle of one channel.
 func (m *Subsystem) tickPartition(p *partition, coreNow int64) {
-	// Retry L2 misses previously blocked on a full DRAM queue.
+	// Retry requests previously blocked on a full DRAM queue, observing
+	// how long the backpressure parked them.
 	for len(p.retry) > 0 && !p.dram.Full() {
-		p.dram.Enqueue(p.retry[0], m.memNow)
+		t := p.retry[0]
+		p.dram.Enqueue(t.req, m.memNow)
+		m.retryWait.Observe(coreNow - t.readyAt)
+		m.Spans.MarkDRAMEnqueue(t.req.Span, coreNow)
 		p.retry = p.retry[1:]
 	}
 
@@ -196,25 +218,33 @@ func (m *Subsystem) tickPartition(p *partition, coreNow int64) {
 		case req.Write:
 			// Write-through: always forward to DRAM.
 			if p.dram.Full() {
-				p.retry = append(p.retry, req)
+				p.retry = append(p.retry, timed{req: req, readyAt: coreNow})
 			} else {
 				p.dram.Enqueue(req, m.memNow)
 			}
 		case res == cache.Hit:
+			m.Spans.MarkL2(req.Span, span.OutcomeL2Hit, coreNow, t.readyAt)
 			m.scheduleReply(req, coreNow, int64(m.cfg.L2.HitLatency))
 		case res == cache.Miss:
 			m.perKL2Miss[req.Kernel%MaxKernels]++
+			m.Spans.MarkL2(req.Span, span.OutcomeL2Miss, coreNow, t.readyAt)
 			p.waiters[req.LineAddr] = append(p.waiters[req.LineAddr], req)
 			if p.dram.Full() {
-				p.retry = append(p.retry, req)
+				p.retry = append(p.retry, timed{req: req, readyAt: coreNow})
 			} else {
 				p.dram.Enqueue(req, m.memNow)
+				m.Spans.MarkDRAMEnqueue(req.Span, coreNow)
 			}
 		case res == cache.MissMerged:
 			m.perKL2Miss[req.Kernel%MaxKernels]++
+			m.Spans.MarkL2(req.Span, span.OutcomeMerged, coreNow, t.readyAt)
 			p.waiters[req.LineAddr] = append(p.waiters[req.LineAddr], req)
 		case res == cache.ReservationFail:
 			consumed = false // structural stall: retry next cycle
+		default:
+			if assert.Enabled {
+				assert.Failf("mem: unhandled L2 access result %v", res)
+			}
 		}
 		if consumed {
 			if !req.Write {
@@ -236,6 +266,7 @@ func (m *Subsystem) tickPartition(p *partition, coreNow int64) {
 		}
 		p.l2.Fill(done.LineAddr)
 		for _, w := range p.waiters[done.LineAddr] {
+			m.Spans.MarkFill(w.Span, coreNow)
 			m.scheduleReply(w, coreNow, int64(m.cfg.L2.HitLatency))
 		}
 		delete(p.waiters, done.LineAddr)
@@ -289,6 +320,12 @@ func (m *Subsystem) Drained() bool {
 		if len(p.input) > 0 || len(p.retry) > 0 || len(p.waiters) > 0 || !p.dram.Drained() {
 			return false
 		}
+	}
+	// Span conservation: with nothing in flight anywhere, every opened
+	// span must have completed (the ring never drops an open span, only
+	// refuses new ones). An open span here means a handle was lost.
+	if assert.Enabled && m.Spans.Open() != 0 {
+		assert.Failf("mem: hierarchy drained with %d span(s) still open", m.Spans.Open())
 	}
 	return true
 }

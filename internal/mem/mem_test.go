@@ -5,6 +5,7 @@ import (
 
 	"warpedslicer/internal/config"
 	"warpedslicer/internal/memreq"
+	"warpedslicer/internal/span"
 )
 
 func newSub() *Subsystem { return New(config.Baseline()) }
@@ -203,5 +204,128 @@ func TestLatencyHistogramsPopulate(t *testing.T) {
 	}
 	if m.l2Wait.Count() == 0 {
 		t.Error("l2 queue-wait histogram empty")
+	}
+}
+
+// floodChannel0 submits `total` distinct-line reads that all map to
+// channel 0, up to `perCycle` per core cycle, ticking until every reply
+// returns. The single-channel concentration overruns the 32-deep FR-FCFS
+// queue, forcing the retry (DRAM backpressure) path.
+func floodChannel0(t *testing.T, m *Subsystem, total, perCycle int) {
+	t.Helper()
+	cfg := config.Baseline()
+	stride := uint64(cfg.L2.LineBytes * cfg.Memory.Channels)
+	next, replies := 0, 0
+	for now := int64(0); now < 500_000 && replies < total; now++ {
+		for k := 0; k < perCycle && next < total && m.CanAccept(); k++ {
+			line := uint64(next) * stride
+			m.Submit(memreq.Request{
+				LineAddr: line, SM: 0, Kernel: 0, Issued: now,
+				Span: m.Spans.Begin(line, 0, 0, now),
+			}, now)
+			next++
+		}
+		replies += len(m.Tick(now))
+	}
+	if replies < total {
+		t.Fatalf("only %d of %d replies", replies, total)
+	}
+}
+
+// TestDRAMBackpressureWaitObserved pins the retry-park accounting: cycles
+// a request spends in a partition's retry slice (L2 miss blocked on a
+// full DRAM queue) were invisible to l2Wait; they must now land in the
+// ws_dram_backpressure_wait_cycles histogram and, for traced requests,
+// in the dram_backpressure span stage.
+func TestDRAMBackpressureWaitObserved(t *testing.T) {
+	m := newSub()
+	m.Spans.SetPeriod(1)
+	floodChannel0(t, m, 160, 8)
+
+	if m.retryWait.Count() == 0 {
+		t.Fatal("DRAM queue never backpressured: retry-wait histogram empty " +
+			"(is the flood not overrunning QueueDepth?)")
+	}
+	if m.retryWait.Sum() == 0 {
+		t.Error("retry-wait histogram counted parks but accumulated zero cycles")
+	}
+	tot := m.Spans.Totals()
+	if tot.PerKernel[0].Stages[span.StageDRAMBackpressure] == 0 {
+		t.Error("spans attribute no dram_backpressure time despite retry parks")
+	}
+}
+
+// TestSpanStageSumEqualsEndToEnd drives a mixed hit/miss/merge workload
+// at period-1 sampling and checks, for every completed span, that the
+// stage durations sum exactly to the Issued->reply end-to-end latency.
+func TestSpanStageSumEqualsEndToEnd(t *testing.T) {
+	m := newSub()
+	m.Spans.SetPeriod(1)
+	const total = 320
+	next, replies := 0, 0
+	now := int64(0)
+	for ; now < 500_000 && replies < total; now++ {
+		for k := 0; k < 4 && next < total && m.CanAccept(); k++ {
+			// 100 distinct lines, revisited: first touch misses, close
+			// revisits merge into the in-flight MSHR, later ones hit L2.
+			line := uint64(next%100) * 128
+			m.Submit(memreq.Request{
+				LineAddr: line, SM: 0, Kernel: next % 2, Issued: now,
+				Span: m.Spans.Begin(line, 0, next%2, now),
+			}, now)
+			next++
+		}
+		replies += len(m.Tick(now))
+	}
+	if replies < total {
+		t.Fatalf("only %d of %d replies", replies, total)
+	}
+	for ; now < 510_000 && !m.Drained(); now++ {
+		m.Tick(now)
+	}
+	if !m.Drained() {
+		t.Fatal("hierarchy failed to drain")
+	}
+
+	checked := 0
+	m.Spans.Recent(func(sp span.Span) {
+		checked++
+		var sum int64
+		for st, d := range sp.Stages {
+			if d < 0 {
+				t.Fatalf("span %d: negative %s stage (%d)", sp.Seq, span.Stage(st), d)
+			}
+			sum += d
+		}
+		if sum != sp.EndToEnd() {
+			t.Fatalf("span %d: stage sum %d != end-to-end %d (outcome %s)",
+				sp.Seq, sum, sp.EndToEnd(), sp.Outcome)
+		}
+	})
+	if checked == 0 {
+		t.Fatal("no completed spans to check")
+	}
+
+	tot := m.Spans.Totals()
+	var completed uint64
+	for k := range tot.PerKernel {
+		kt := tot.PerKernel[k]
+		completed += kt.Completed
+		if kt.L2Hits+kt.L2Misses+kt.Merged != kt.Completed {
+			t.Errorf("kernel %d: outcomes %d+%d+%d don't partition %d spans",
+				k, kt.L2Hits, kt.L2Misses, kt.Merged, kt.Completed)
+		}
+	}
+	if tot.Sampled != total || completed != total || tot.Dropped != 0 {
+		t.Fatalf("sampled=%d completed=%d dropped=%d, want %d/%d/0",
+			tot.Sampled, completed, tot.Dropped, total, total)
+	}
+	k0 := tot.PerKernel[0]
+	if k0.L2Misses == 0 || k0.L2Hits+k0.Merged == 0 {
+		t.Errorf("workload did not exercise both miss and hit/merge paths: %+v", k0)
+	}
+	// The traced end-to-end totals are a sample of exactly what l1RT saw.
+	if m.l1RT.Count() != total {
+		t.Errorf("l1RT observed %d round trips, want %d", m.l1RT.Count(), total)
 	}
 }

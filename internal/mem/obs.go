@@ -18,6 +18,8 @@ func (m *Subsystem) Register(r *obs.Registry) {
 	}
 	r.Histogram("ws_l1_miss_roundtrip_cycles", &m.l1RT)
 	r.Histogram("ws_l2_queue_wait_cycles", &m.l2Wait)
+	r.Histogram("ws_dram_backpressure_wait_cycles", &m.retryWait)
+	m.Spans.Register(r)
 	r.Collector(func(emit obs.Emit) {
 		st := m.Stats()
 		emit("ws_dram_bus_busy_total", obs.Counter, float64(st.BusBusy))

@@ -2,6 +2,8 @@
 // the SMs, the interconnect, the L2 banks and the DRAM controllers.
 package memreq
 
+import "warpedslicer/internal/span"
+
 // Request is one cache-line-sized memory transaction.
 type Request struct {
 	// LineAddr is the line-aligned byte address.
@@ -16,4 +18,7 @@ type Request struct {
 	// Issued is the core-clock cycle at which the SM issued the request
 	// (used for latency accounting).
 	Issued int64
+	// Span is the request's trace handle; zero (the common case) means
+	// the request was not sampled and every recording call ignores it.
+	Span span.Handle
 }

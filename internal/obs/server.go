@@ -13,9 +13,10 @@ import (
 // readers: the loop publishes immutable snapshots, readers only ever see
 // the last published one. The event log is thread-safe on its own.
 type Hub struct {
-	mu   sync.RWMutex
-	snap *Snapshot
-	log  *EventLog
+	mu    sync.RWMutex
+	snap  *Snapshot
+	spans any
+	log   *EventLog
 }
 
 // NewHub wraps the given event log (nil allocates a fresh one).
@@ -45,6 +46,30 @@ func (h *Hub) Snapshot() *Snapshot {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.snap
+}
+
+// PublishSpans installs the current span-tracing view (any JSON-
+// marshalable value; producers pass a span.Summary). Like Publish, the
+// value must be self-contained: readers serve it concurrently with the
+// simulation loop. Nil hubs ignore the call.
+func (h *Hub) PublishSpans(v any) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.spans = v
+	h.mu.Unlock()
+}
+
+// Spans returns the last published span view (nil before the first
+// PublishSpans).
+func (h *Hub) Spans() any {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.spans
 }
 
 // Log returns the hub's event log.
@@ -79,6 +104,7 @@ func StartServer(addr string, hub *Hub) (*Server, error) {
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/events.jsonl", s.handleEventsJSONL)
+	mux.HandleFunc("/spans", s.handleSpans)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -99,7 +125,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/metrics        Prometheus text exposition\n"+
 		"/snapshot       registry snapshot as JSON\n"+
 		"/events         event log as JSON (?kind=... / ?run=... to filter)\n"+
-		"/events.jsonl   event log as JSON lines\n")
+		"/events.jsonl   event log as JSON lines\n"+
+		"/spans          sampled memory-request span decomposition as JSON\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -152,4 +179,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEventsJSONL(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	s.hub.Log().WriteJSONL(w)
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	v := s.hub.Spans()
+	if v == nil {
+		http.Error(w, "no span view published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
 }

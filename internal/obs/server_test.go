@@ -112,3 +112,40 @@ func TestServerServesEvents(t *testing.T) {
 		t.Fatalf("unknown path code = %d", code)
 	}
 }
+
+func TestServerServesSpans(t *testing.T) {
+	srv, hub := startTestServer(t)
+	base := "http://" + srv.Addr()
+
+	if code, _ := get(t, base+"/spans"); code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-publish /spans code = %d", code)
+	}
+
+	// The hub is type-agnostic: any JSON-marshalable span view works
+	// (producers publish span.Summary; obs must not import span).
+	hub.PublishSpans(map[string]any{
+		"period":  64,
+		"sampled": 17,
+		"kernels": []map[string]any{{"kernel": 0, "completed": 17}},
+	})
+
+	code, body := get(t, base+"/spans")
+	if code != http.StatusOK {
+		t.Fatalf("/spans code = %d", code)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/spans is not JSON: %v\n%s", err, body)
+	}
+	if got["sampled"] != float64(17) {
+		t.Fatalf("/spans lost the published view: %v", got)
+	}
+	if !strings.Contains(body, "kernels") {
+		t.Fatalf("/spans missing kernels: %s", body)
+	}
+
+	// The index advertises the endpoint.
+	if _, idx := get(t, base+"/"); !strings.Contains(idx, "/spans") {
+		t.Fatalf("index does not mention /spans:\n%s", idx)
+	}
+}

@@ -349,7 +349,12 @@ func (s *SM) pumpMemQueue(now int64) {
 		s.schedule(now, int64(s.cfg.L1.HitLatency), wbEvent{tracker: op.tracker})
 		s.memQ = s.memQ[1:]
 	case cache.Miss:
-		s.sub.Submit(memreq.Request{LineAddr: la, SM: s.ID, Kernel: op.kernel, Issued: now}, now)
+		// The L1 miss (MSHR just allocated) is the span's root: sampling
+		// is decided here, purely from (line, cycle, kernel) identity.
+		s.sub.Submit(memreq.Request{
+			LineAddr: la, SM: s.ID, Kernel: op.kernel, Issued: now,
+			Span: s.sub.Spans.Begin(la, s.ID, op.kernel, now),
+		}, now)
 		s.waiters[la] = append(s.waiters[la], op.tracker)
 		s.memQ = s.memQ[1:]
 	case cache.MissMerged:

@@ -1,0 +1,44 @@
+//go:build simassert
+
+package span
+
+import "testing"
+
+// mustPanic runs fn and fails the test unless it panics with a simassert
+// message.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected a simassert panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestStaleHandlePanics(t *testing.T) {
+	c := NewCollector(1, 8, 120)
+	h := c.Begin(0x80, 0, 0, 0)
+	c.MarkL2(h, OutcomeL2Hit, 30, 8)
+	if _, ok := c.Complete(h, 200); !ok {
+		t.Fatal("complete failed")
+	}
+	mustPanic(t, "double complete", func() { c.Complete(h, 300) })
+	mustPanic(t, "mark after complete", func() { c.MarkFill(h, 300) })
+}
+
+func TestPendingOutcomePanics(t *testing.T) {
+	c := NewCollector(1, 8, 120)
+	h := c.Begin(0x80, 0, 0, 0)
+	// Completing a span the L2 never consumed is an accounting bug.
+	mustPanic(t, "pending outcome", func() { c.Complete(h, 200) })
+}
+
+func TestNegativeStagePanics(t *testing.T) {
+	c := NewCollector(1, 8, 120)
+	h := c.Begin(0x80, 0, 0, 1000)
+	c.MarkL2(h, OutcomeL2Hit, 1030, 1008)
+	// Delivery before the reply could have traversed the interconnect
+	// implies a negative reply_queue stage.
+	mustPanic(t, "negative stage", func() { c.Complete(h, 1031) })
+}

@@ -1,0 +1,151 @@
+package span
+
+import (
+	"strconv"
+
+	"warpedslicer/internal/obs"
+)
+
+// Register wires the collector's aggregates into the registry:
+// sampling counters, and per-kernel per-stage cycle totals under
+// ws_span_stage_cycles_total{kernel=...,stage=...} (the Prometheus view
+// of the same decomposition figmemdecomp derives offline).
+func (c *Collector) Register(r *obs.Registry) {
+	r.Collector(c.emit)
+}
+
+func (c *Collector) emit(emit obs.Emit) {
+	t := c.Totals()
+	emit("ws_span_sampled_total", obs.Counter, float64(t.Sampled))
+	emit("ws_span_dropped_total", obs.Counter, float64(t.Dropped))
+	emit("ws_span_open", obs.Gauge, float64(c.Open()))
+	for k := range t.PerKernel {
+		kt := &t.PerKernel[k]
+		if kt.Completed == 0 {
+			continue
+		}
+		kl := strconv.Itoa(k)
+		emit(obs.Label("ws_span_completed_total", "kernel", kl), obs.Counter, float64(kt.Completed))
+		emit(obs.Label("ws_span_end_to_end_cycles_total", "kernel", kl), obs.Counter, float64(kt.EndToEnd))
+		emit(obs.Label("ws_span_l2_hits_total", "kernel", kl), obs.Counter, float64(kt.L2Hits))
+		emit(obs.Label("ws_span_l2_misses_total", "kernel", kl), obs.Counter, float64(kt.L2Misses))
+		emit(obs.Label("ws_span_l2_merged_total", "kernel", kl), obs.Counter, float64(kt.Merged))
+		emit(obs.Label("ws_span_dram_row_hits_total", "kernel", kl), obs.Counter, float64(kt.RowHits))
+		emit(obs.Label("ws_span_dram_row_misses_total", "kernel", kl), obs.Counter, float64(kt.RowMisses))
+		for st := Stage(0); st < NumStages; st++ {
+			emit(obs.Label("ws_span_stage_cycles_total", "kernel", kl, "stage", st.String()),
+				obs.Counter, float64(kt.Stages[st]))
+		}
+	}
+}
+
+// Summary is the JSON shape served on the live endpoint's /spans view.
+type Summary struct {
+	Period  uint64          `json:"period"`
+	Open    int             `json:"open"`
+	Sampled uint64          `json:"sampled"`
+	Dropped uint64          `json:"dropped"`
+	Kernels []KernelSummary `json:"kernels"`
+	Recent  []SpanJSON      `json:"recent"`
+}
+
+// KernelSummary is one kernel slot's stage decomposition.
+type KernelSummary struct {
+	Kernel       int         `json:"kernel"`
+	Completed    uint64      `json:"completed"`
+	MeanEndToEnd float64     `json:"mean_end_to_end_cycles"`
+	L2Hits       uint64      `json:"l2_hits"`
+	L2Misses     uint64      `json:"l2_misses"`
+	Merged       uint64      `json:"merged"`
+	RowHits      uint64      `json:"dram_row_hits"`
+	RowMisses    uint64      `json:"dram_row_misses"`
+	Stages       []StageMean `json:"stages"`
+}
+
+// StageMean is one stage's share of a kernel's traced latency.
+type StageMean struct {
+	Stage      string  `json:"stage"`
+	Cycles     uint64  `json:"cycles_total"`
+	MeanCycles float64 `json:"mean_cycles"`
+}
+
+// SpanJSON is one completed span rendered for JSON consumers.
+type SpanJSON struct {
+	Seq       uint64      `json:"seq"`
+	Line      string      `json:"line"`
+	SM        int         `json:"sm"`
+	Kernel    int         `json:"kernel"`
+	Outcome   string      `json:"outcome"`
+	RowHit    int8        `json:"dram_row_hit"`
+	Issued    int64       `json:"issued"`
+	Delivered int64       `json:"delivered"`
+	EndToEnd  int64       `json:"end_to_end_cycles"`
+	Stages    []StageJSON `json:"stages"`
+}
+
+// StageJSON is one nonzero stage of a rendered span.
+type StageJSON struct {
+	Stage  string `json:"stage"`
+	Cycles int64  `json:"cycles"`
+}
+
+// Summary renders the collector state for the /spans endpoint. The
+// result is self-contained (no live references), so the simulation loop
+// can publish it to a Hub read by concurrent HTTP handlers.
+func (c *Collector) Summary() Summary {
+	t := c.Totals()
+	s := Summary{
+		Period:  c.Period(),
+		Open:    c.Open(),
+		Sampled: t.Sampled,
+		Dropped: t.Dropped,
+	}
+	for k := range t.PerKernel {
+		kt := &t.PerKernel[k]
+		if kt.Completed == 0 {
+			continue
+		}
+		ks := KernelSummary{
+			Kernel:       k,
+			Completed:    kt.Completed,
+			MeanEndToEnd: kt.MeanEndToEnd(),
+			L2Hits:       kt.L2Hits,
+			L2Misses:     kt.L2Misses,
+			Merged:       kt.Merged,
+			RowHits:      kt.RowHits,
+			RowMisses:    kt.RowMisses,
+		}
+		for st := Stage(0); st < NumStages; st++ {
+			ks.Stages = append(ks.Stages, StageMean{
+				Stage:      st.String(),
+				Cycles:     kt.Stages[st],
+				MeanCycles: kt.Mean(st),
+			})
+		}
+		s.Kernels = append(s.Kernels, ks)
+	}
+	c.Recent(func(sp Span) {
+		s.Recent = append(s.Recent, renderSpan(sp))
+	})
+	return s
+}
+
+func renderSpan(sp Span) SpanJSON {
+	j := SpanJSON{
+		Seq:       sp.Seq,
+		Line:      "0x" + strconv.FormatUint(sp.Line, 16),
+		SM:        sp.SM,
+		Kernel:    sp.Kernel,
+		Outcome:   sp.Outcome.String(),
+		RowHit:    sp.RowHit,
+		Issued:    sp.Issued,
+		Delivered: sp.Delivered,
+		EndToEnd:  sp.EndToEnd(),
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if d := sp.Stages[st]; d != 0 {
+			j.Stages = append(j.Stages, StageJSON{Stage: st.String(), Cycles: d})
+		}
+	}
+	return j
+}

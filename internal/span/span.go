@@ -1,0 +1,482 @@
+// Package span is a deterministic, sampled, per-request tracer for the
+// memory hierarchy: the GPU-simulator analogue of distributed request
+// tracing in a serving stack. A sampled L1 miss carries a compact Handle
+// on its memreq.Request; each component it passes through records a
+// stage timestamp, and on reply delivery the Collector folds the
+// completed span into per-kernel per-stage cycle totals.
+//
+// Sampling is decided at issue time by a pure hash of (line address,
+// issue cycle, kernel slot) — no math/rand, no wall clock — so the same
+// configuration samples the same requests on every run and the output is
+// byte-identical under any `-parallel` setting.
+//
+// The stage set partitions the end-to-end latency exactly: for every
+// completed span, the stage durations sum to Delivered-Issued (the same
+// quantity the ws_l1_miss_roundtrip_cycles histogram observes). DRAM
+// row-buffer outcome and memory-clock queue/service times are recorded
+// as annotations outside the summable set, so the conservation property
+// never depends on clock-domain conversion.
+package span
+
+import "warpedslicer/internal/assert"
+
+// MaxKernels bounds the per-kernel accounting arrays. It mirrors
+// mem.MaxKernels (span cannot import mem: mem imports span via memreq).
+const MaxKernels = 8
+
+// DefaultPeriod is the default sampling period: one of every
+// DefaultPeriod L1 misses (in expectation) is traced. Chosen so the
+// sampled-request bookkeeping stays far inside the repo's <2% passive
+// observability budget (see bench_test.go).
+const DefaultPeriod = 64
+
+const (
+	ringSlotBits = 10
+	ringSlots    = 1 << ringSlotBits // concurrently open spans
+	genMask      = 1<<(32-ringSlotBits) - 1
+	recentCap    = 256 // completed spans kept for /spans and Chrome trace
+)
+
+// Stage enumerates the summable segments of a traced L1-miss round trip,
+// in pipeline order. Every segment is measured in core-clock cycles.
+type Stage uint8
+
+const (
+	// StageIcntReq is the request's interconnect traversal (fixed latency).
+	StageIcntReq Stage = iota
+	// StageL2Queue is the wait between finishing the interconnect and the
+	// L2 bank consuming the request: flit backpressure, bank input queue,
+	// and MSHR reservation stalls.
+	StageL2Queue
+	// StageDRAMBackpressure is time parked in the partition's retry slice
+	// because the DRAM scheduling queue was full (L2 misses only).
+	StageDRAMBackpressure
+	// StageDRAM covers DRAM queue, row activate/precharge and data burst,
+	// from enqueue to the fill arriving back at the L2 (core cycles).
+	StageDRAM
+	// StageMergeWait is a merged miss waiting on another request's fill.
+	StageMergeWait
+	// StageL2Service is the L2 access latency (fixed).
+	StageL2Service
+	// StageIcntReply is the reply's interconnect traversal (fixed latency).
+	StageIcntReply
+	// StageReplyQueue is flit backpressure in the reply network: wait
+	// between the reply being ready and its delivery to the SM.
+	StageReplyQueue
+
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"icnt_req", "l2_queue", "dram_backpressure", "dram",
+	"merge_wait", "l2_service", "icnt_reply", "reply_queue",
+}
+
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Outcome is the request's L2 lookup result.
+type Outcome uint8
+
+const (
+	OutcomePending Outcome = iota // L2 not reached yet
+	OutcomeL2Hit
+	OutcomeL2Miss  // MSHR allocated, went to DRAM
+	OutcomeMerged  // merged into another request's MSHR
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeL2Hit:
+		return "l2_hit"
+	case OutcomeL2Miss:
+		return "l2_miss"
+	case OutcomeMerged:
+		return "merged"
+	}
+	return "pending"
+}
+
+// Handle identifies an open span. The zero Handle means "not sampled";
+// every recording call is a no-op on it, so unsampled requests pay
+// nothing past the issue-time hash. Internally it packs a ring-slot
+// index plus a generation counter, so a stale handle (slot recycled)
+// is detected instead of corrupting another request's span.
+type Handle uint32
+
+// Sampler decides, purely from request identity, whether to trace.
+type Sampler struct {
+	// Period is the expected number of requests per sample. 0 disables
+	// sampling entirely; 1 samples everything.
+	Period uint64
+}
+
+// mix is a splitmix64-style finalizer over the request identity. The
+// multiplies decorrelate the structured inputs (line addresses share low
+// zero bits, cycles are dense) before the avalanche.
+func mix(line uint64, cycle int64, kernel int) uint64 {
+	x := line*0x9e3779b97f4a7c15 + uint64(cycle)*0xbf58476d1ce4e5b9 + uint64(kernel)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Sample reports whether the request identified by (line, cycle, kernel)
+// is traced. It is a pure function: same inputs, same answer, every run.
+func (s Sampler) Sample(line uint64, cycle int64, kernel int) bool {
+	switch s.Period {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	return mix(line, cycle, kernel)%s.Period == 0
+}
+
+// record is one open span slot.
+type record struct {
+	line    uint64
+	seq     uint64
+	issued  int64
+	ready   int64 // interconnect traversal done
+	l2At    int64 // L2 bank consumed the request
+	enqAt   int64 // DRAM queue admission (misses)
+	fillAt  int64 // DRAM data returned to the partition
+	dramQW  int64 // annotation: DRAM queue wait, memory-clock cycles
+	dramSvc int64 // annotation: DRAM issue-to-data, memory-clock cycles
+	sm      int32
+	kernel  int16
+	outcome Outcome
+	rowHit  int8 // -1 unknown, 0 row miss, 1 row hit
+	open    bool
+}
+
+// Span is one completed request trace.
+type Span struct {
+	Seq      uint64
+	Line     uint64
+	SM       int
+	Kernel   int
+	Outcome  Outcome
+	RowHit   int8 // -1 no DRAM access observed, 0 row miss, 1 row hit
+	Issued   int64
+	Delivered int64
+	// Stages partitions Delivered-Issued exactly (core cycles).
+	Stages [NumStages]int64
+	// DRAMQueueWait / DRAMService are memory-clock annotations from the
+	// channel scheduler (not part of the summable stage set).
+	DRAMQueueWait, DRAMService int64
+}
+
+// EndToEnd is the span's total L1-miss round-trip latency in core cycles.
+func (sp Span) EndToEnd() int64 { return sp.Delivered - sp.Issued }
+
+// StageTotals aggregates completed spans of one kernel slot.
+type StageTotals struct {
+	// Stages accumulates per-stage cycles; EndToEnd their total.
+	Stages   [NumStages]uint64
+	EndToEnd uint64
+	// Completed counts folded spans; the L2/row counters partition it.
+	Completed uint64
+	L2Hits    uint64
+	L2Misses  uint64
+	Merged    uint64
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// Mean returns the mean cycles spent in stage s per completed span.
+func (t StageTotals) Mean(s Stage) float64 {
+	if t.Completed == 0 {
+		return 0
+	}
+	return float64(t.Stages[s]) / float64(t.Completed)
+}
+
+// MeanEndToEnd returns the mean end-to-end latency per completed span.
+func (t StageTotals) MeanEndToEnd() float64 {
+	if t.Completed == 0 {
+		return 0
+	}
+	return float64(t.EndToEnd) / float64(t.Completed)
+}
+
+// Totals is the collector's aggregate state.
+type Totals struct {
+	PerKernel [MaxKernels]StageTotals
+	// Sampled counts spans opened; Dropped counts sampled requests the
+	// full ring refused (explicitly dropped, never opened). For any
+	// quiescent hierarchy Sampled == sum of Completed.
+	Sampled, Dropped uint64
+}
+
+// Collector owns the open-span ring and the aggregates. It is not
+// goroutine-safe: like the rest of the simulator it belongs to exactly
+// one GPU instance, and the parallel experiment runner gives each run
+// its own GPU.
+type Collector struct {
+	sampler   Sampler
+	icntLat   int64
+	l2Service int64
+
+	slots [ringSlots]record
+	gens  [ringSlots]uint32
+	free  []int32
+	open  int
+
+	totals Totals
+
+	recent     [recentCap]Span
+	recentLen  int
+	recentNext int
+}
+
+// NewCollector builds a collector. icntLatency and l2ServiceLatency are
+// the configuration's fixed interconnect and L2 access latencies in core
+// cycles (the two stage durations not derived from recorded marks).
+func NewCollector(period uint64, icntLatency, l2ServiceLatency int64) *Collector {
+	c := &Collector{
+		sampler:   Sampler{Period: period},
+		icntLat:   icntLatency,
+		l2Service: l2ServiceLatency,
+		free:      make([]int32, 0, ringSlots),
+	}
+	for i := ringSlots - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	return c
+}
+
+// SetPeriod changes the sampling period (0 disables sampling).
+func (c *Collector) SetPeriod(p uint64) { c.sampler.Period = p }
+
+// Period returns the current sampling period.
+func (c *Collector) Period() uint64 { return c.sampler.Period }
+
+// Open returns the number of spans begun but not yet completed.
+func (c *Collector) Open() int {
+	if c == nil {
+		return 0
+	}
+	return c.open
+}
+
+// Totals returns a copy of the aggregate state.
+func (c *Collector) Totals() Totals {
+	if c == nil {
+		return Totals{}
+	}
+	return c.totals
+}
+
+// Begin opens a span for the request iff the sampler selects it. It
+// returns the zero Handle for unsampled requests and when the open-span
+// ring is full (the request is then counted as dropped and travels
+// untraced).
+func (c *Collector) Begin(line uint64, smID, kernel int, issued int64) Handle {
+	if c == nil || !c.sampler.Sample(line, issued, kernel) {
+		return 0
+	}
+	if len(c.free) == 0 {
+		c.totals.Dropped++
+		return 0
+	}
+	i := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.totals.Sampled++
+	c.open++
+	c.slots[i] = record{
+		line:   line,
+		seq:    c.totals.Sampled,
+		issued: issued,
+		ready:  issued, l2At: issued, enqAt: issued, fillAt: issued,
+		sm:     int32(smID),
+		kernel: int16(kernel % MaxKernels),
+		rowHit: -1,
+		open:   true,
+	}
+	return Handle(c.gens[i]<<ringSlotBits|uint32(i)) + 1
+}
+
+// lookup resolves a handle to its open slot index, or -1. A stale or
+// never-issued handle is an invariant violation under -tags simassert
+// and silently ignored otherwise.
+func (c *Collector) lookup(h Handle) int {
+	if c == nil || h == 0 {
+		return -1
+	}
+	v := uint32(h) - 1
+	i := int(v & (ringSlots - 1))
+	if c.gens[i] != v>>ringSlotBits || !c.slots[i].open {
+		if assert.Enabled {
+			assert.Failf("span: mark on stale or unopened handle %#x", uint32(h))
+		}
+		return -1
+	}
+	return i
+}
+
+// MarkL2 records the L2 bank consuming the request at core cycle now,
+// with its lookup outcome; ready is when the request finished its
+// interconnect traversal (the l2_queue stage spans ready..now).
+func (c *Collector) MarkL2(h Handle, o Outcome, now, ready int64) {
+	if i := c.lookup(h); i >= 0 {
+		r := &c.slots[i]
+		r.outcome = o
+		r.ready = ready
+		r.l2At = now
+		// Until more precise marks land, downstream timestamps default to
+		// the L2 access time so hit spans compute zero DRAM stages.
+		r.enqAt, r.fillAt = now, now
+	}
+}
+
+// MarkDRAMEnqueue records admission to the DRAM scheduling queue (core
+// cycles); the gap since MarkL2 is the dram_backpressure stage.
+func (c *Collector) MarkDRAMEnqueue(h Handle, now int64) {
+	if i := c.lookup(h); i >= 0 {
+		c.slots[i].enqAt = now
+		c.slots[i].fillAt = now
+	}
+}
+
+// MarkDRAMIssue annotates the span with the channel scheduler's view:
+// row-buffer outcome, queue wait and issue-to-data service time, all in
+// memory-clock cycles. Annotations do not enter the summable stage set.
+func (c *Collector) MarkDRAMIssue(h Handle, rowHit bool, queueWait, service int64) {
+	if i := c.lookup(h); i >= 0 {
+		r := &c.slots[i]
+		if rowHit {
+			r.rowHit = 1
+		} else {
+			r.rowHit = 0
+		}
+		r.dramQW = queueWait
+		r.dramSvc = service
+	}
+}
+
+// MarkFill records the DRAM data arriving back at the partition (core
+// cycles): the end of the dram stage for the leader, of merge_wait for
+// merged misses.
+func (c *Collector) MarkFill(h Handle, now int64) {
+	if i := c.lookup(h); i >= 0 {
+		c.slots[i].fillAt = now
+	}
+}
+
+// Complete closes the span at reply delivery, folds it into the totals
+// and the recent ring, and frees the slot. It reports whether the handle
+// resolved to an open span.
+func (c *Collector) Complete(h Handle, delivered int64) (Span, bool) {
+	i := c.lookup(h)
+	if i < 0 {
+		return Span{}, false
+	}
+	r := &c.slots[i]
+
+	sp := Span{
+		Seq:           r.seq,
+		Line:          r.line,
+		SM:            int(r.sm),
+		Kernel:        int(r.kernel),
+		Outcome:       r.outcome,
+		RowHit:        r.rowHit,
+		Issued:        r.issued,
+		Delivered:     delivered,
+		DRAMQueueWait: r.dramQW,
+		DRAMService:   r.dramSvc,
+	}
+	sp.Stages[StageIcntReq] = r.ready - r.issued
+	sp.Stages[StageL2Queue] = r.l2At - r.ready
+	tail := r.l2At
+	switch r.outcome {
+	case OutcomeL2Miss:
+		sp.Stages[StageDRAMBackpressure] = r.enqAt - r.l2At
+		sp.Stages[StageDRAM] = r.fillAt - r.enqAt
+		tail = r.fillAt
+	case OutcomeMerged:
+		sp.Stages[StageMergeWait] = r.fillAt - r.l2At
+		tail = r.fillAt
+	case OutcomeL2Hit:
+	default:
+		if assert.Enabled {
+			assert.Failf("span: completing span %d with pending L2 outcome", r.seq)
+		}
+	}
+	sp.Stages[StageL2Service] = c.l2Service
+	sp.Stages[StageIcntReply] = c.icntLat
+	sp.Stages[StageReplyQueue] = delivered - (tail + c.l2Service + c.icntLat)
+
+	if assert.Enabled {
+		var sum int64
+		for st, d := range sp.Stages {
+			if d < 0 {
+				assert.Failf("span: negative %s stage (%d cycles) in span %d", Stage(st), d, r.seq)
+			}
+			sum += d
+		}
+		if sum != sp.EndToEnd() {
+			assert.Failf("span: stage sum %d != end-to-end %d in span %d", sum, sp.EndToEnd(), r.seq)
+		}
+	}
+
+	k := int(r.kernel)
+	t := &c.totals.PerKernel[k]
+	for st, d := range sp.Stages {
+		if d > 0 {
+			t.Stages[st] += uint64(d)
+		}
+	}
+	if e2e := sp.EndToEnd(); e2e > 0 {
+		t.EndToEnd += uint64(e2e)
+	}
+	t.Completed++
+	switch r.outcome {
+	case OutcomeL2Hit:
+		t.L2Hits++
+	case OutcomeL2Miss:
+		t.L2Misses++
+	case OutcomeMerged:
+		t.Merged++
+	}
+	switch r.rowHit {
+	case 1:
+		t.RowHits++
+	case 0:
+		t.RowMisses++
+	}
+
+	c.recent[c.recentNext] = sp
+	c.recentNext = (c.recentNext + 1) % recentCap
+	if c.recentLen < recentCap {
+		c.recentLen++
+	}
+
+	r.open = false
+	c.gens[i] = (c.gens[i] + 1) & genMask
+	c.free = append(c.free, int32(i))
+	c.open--
+	return sp, true
+}
+
+// Recent visits the most recently completed spans, oldest first.
+func (c *Collector) Recent(fn func(Span)) {
+	if c == nil {
+		return
+	}
+	start := c.recentNext - c.recentLen
+	if start < 0 {
+		start += recentCap
+	}
+	for n := 0; n < c.recentLen; n++ {
+		fn(c.recent[(start+n)%recentCap])
+	}
+}

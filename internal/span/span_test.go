@@ -1,0 +1,229 @@
+package span
+
+import (
+	"encoding/json"
+	"testing"
+
+	"warpedslicer/internal/assert"
+)
+
+// drive runs one synthetic span through the mark sequence of outcome o
+// and returns the completed span. Timestamps are chosen so every stage
+// is distinct and nonzero where the outcome allows.
+func drive(t *testing.T, c *Collector, o Outcome, line uint64, kernel int) Span {
+	t.Helper()
+	h := c.Begin(line, 2, kernel, 1000)
+	if h == 0 {
+		t.Fatalf("Begin refused a period-1 sample")
+	}
+	c.MarkL2(h, o, 1030, 1008) // icnt_req=8, l2_queue=22
+	switch o {
+	case OutcomeL2Miss:
+		c.MarkDRAMEnqueue(h, 1037)       // dram_backpressure=7
+		c.MarkDRAMIssue(h, true, 12, 40) // annotation only
+		c.MarkFill(h, 1300)              // dram=263
+	case OutcomeMerged:
+		c.MarkFill(h, 1280) // merge_wait=250
+	}
+	var delivered int64
+	switch o {
+	case OutcomeL2Hit:
+		delivered = 1030 + 120 + 8 + 3 // +reply_queue=3
+	case OutcomeL2Miss:
+		delivered = 1300 + 120 + 8 + 5
+	case OutcomeMerged:
+		delivered = 1280 + 120 + 8
+	}
+	sp, ok := c.Complete(h, delivered)
+	if !ok {
+		t.Fatalf("Complete lost the span")
+	}
+	return sp
+}
+
+func TestStageDecomposition(t *testing.T) {
+	c := NewCollector(1, 8, 120)
+
+	hit := drive(t, c, OutcomeL2Hit, 0x80, 0)
+	if hit.Stages[StageIcntReq] != 8 || hit.Stages[StageL2Queue] != 22 ||
+		hit.Stages[StageL2Service] != 120 || hit.Stages[StageIcntReply] != 8 ||
+		hit.Stages[StageReplyQueue] != 3 {
+		t.Errorf("hit stages wrong: %v", hit.Stages)
+	}
+	if hit.Stages[StageDRAM] != 0 || hit.Stages[StageMergeWait] != 0 {
+		t.Errorf("hit span has DRAM stages: %v", hit.Stages)
+	}
+
+	miss := drive(t, c, OutcomeL2Miss, 0x100, 1)
+	if miss.Stages[StageDRAMBackpressure] != 7 || miss.Stages[StageDRAM] != 263 {
+		t.Errorf("miss DRAM stages wrong: %v", miss.Stages)
+	}
+	if miss.RowHit != 1 || miss.DRAMQueueWait != 12 || miss.DRAMService != 40 {
+		t.Errorf("miss annotations wrong: %+v", miss)
+	}
+
+	merged := drive(t, c, OutcomeMerged, 0x180, 1)
+	if merged.Stages[StageMergeWait] != 250 || merged.Stages[StageDRAM] != 0 {
+		t.Errorf("merged stages wrong: %v", merged.Stages)
+	}
+
+	// Conservation: every span's stages sum exactly to its end-to-end.
+	for _, sp := range []Span{hit, miss, merged} {
+		var sum int64
+		for _, d := range sp.Stages {
+			if d < 0 {
+				t.Errorf("negative stage in %v", sp.Stages)
+			}
+			sum += d
+		}
+		if sum != sp.EndToEnd() {
+			t.Errorf("stage sum %d != end-to-end %d", sum, sp.EndToEnd())
+		}
+	}
+
+	tot := c.Totals()
+	if tot.Sampled != 3 || tot.Dropped != 0 {
+		t.Fatalf("sampled=%d dropped=%d, want 3/0", tot.Sampled, tot.Dropped)
+	}
+	k1 := tot.PerKernel[1]
+	if k1.Completed != 2 || k1.L2Misses != 1 || k1.Merged != 1 || k1.RowHits != 1 {
+		t.Errorf("kernel 1 totals wrong: %+v", k1)
+	}
+	if tot.PerKernel[0].L2Hits != 1 {
+		t.Errorf("kernel 0 totals wrong: %+v", tot.PerKernel[0])
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	s := Sampler{Period: 64}
+	sampled := 0
+	for i := 0; i < 1_000_000; i++ {
+		line := uint64(i%4096) * 128
+		if s.Sample(line, int64(i), i%3) {
+			sampled++
+		}
+		if s.Sample(line, int64(i), i%3) != s.Sample(line, int64(i), i%3) {
+			t.Fatal("sampler not a pure function")
+		}
+	}
+	// The hash should land near 1/64 without pathological clustering.
+	want := 1_000_000 / 64
+	if sampled < want/2 || sampled > want*2 {
+		t.Fatalf("sampled %d of 1M at period 64, want near %d", sampled, want)
+	}
+
+	if (Sampler{Period: 0}).Sample(0x80, 1, 0) {
+		t.Error("period 0 must disable sampling")
+	}
+	if !(Sampler{Period: 1}).Sample(0x80, 1, 0) {
+		t.Error("period 1 must sample everything")
+	}
+}
+
+func TestRingOverflowDrops(t *testing.T) {
+	c := NewCollector(1, 8, 120)
+	handles := make([]Handle, 0, ringSlots)
+	for i := 0; i < ringSlots; i++ {
+		h := c.Begin(uint64(i)*128, 0, 0, int64(i))
+		if h == 0 {
+			t.Fatalf("ring refused span %d of %d", i, ringSlots)
+		}
+		handles = append(handles, h)
+	}
+	if h := c.Begin(1<<30, 0, 0, 9999); h != 0 {
+		t.Fatal("full ring must refuse new spans")
+	}
+	tot := c.Totals()
+	if tot.Dropped != 1 || tot.Sampled != ringSlots {
+		t.Fatalf("sampled=%d dropped=%d, want %d/1", tot.Sampled, tot.Dropped, ringSlots)
+	}
+	if c.Open() != ringSlots {
+		t.Fatalf("open=%d, want %d", c.Open(), ringSlots)
+	}
+	// Draining one slot makes room again, and the recycled slot's handle
+	// differs from the stale one (generation bump).
+	c.MarkL2(handles[0], OutcomeL2Hit, 10, 8)
+	if _, ok := c.Complete(handles[0], 200); !ok {
+		t.Fatal("complete failed")
+	}
+	h := c.Begin(1<<30, 0, 0, 9999)
+	if h == 0 {
+		t.Fatal("freed slot not reusable")
+	}
+	if h == handles[0] {
+		t.Fatal("recycled slot must carry a new generation")
+	}
+	// The stale handle must not touch the new span. Under -tags simassert
+	// this is a panic instead (covered by assert_test.go).
+	if !assert.Enabled {
+		if _, ok := c.Complete(handles[0], 300); ok {
+			t.Fatal("stale handle resolved to a live span")
+		}
+	}
+}
+
+func TestRecentRingOrder(t *testing.T) {
+	c := NewCollector(1, 8, 120)
+	for i := 0; i < recentCap+10; i++ {
+		h := c.Begin(uint64(i)*128, 0, 0, int64(i))
+		c.MarkL2(h, OutcomeL2Hit, int64(i)+30, int64(i)+8)
+		c.Complete(h, int64(i)+30+120+8)
+	}
+	var seqs []uint64
+	c.Recent(func(sp Span) { seqs = append(seqs, sp.Seq) })
+	if len(seqs) != recentCap {
+		t.Fatalf("recent holds %d, want %d", len(seqs), recentCap)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("recent not oldest-first: %d after %d", seqs[i], seqs[i-1])
+		}
+	}
+	if seqs[len(seqs)-1] != recentCap+10 {
+		t.Fatalf("newest seq %d, want %d", seqs[len(seqs)-1], recentCap+10)
+	}
+}
+
+func TestSummaryJSON(t *testing.T) {
+	c := NewCollector(1, 8, 120)
+	drive(t, c, OutcomeL2Miss, 0x240, 3)
+	s := c.Summary()
+	if s.Sampled != 1 || len(s.Kernels) != 1 || s.Kernels[0].Kernel != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if len(s.Recent) != 1 || s.Recent[0].Outcome != "l2_miss" || s.Recent[0].Line != "0x240" {
+		t.Fatalf("recent wrong: %+v", s.Recent)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kernels[0].MeanEndToEnd != s.Kernels[0].MeanEndToEnd {
+		t.Fatal("summary does not round-trip")
+	}
+}
+
+func TestNilAndZeroHandleSafe(t *testing.T) {
+	var c *Collector
+	if c.Begin(0x80, 0, 0, 0) != 0 || c.Open() != 0 {
+		t.Fatal("nil collector must be inert")
+	}
+	c.MarkL2(0, OutcomeL2Hit, 0, 0)
+	c.Recent(func(Span) { t.Fatal("nil collector has no spans") })
+
+	real := NewCollector(1, 8, 120)
+	real.MarkL2(0, OutcomeL2Hit, 0, 0)
+	real.MarkDRAMEnqueue(0, 0)
+	real.MarkDRAMIssue(0, true, 0, 0)
+	real.MarkFill(0, 0)
+	if _, ok := real.Complete(0, 0); ok {
+		t.Fatal("zero handle must not complete")
+	}
+	if real.Open() != 0 || real.Totals().Sampled != 0 {
+		t.Fatal("zero-handle marks must not touch state")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"warpedslicer/internal/obs"
+	"warpedslicer/internal/span"
 )
 
 // Chrome trace-event constants (the about://tracing JSON format). One
@@ -13,17 +14,21 @@ import (
 const (
 	chromePidKernels    = 0 // counter tracks: IPC, occupancy, stalls, bandwidth
 	chromePidController = 1 // controller decision events and phase spans
+	chromePidSpans      = 2 // sampled memory-request spans (async events)
 )
 
 // chromeEvent is one entry of the Trace Event Format.
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   int64          `json:"ts"`
 	Dur  int64          `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
 	S    string         `json:"s,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -97,8 +102,63 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 	}
 
 	evs = append(evs, t.controllerEvents()...)
+	evs = append(evs, t.spanEvents()...)
 
 	return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// spanEvents renders the most recently completed memory-request spans as
+// nestable async events — one lane per request, a nested slice per
+// hierarchy stage — plus a flow arrow from issue to reply delivery, so a
+// single L1 miss's journey is visible end to end in chrome://tracing.
+// Rows group by kernel slot (tid = slot).
+func (t *Timeline) spanEvents() []chromeEvent {
+	if t.g == nil || t.g.Mem == nil {
+		return nil
+	}
+	var out []chromeEvent
+	t.g.Mem.Spans.Recent(func(sp span.Span) {
+		if len(out) == 0 {
+			out = append(out, chromeEvent{Name: "process_name", Ph: "M",
+				Pid: chromePidSpans, Args: map[string]any{"name": "memory spans (sampled)"}})
+		}
+		id := fmt.Sprintf("span%d", sp.Seq)
+		name := fmt.Sprintf("k%d 0x%x", sp.Kernel, sp.Line)
+		args := map[string]any{
+			"outcome": sp.Outcome.String(),
+			"sm":      sp.SM,
+			"cycles":  sp.EndToEnd(),
+		}
+		if sp.RowHit >= 0 {
+			args["dram_row_hit"] = sp.RowHit == 1
+			args["dram_queue_wait_memcycles"] = sp.DRAMQueueWait
+			args["dram_service_memcycles"] = sp.DRAMService
+		}
+		out = append(out, chromeEvent{Name: name, Cat: "span", Ph: "b",
+			Ts: sp.Issued, Pid: chromePidSpans, Tid: sp.Kernel, ID: id, Args: args})
+		cursor := sp.Issued
+		for st := span.Stage(0); st < span.NumStages; st++ {
+			d := sp.Stages[st]
+			if d <= 0 {
+				continue
+			}
+			out = append(out,
+				chromeEvent{Name: st.String(), Cat: "span", Ph: "b",
+					Ts: cursor, Pid: chromePidSpans, Tid: sp.Kernel, ID: id},
+				chromeEvent{Name: st.String(), Cat: "span", Ph: "e",
+					Ts: cursor + d, Pid: chromePidSpans, Tid: sp.Kernel, ID: id})
+			cursor += d
+		}
+		out = append(out,
+			chromeEvent{Name: name, Cat: "span", Ph: "e",
+				Ts: sp.Delivered, Pid: chromePidSpans, Tid: sp.Kernel, ID: id},
+			// Flow arrow across the whole round trip.
+			chromeEvent{Name: "l1miss", Cat: "spanflow", Ph: "s",
+				Ts: sp.Issued, Pid: chromePidSpans, Tid: sp.Kernel, ID: id},
+			chromeEvent{Name: "l1miss", Cat: "spanflow", Ph: "f", BP: "e",
+				Ts: sp.Delivered, Pid: chromePidSpans, Tid: sp.Kernel, ID: id})
+	})
+	return out
 }
 
 // controllerEvents renders the event log: every event as an instant, plus

@@ -83,4 +83,15 @@ func TestWriteChromeTraceGolden(t *testing.T) {
 	if !bytes.Contains(buf.Bytes(), []byte(`"name":"warmup"`)) {
 		t.Error("chrome trace has no warmup span")
 	}
+	// Sampled memory-request spans render as nestable async events plus a
+	// flow arrow; a default-period run of this length must trace some.
+	for _, marker := range []string{
+		`"cat":"span","ph":"b"`, `"cat":"span","ph":"e"`,
+		`"cat":"spanflow","ph":"s"`, `"bp":"e"`,
+		`"name":"dram"`, `"name":"l2_queue"`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(marker)) {
+			t.Errorf("chrome trace missing span marker %s", marker)
+		}
+	}
 }
