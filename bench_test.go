@@ -7,8 +7,11 @@ package warpedslicer_bench
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"syscall"
 	"testing"
 	"time"
 
@@ -21,6 +24,7 @@ import (
 	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/power"
+	"warpedslicer/internal/prof"
 	"warpedslicer/internal/sm"
 	"warpedslicer/internal/span"
 )
@@ -284,10 +288,40 @@ func BenchmarkRegistrySnapshot(b *testing.B) {
 }
 
 // obsTimeRun measures ns/cycle over `cycles` on an already-warm GPU.
+// cpuTime returns the process's cumulative user+system CPU time. The
+// budgets in this file are defined over CPU cost, and wall-clock deltas
+// on shared or quota-throttled machines (CI runners, small VMs) include
+// stretches where the process was simply not scheduled — enough to bury
+// a 2% overhead or fake a 20% regression between back-to-back runs.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
 func obsTimeRun(g *gpu.GPU, cycles int64) float64 {
-	start := time.Now()
+	// Flush collection work left over from the previous timed segment.
+	// Without this, an allocation-heavy configuration (the event log)
+	// defers its GC mark work into whichever segment runs next,
+	// systematically charging one configuration's garbage to the other.
+	runtime.GC()
+	start := cpuTime()
 	g.RunCycles(cycles)
-	return float64(time.Since(start).Nanoseconds()) / float64(cycles)
+	return float64(cpuTime()-start) / float64(cycles)
+}
+
+// median returns the middle of the sorted samples. Min-of-N systematically
+// favors whichever configuration happens to catch one perfectly quiet
+// stretch — with two configurations that bias lands on either side at
+// random, which is how BENCH_obs.json once recorded a negative
+// instrumentation overhead. The median is noise-robust without that
+// direction lottery.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // mergeBenchJSON merges updates into the JSON object at path, preserving
@@ -314,10 +348,12 @@ func mergeBenchJSON(t *testing.T, path string, updates map[string]any) {
 	}
 }
 
-// TestObsOverheadBudget proves the registry is pull-based: with every
-// counter registered and the event log attached but no sink sampling them,
-// simulator throughput must stay within 2% of the bare configuration. The
-// interleaved min-of-N measurement is written to BENCH_obs.json.
+// TestObsOverheadBudget proves the observability layer is effectively
+// free on the hot path: with every counter registered, the event log
+// attached, and the engine self-profiler sampling phase timers at its
+// default period — but no sink draining any of it — simulator throughput
+// must stay within 2% of the bare configuration. The paired
+// median-of-ratios measurement is written to BENCH_obs.json.
 func TestObsOverheadBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
@@ -330,12 +366,13 @@ func TestObsOverheadBudget(t *testing.T) {
 	}
 	const (
 		rounds = 7
-		chunk  = int64(20_000)
+		chunk  = int64(10_000)
 	)
 	newGPU := func(instrumented bool) *gpu.GPU {
 		g := gpu.New(config.Baseline(), policy.FCFS{})
 		if instrumented {
 			g.Log = obs.NewEventLog()
+			g.Prof = prof.New(0) // default period, phase timers live
 			g.Register(obs.NewRegistry())
 		} else {
 			// The bare configuration also turns span sampling off, so the
@@ -350,20 +387,35 @@ func TestObsOverheadBudget(t *testing.T) {
 
 	var bare, inst float64
 	var overhead float64
-	// Min-of-N interleaved timing absorbs most scheduler noise; allow a
-	// few attempts so one noisy machine stretch cannot fail the budget.
+	// The measurement is paired: both GPUs advance the same simulated
+	// window each round (the simulator is deterministic, so they stay in
+	// lockstep), and the overhead is the median of the per-round cost
+	// ratios. Pairing makes the comparison immune to the workload's own
+	// phase structure (per-cycle cost drops ~3× as the kernel drains) and
+	// to machine drift; alternating which configuration runs first each
+	// round cancels positional bias (the second run of a pair starts
+	// warmer). A few attempts keep one globally noisy stretch from
+	// failing the budget.
 	for attempt := 0; attempt < 3; attempt++ {
 		gBare, gInst := newGPU(false), newGPU(true)
-		bare, inst = -1, -1
+		bareRounds := make([]float64, 0, rounds)
+		instRounds := make([]float64, 0, rounds)
+		ratios := make([]float64, 0, rounds)
 		for r := 0; r < rounds; r++ {
-			if v := obsTimeRun(gBare, chunk); bare < 0 || v < bare {
-				bare = v
+			var b, i float64
+			if r%2 == 0 {
+				b = obsTimeRun(gBare, chunk)
+				i = obsTimeRun(gInst, chunk)
+			} else {
+				i = obsTimeRun(gInst, chunk)
+				b = obsTimeRun(gBare, chunk)
 			}
-			if v := obsTimeRun(gInst, chunk); inst < 0 || v < inst {
-				inst = v
-			}
+			bareRounds = append(bareRounds, b)
+			instRounds = append(instRounds, i)
+			ratios = append(ratios, i/b)
 		}
-		overhead = inst/bare - 1
+		bare, inst = median(bareRounds), median(instRounds)
+		overhead = median(ratios) - 1
 		if overhead < 0.02 {
 			break
 		}
@@ -376,10 +428,19 @@ func TestObsOverheadBudget(t *testing.T) {
 	histNs := timeHistObserve()
 	sampleNs := timeSpanSample()
 
+	// A negative measured overhead is residual noise, not the
+	// instrumented build outrunning the bare one; clamp the recorded
+	// fraction to zero so the committed number cannot claim a negative
+	// cost (the raw value stays available for noise diagnosis).
+	clamped := overhead
+	if clamped < 0 {
+		clamped = 0
+	}
 	mergeBenchJSON(t, "BENCH_obs.json", map[string]any{
 		"bare_ns_per_cycle":         bare,
 		"instrumented_ns_per_cycle": inst,
-		"overhead_frac":             overhead,
+		"overhead_frac":             clamped,
+		"overhead_frac_raw":         overhead,
 		"budget_frac":               0.02,
 		"rounds":                    rounds,
 		"cycles_per_round":          chunk,
@@ -409,18 +470,17 @@ func TestSimassertOverhead(t *testing.T) {
 	}
 	const (
 		rounds = 7
-		chunk  = int64(20_000)
+		chunk  = int64(10_000)
 	)
 	g := gpu.New(config.Baseline(), policy.FCFS{})
 	g.AddKernel(kernels.ByAbbr("MM"), 0)
 	g.RunCycles(1000)
 
-	ns := -1.0
+	vs := make([]float64, 0, rounds)
 	for r := 0; r < rounds; r++ {
-		if v := obsTimeRun(g, chunk); ns < 0 || v < ns {
-			ns = v
-		}
+		vs = append(vs, obsTimeRun(g, chunk))
 	}
+	ns := median(vs)
 
 	key := "simassert_off_ns_per_cycle"
 	if assert.Enabled {
@@ -503,6 +563,96 @@ func BenchmarkSpanSample(b *testing.B) {
 		}
 	}
 	sampleSink += hits
+}
+
+// benchFingerprint identifies the machine and measurement methodology a
+// BENCH_obs.json baseline was recorded under. The 15% regression budget
+// only means something against a baseline from the same machine measured
+// the same way (per-cycle cost varies ~3× across the workload's phases,
+// so the sampled window is part of the methodology); on any mismatch the
+// test rebases silently instead of comparing apples to oranges.
+func benchFingerprint(rounds int, chunk int64) string {
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%s/%d-cores/%dx%d-cycles", host, runtime.NumCPU(), rounds, chunk)
+}
+
+// TestEngineProfileBudget is the perf-regression rig: it measures engine
+// ns/cycle (median of interleaved rounds) plus the profiler's per-phase
+// ns/cycle split, merge-writes them into BENCH_obs.json, and fails when
+// throughput regressed more than 15% against the committed same-machine
+// baseline. Every speed PR (SoA warp state, request arenas, fast-forward)
+// lands against this number.
+func TestEngineProfileBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if assert.Enabled {
+		t.Skip("regression budget applies to the assert-off build")
+	}
+	if raceEnabled {
+		t.Skip("regression budget applies to the race-detector-off build")
+	}
+	const (
+		rounds = 7
+		chunk  = int64(10_000)
+		budget = 0.15
+	)
+
+	// Baseline from the committed file, honored only if recorded here.
+	prior := map[string]any{}
+	if data, err := os.ReadFile("BENCH_obs.json"); err == nil {
+		_ = json.Unmarshal(data, &prior)
+	}
+	baseline, _ := prior["ns_per_cycle"].(float64)
+	priorFP, _ := prior["bench_fingerprint"].(string)
+	fp := benchFingerprint(rounds, chunk)
+	comparable := baseline > 0 && priorFP == fp
+
+	measure := func() (float64, prof.Summary) {
+		g := gpu.New(config.Baseline(), policy.FCFS{})
+		g.Prof = prof.New(0)
+		g.AddKernel(kernels.ByAbbr("MM"), 0)
+		g.RunCycles(1000)
+		vs := make([]float64, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			vs = append(vs, obsTimeRun(g, chunk))
+		}
+		return median(vs), g.Prof.Summary()
+	}
+
+	ns, sum := measure()
+	if comparable {
+		// Re-measure before declaring a regression: a single noisy
+		// stretch must not fail CI.
+		for attempt := 0; attempt < 2 && ns/baseline-1 > budget; attempt++ {
+			ns, sum = measure()
+		}
+	}
+
+	phases := map[string]any{}
+	for _, pc := range sum.Phases {
+		phases[pc.Phase] = pc.NsPerCycle
+	}
+
+	if comparable && ns/baseline-1 > budget {
+		// Keep the committed baseline intact so the regression stays
+		// visible on re-runs instead of ratcheting itself away.
+		t.Fatalf("engine throughput regressed: %.1f ns/cycle vs baseline %.1f (%.1f%% > %.0f%% budget)",
+			ns, baseline, (ns/baseline-1)*100, budget*100)
+	}
+
+	mergeBenchJSON(t, "BENCH_obs.json", map[string]any{
+		"ns_per_cycle":           ns,
+		"phase_ns_per_cycle":     phases,
+		"regression_budget_frac": budget,
+		"bench_fingerprint":      fp,
+	})
+	if comparable {
+		t.Logf("engine %.1f ns/cycle vs baseline %.1f (%+.1f%%, budget %.0f%%)",
+			ns, baseline, (ns/baseline-1)*100, budget*100)
+	} else {
+		t.Logf("engine %.1f ns/cycle; baseline rebased for %s", ns, fp)
+	}
 }
 
 // BenchmarkPairSweepSerial runs a four-pair Figure 6 sweep on one worker.

@@ -18,6 +18,7 @@
 //	fig7     Figure 7   utilization, cache miss rates, stall breakdown
 //	fig7c    Figure 7c  per-benchmark stall breakdown, alone vs shared (CSV)
 //	figmemdecomp        sampled-span latency decomposition, alone vs shared (CSV)
+//	figengineprof       engine self-profile: phase costs x kernel mix + fast-forward meter (CSV)
 //	fig8     Figure 8   3-kernel workloads
 //	fig9     Figure 9   fairness (min speedup) and ANTT
 //	energy   §V-G       energy and dynamic power comparison
@@ -45,6 +46,7 @@ import (
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/obs"
 	"warpedslicer/internal/power"
+	"warpedslicer/internal/prof"
 	"warpedslicer/internal/trace"
 )
 
@@ -67,6 +69,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live registry snapshots and the event log over HTTP (e.g. :8080)")
+		pprofFlag   = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the -metrics-addr mux")
+		profPeriod  = flag.Int64("prof-period", 0, "engine self-profiler sampling period in cycles (0 = off; figengineprof defaults to 37)")
 		chromeTrace = flag.String("chrometrace", "", "timeline: also write Chrome trace-event JSON here (chrome://tracing)")
 		eventsPath  = flag.String("events", "", "write the structured event log as JSONL to this file at exit")
 	)
@@ -85,8 +89,12 @@ func main() {
 		o.Warmup = *warmup
 	}
 	o.Parallelism = *parallel
+	o.ProfPeriod = *profPeriod
 	if err := o.Validate(); err != nil {
 		fatal(err)
+	}
+	if *pprofFlag && *metricsAddr == "" {
+		fatal(fmt.Errorf("-pprof requires -metrics-addr"))
 	}
 	// Every run keeps a structured event log; -v renders run summaries to
 	// stderr as they land, -events dumps the whole log, -metrics-addr
@@ -97,7 +105,11 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		o.Hub = obs.NewHub(o.Events)
-		srv, err := obs.StartServer(*metricsAddr, o.Hub)
+		var srvOpts []obs.ServerOption
+		if *pprofFlag {
+			srvOpts = append(srvOpts, obs.WithPprof())
+		}
+		srv, err := obs.StartServer(*metricsAddr, o.Hub, srvOpts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -253,6 +265,19 @@ func run(name string, o experiments.Options, ws []experiments.Workload, withOrac
 		if err := experiments.WriteMemDecompCSV(os.Stdout, rows); err != nil {
 			fatal(err)
 		}
+	case "figengineprof":
+		header("Engine self-profile: phase costs x kernel mix + fast-forward opportunity")
+		// The experiment's point is the phase split, so profiling defaults
+		// on here (everywhere else it stays opt-in via -prof-period).
+		po := o
+		if po.ProfPeriod <= 0 {
+			po.ProfPeriod = prof.DefaultPeriod
+		}
+		ps := experiments.NewSession(po)
+		rows := experiments.FigEngineProf(ps, experiments.EngineProfWorkloads(ws))
+		record("figengineprof", rows)
+		maybeCSV("figengineprof.csv", func(f *os.File) error { return experiments.WriteEngineProfCSV(f, rows) })
+		fmt.Print(experiments.FormatEngineProf(rows))
 	case "fig8":
 		header("Figure 8: three kernels per SM")
 		fmt.Print(experiments.FormatFigure8(experiments.Figure8(s)))
@@ -424,6 +449,16 @@ func runAll(o experiments.Options, ws []experiments.Workload, withOracle bool) {
 	md := experiments.FigMemDecomp(s, ws)
 	record("figmemdecomp", md)
 	fmt.Print(experiments.FormatMemDecomp(md))
+	fmt.Println()
+
+	header("Engine self-profile: phase costs x kernel mix + fast-forward opportunity")
+	po := o
+	if po.ProfPeriod <= 0 {
+		po.ProfPeriod = prof.DefaultPeriod
+	}
+	ep := experiments.FigEngineProf(experiments.NewSession(po), experiments.EngineProfWorkloads(ws))
+	record("figengineprof", ep)
+	fmt.Print(experiments.FormatEngineProf(ep))
 	fmt.Println()
 
 	header("Figure 8: three kernels per SM")

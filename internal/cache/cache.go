@@ -63,6 +63,7 @@ type Stats struct {
 	Merged    uint64
 	ResFails  uint64
 	Evictions uint64
+	Probes    uint64 // side-effect-free presence checks (Probe)
 }
 
 // MissRate returns load misses / loads.
@@ -173,8 +174,10 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 }
 
 // Probe reports whether the line containing addr is present, without
-// touching LRU state or statistics.
+// touching LRU state or the access statistics (it counts only itself, so
+// profiling probe traffic never skews hit/miss rates).
 func (c *Cache) Probe(addr uint64) bool {
+	c.Stats.Probes++
 	la := c.LineAddr(addr)
 	base := c.setIndex(la) * c.assoc
 	for i := 0; i < c.assoc; i++ {

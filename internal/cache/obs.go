@@ -18,6 +18,7 @@ func (s Stats) EmitObs(emit obs.Emit, kv ...string) {
 	c("ws_cache_merged_total", s.Merged)
 	c("ws_cache_resfails_total", s.ResFails)
 	c("ws_cache_evictions_total", s.Evictions)
+	c("ws_cache_probes_total", s.Probes)
 }
 
 // Register wires this cache's live counters into the registry under the

@@ -237,3 +237,9 @@ func (ch *Channel) issue(now int64) {
 
 // Drained reports whether no work remains queued or in flight.
 func (ch *Channel) Drained() bool { return len(ch.queue) == 0 && len(ch.inflight) == 0 }
+
+// Pending returns the number of transactions queued or in flight. The
+// fast-forward quiescence check (mem.OnlyRepliesInFlight) requires it to
+// be zero: an in-flight transaction's completion still has to fill L2 and
+// wake waiters, so its downstream wake-ups are not yet stamped.
+func (ch *Channel) Pending() int { return len(ch.queue) + len(ch.inflight) }

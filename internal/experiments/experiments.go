@@ -22,6 +22,7 @@ import (
 	"warpedslicer/internal/metrics"
 	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
+	"warpedslicer/internal/prof"
 	"warpedslicer/internal/sm"
 	"warpedslicer/internal/span"
 )
@@ -63,6 +64,12 @@ type Options struct {
 	// collected by index, so any setting produces byte-identical CSVs,
 	// figures and golden files.
 	Parallelism int
+	// ProfPeriod, when positive, attaches an engine self-profiler to every
+	// GPU the session builds, sampling one cycle in ProfPeriod for
+	// wall-clock phase accounting (see internal/prof). Zero disables
+	// profiling; the deterministic opportunity counters are collected
+	// either way.
+	ProfPeriod int64
 }
 
 // Validate rejects option values that would produce degenerate runs:
@@ -87,6 +94,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiments: PublishEvery = %d, must be non-negative", o.PublishEvery)
 	case o.Parallelism < 0:
 		return fmt.Errorf("experiments: Parallelism = %d, must be non-negative", o.Parallelism)
+	case o.ProfPeriod < 0:
+		return fmt.Errorf("experiments: ProfPeriod = %d, must be non-negative", o.ProfPeriod)
 	}
 	return nil
 }
@@ -132,6 +141,9 @@ func (o Options) Instrument(g *gpu.GPU) { o.instrument(g, o.Events) }
 // attributable.
 func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
 	g.Log = log
+	if o.ProfPeriod > 0 {
+		g.Prof = prof.New(o.ProfPeriod)
+	}
 	if o.Hub == nil {
 		return
 	}
@@ -144,6 +156,7 @@ func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
 	g.Monitor = func(gg *gpu.GPU) {
 		o.Hub.Publish(reg.Snapshot())
 		o.Hub.PublishSpans(gg.Mem.Spans.Summary())
+		o.Hub.PublishProfile(gg.Profile())
 	}
 }
 

@@ -15,7 +15,9 @@ import (
 	"warpedslicer/internal/config"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
+	"warpedslicer/internal/memreq"
 	"warpedslicer/internal/obs"
+	"warpedslicer/internal/prof"
 	"warpedslicer/internal/sm"
 )
 
@@ -88,9 +90,23 @@ type GPU struct {
 	Monitor      func(*GPU)
 	MonitorEvery int64
 
+	// Prof, when non-nil, samples wall-clock phase costs of the cycle
+	// loop (see internal/prof). It never feeds back into simulator state:
+	// runs with and without a profiler are byte-identical in every
+	// counter and CSV.
+	Prof *prof.Profiler
+
 	dispatcher Dispatcher
 	now        int64
 	needFill   bool
+
+	// ffSkippable counts device cycles where every SM was in a
+	// known-wakeup stall or idle AND the memory hierarchy held nothing
+	// but stamped replies — cycles an event-driven fast-forward loop
+	// (ROADMAP item 2a) could skip outright. Deterministic by
+	// construction: derived purely from cycle classification, no wall
+	// clock.
+	ffSkippable uint64
 }
 
 // New builds a GPU with the given configuration and policy.
@@ -198,8 +214,14 @@ func (g *GPU) AllDone() bool {
 	return len(g.Kernels) > 0
 }
 
-// Step advances the device one core cycle.
+// Step advances the device one core cycle. On profiler-elected cycles it
+// routes through the phase-marked twins (sm.CycleProfiled,
+// mem.TickProfiled); on every other cycle — and always when g.Prof is nil
+// — the pre-profiler hot path runs unchanged.
 func (g *GPU) Step() {
+	p := g.Prof
+	profiled := p.StartCycle()
+
 	if g.now == 0 {
 		g.dispatcher.Setup(g)
 		g.dispatcher.Fill(g)
@@ -216,14 +238,45 @@ func (g *GPU) Step() {
 			g.needFill = true
 		}
 	}
-
-	for _, s := range g.SMs {
-		s.Cycle(g.now)
+	if profiled {
+		p.Mark(prof.Controller)
 	}
-	for _, reply := range g.Mem.Tick(g.now) {
+
+	// allSkip tracks whether every SM's wake-up time this cycle is known
+	// (stalled-known or idle); combined with a quiescent-except-replies
+	// memory system below, the whole device cycle is skippable.
+	allSkip := true
+	if profiled {
+		for _, s := range g.SMs {
+			if cl := s.CycleProfiled(g.now, p); cl == sm.ClassIssuing || cl == sm.ClassStallUnknown {
+				allSkip = false
+			}
+		}
+	} else {
+		for _, s := range g.SMs {
+			if cl := s.Cycle(g.now); cl == sm.ClassIssuing || cl == sm.ClassStallUnknown {
+				allSkip = false
+			}
+		}
+	}
+
+	var replies []memreq.Request
+	if profiled {
+		replies = g.Mem.TickProfiled(g.now, p)
+	} else {
+		replies = g.Mem.Tick(g.now)
+	}
+	for _, reply := range replies {
 		if reply.SM >= 0 && reply.SM < len(g.SMs) {
 			g.SMs[reply.SM].OnReply(reply.LineAddr)
 		}
+	}
+	if profiled {
+		p.Mark(prof.L1)
+	}
+
+	if allSkip && g.Mem.OnlyRepliesInFlight() {
+		g.ffSkippable++
 	}
 
 	g.dispatcher.Tick(g)
@@ -231,12 +284,21 @@ func (g *GPU) Step() {
 	if g.now%64 == 0 {
 		g.checkTargets()
 	}
+	if profiled {
+		p.Mark(prof.Controller)
+	}
 	if g.MonitorEvery > 0 && g.Monitor != nil && g.now%g.MonitorEvery == 0 {
 		g.Monitor(g)
+		if profiled {
+			p.Mark(prof.ObsDrain)
+		}
 	}
 	if g.needFill {
 		g.needFill = false
 		g.dispatcher.Fill(g)
+		if profiled {
+			p.Mark(prof.Controller)
+		}
 	}
 	g.now++
 }
@@ -302,6 +364,10 @@ func (g *GPU) AggregateSM() sm.Stats {
 		agg.LDSTBusy += st.LDSTBusy
 		agg.RegCycles += st.RegCycles
 		agg.ShmCycles += st.ShmCycles
+		agg.CycIssuing += st.CycIssuing
+		agg.CycStallKnown += st.CycStallKnown
+		agg.CycStallUnknown += st.CycStallUnknown
+		agg.CycIdle += st.CycIdle
 		for i := range agg.PerKernel {
 			agg.PerKernel[i].WarpInsts += st.PerKernel[i].WarpInsts
 			agg.PerKernel[i].ThreadInsts += st.PerKernel[i].ThreadInsts
@@ -321,6 +387,54 @@ func (g *GPU) AggregateSM() sm.Stats {
 		agg.L1.Merged += st.L1.Merged
 		agg.L1.ResFails += st.L1.ResFails
 		agg.L1.Evictions += st.L1.Evictions
+		agg.L1.Probes += st.L1.Probes
 	}
 	return agg
+}
+
+// Profile is the engine self-profile: the deterministic fast-forward
+// opportunity meter (always populated) plus, when a profiler is attached,
+// the sampled wall-clock phase costs. Served as JSON on /profile and the
+// source of figengineprof rows.
+type Profile struct {
+	Cycles int64 `json:"cycles"`
+	SMs    int   `json:"sms"`
+
+	// SM-cycle classification totals across the device; the four sum to
+	// SMs × Cycles.
+	CycIssuing      uint64 `json:"cyc_issuing"`
+	CycStallKnown   uint64 `json:"cyc_stall_known"`
+	CycStallUnknown uint64 `json:"cyc_stall_unknown"`
+	CycIdle         uint64 `json:"cyc_idle"`
+
+	// FFSkippableCycles counts whole-device cycles an event-driven loop
+	// could skip; FFSkippableFrac is that over Cycles — the upper bound
+	// on ROADMAP item 2a's payoff for this workload.
+	FFSkippableCycles uint64  `json:"ff_skippable_cycles"`
+	FFSkippableFrac   float64 `json:"fast_forward_skippable_frac"`
+
+	// Phases is the wall-clock side; nil when no profiler is attached.
+	Phases *prof.Summary `json:"phases,omitempty"`
+}
+
+// Profile snapshots the engine self-profile at the current cycle.
+func (g *GPU) Profile() Profile {
+	agg := g.AggregateSM()
+	pr := Profile{
+		Cycles:            g.now,
+		SMs:               len(g.SMs),
+		CycIssuing:        agg.CycIssuing,
+		CycStallKnown:     agg.CycStallKnown,
+		CycStallUnknown:   agg.CycStallUnknown,
+		CycIdle:           agg.CycIdle,
+		FFSkippableCycles: g.ffSkippable,
+	}
+	if g.now > 0 {
+		pr.FFSkippableFrac = float64(g.ffSkippable) / float64(g.now)
+	}
+	if g.Prof != nil {
+		s := g.Prof.Summary()
+		pr.Phases = &s
+	}
+	return pr
 }

@@ -45,12 +45,14 @@ func (g *GPU) Register(r *obs.Registry) {
 		agg.EmitObs(emit)
 		agg.EmitKernelObs(emit)
 		agg.L1.EmitObs(emit, "cache", "l1")
+		emit("ws_gpu_ff_skippable_cycles_total", obs.Counter, float64(g.ffSkippable))
 	})
 
 	for _, s := range g.SMs {
 		s.Register(r)
 	}
 	g.Mem.Register(r)
+	g.Prof.Register(r)
 }
 
 func boolGauge(b bool) float64 {

@@ -1,0 +1,41 @@
+// Package determ_timer pins the approved wall-clock windowed-timer idiom
+// used by the engine self-profiler (internal/prof): clock reads are
+// allowed in simulator packages only behind a simlint waiver, only to
+// measure the host's cost of simulating, and only on a sampled subset of
+// cycles so nothing downstream of the reading can feed back into
+// simulation state. Every other clock read stays banned — the final
+// function shows the finding an unwaived read produces.
+package determ_timer
+
+import "time"
+
+// windowTimer accumulates host-side phase cost on elected cycles.
+type windowTimer struct {
+	last  time.Time
+	spent [4]int64 // ns per phase; observability output, never sim input
+}
+
+// startCycle stamps the window's origin. The waiver is legitimate
+// because the stamp is taken before any simulation work and the value is
+// only ever subtracted from a later stamp — simulated state never
+// branches on it.
+func (w *windowTimer) startCycle() {
+	//simlint:allow determinism -- profiler origin stamp; host-cost metering only, never read by the model
+	w.last = time.Now()
+}
+
+// mark charges the time since the previous stamp to one phase. Same
+// argument: the delta feeds counters that are exported, not consumed.
+func (w *windowTimer) mark(phase int) {
+	//simlint:allow determinism -- profiler phase delta; host-cost metering only, never read by the model
+	d := time.Since(w.last)
+	w.spent[phase] += d.Nanoseconds()
+	w.last = w.last.Add(d)
+}
+
+// seedFromClock is the leak the analyzer exists to catch: the clock
+// value reaches a quantity the simulation consumes, so two runs of the
+// same configuration diverge. No waiver — this one must be flagged.
+func seedFromClock() int64 {
+	return time.Now().UnixNano()
+}

@@ -12,6 +12,7 @@ import (
 	"warpedslicer/internal/dram"
 	"warpedslicer/internal/memreq"
 	"warpedslicer/internal/obs"
+	"warpedslicer/internal/prof"
 	"warpedslicer/internal/span"
 )
 
@@ -67,6 +68,13 @@ type Subsystem struct {
 	reqCap   int
 	replyNet []timed
 
+	// replyPending counts, per SM, read replies sitting in the reply
+	// network with a stamped readyAt. The SM cycle classifier compares it
+	// against its outstanding-load lines: when every missing line already
+	// has a scheduled reply, the SM's wake-up time is known and the stall
+	// is fast-forward skippable (ROADMAP item 2a).
+	replyPending []int64
+
 	parts []*partition
 
 	memAccum float64
@@ -100,9 +108,10 @@ type Subsystem struct {
 // New builds the memory subsystem for the given configuration.
 func New(cfg config.GPU) *Subsystem {
 	m := &Subsystem{
-		cfg:         cfg,
-		reqCap:      cfg.Icnt.FlitsPerCycle * 16,
-		perSMServed: make([]uint64, cfg.NumSMs),
+		cfg:          cfg,
+		reqCap:       cfg.Icnt.FlitsPerCycle * 16,
+		perSMServed:  make([]uint64, cfg.NumSMs),
+		replyPending: make([]int64, cfg.NumSMs),
 		Spans: span.NewCollector(span.DefaultPeriod,
 			int64(cfg.Icnt.LatencyCycles), int64(cfg.L2.HitLatency)),
 	}
@@ -151,10 +160,64 @@ func (m *Subsystem) Submit(req memreq.Request, now int64) bool {
 }
 
 // Tick advances the subsystem one core cycle and returns the read replies
-// (requests whose data is now available at their SM).
+// (requests whose data is now available at their SM). TickProfiled is the
+// phase-timed twin; keep the two in lockstep.
 func (m *Subsystem) Tick(now int64) []memreq.Request {
 	// 1. Drain the request network into partitions, respecting the flit
 	// budget and arrival latency.
+	m.drainReqNet(now)
+
+	// 2. Advance the memory clock domain: L2 banks and DRAM. The pump
+	// order within a partition is load-bearing: retry drain must precede
+	// the L2 access (a parked request re-enters DRAM before the bank
+	// consumes new work), and DRAM completions come last so a fill never
+	// races the access that missed on it this same memory cycle.
+	m.memAccum += m.cfg.MemClockRatio()
+	for m.memAccum >= 1 {
+		m.memAccum--
+		m.memNow++
+		for _, p := range m.parts {
+			m.pumpRetry(p, now)
+			m.pumpL2(p, now)
+			m.pumpDRAM(p, now)
+		}
+	}
+
+	// 3. Deliver replies that finished their return traversal.
+	return m.deliverReplies(now)
+}
+
+// TickProfiled is Tick with prof phase marks at the stage boundaries:
+// network drains and reply delivery charge to icnt, the bank access to
+// l2, and retry drain + FR-FCFS completions to dram. gpu.Step calls it
+// only on profiler-elected cycles, so the unprofiled hot path in Tick
+// stays unchanged. Keep in lockstep with Tick.
+func (m *Subsystem) TickProfiled(now int64, pr *prof.Profiler) []memreq.Request {
+	m.drainReqNet(now)
+	pr.Mark(prof.Icnt)
+
+	m.memAccum += m.cfg.MemClockRatio()
+	for m.memAccum >= 1 {
+		m.memAccum--
+		m.memNow++
+		for _, p := range m.parts {
+			m.pumpRetry(p, now)
+			pr.Mark(prof.DRAM)
+			m.pumpL2(p, now)
+			pr.Mark(prof.L2)
+			m.pumpDRAM(p, now)
+			pr.Mark(prof.DRAM)
+		}
+	}
+
+	replies := m.deliverReplies(now)
+	pr.Mark(prof.Icnt)
+	return replies
+}
+
+// drainReqNet moves arrived requests from the interconnect into their
+// partition's input queue, respecting the per-cycle flit budget.
+func (m *Subsystem) drainReqNet(now int64) {
 	budget := m.cfg.Icnt.FlitsPerCycle
 	var keep []timed
 	for i, t := range m.reqNet {
@@ -167,20 +230,13 @@ func (m *Subsystem) Tick(now int64) []memreq.Request {
 		budget--
 	}
 	m.reqNet = keep
+}
 
-	// 2. Advance the memory clock domain: L2 banks and DRAM.
-	m.memAccum += m.cfg.MemClockRatio()
-	for m.memAccum >= 1 {
-		m.memAccum--
-		m.memNow++
-		for _, p := range m.parts {
-			m.tickPartition(p, now)
-		}
-	}
-
-	// 3. Deliver replies that finished their return traversal.
+// deliverReplies returns the read replies whose return traversal finished,
+// respecting the per-cycle flit budget.
+func (m *Subsystem) deliverReplies(now int64) []memreq.Request {
 	var replies []memreq.Request
-	budget = m.cfg.Icnt.FlitsPerCycle
+	budget := m.cfg.Icnt.FlitsPerCycle
 	var keepR []timed
 	for i, t := range m.replyNet {
 		if budget == 0 || t.readyAt > now {
@@ -188,6 +244,9 @@ func (m *Subsystem) Tick(now int64) []memreq.Request {
 			break
 		}
 		replies = append(replies, t.req)
+		if t.req.SM >= 0 && t.req.SM < len(m.replyPending) {
+			m.replyPending[t.req.SM]--
+		}
 		m.l1RT.Observe(now - t.req.Issued)
 		m.Spans.Complete(t.req.Span, now)
 		budget--
@@ -196,10 +255,9 @@ func (m *Subsystem) Tick(now int64) []memreq.Request {
 	return replies
 }
 
-// tickPartition runs one memory-clock cycle of one channel.
-func (m *Subsystem) tickPartition(p *partition, coreNow int64) {
-	// Retry requests previously blocked on a full DRAM queue, observing
-	// how long the backpressure parked them.
+// pumpRetry re-enqueues requests previously blocked on a full DRAM queue,
+// observing how long the backpressure parked them.
+func (m *Subsystem) pumpRetry(p *partition, coreNow int64) {
 	for len(p.retry) > 0 && !p.dram.Full() {
 		t := p.retry[0]
 		p.dram.Enqueue(t.req, m.memNow)
@@ -207,8 +265,10 @@ func (m *Subsystem) tickPartition(p *partition, coreNow int64) {
 		m.Spans.MarkDRAMEnqueue(t.req.Span, coreNow)
 		p.retry = p.retry[1:]
 	}
+}
 
-	// One L2 bank access per memory cycle.
+// pumpL2 performs one L2 bank access per memory cycle.
+func (m *Subsystem) pumpL2(p *partition, coreNow int64) {
 	if len(p.input) > 0 {
 		t := p.input[0]
 		req := t.req
@@ -254,8 +314,10 @@ func (m *Subsystem) tickPartition(p *partition, coreNow int64) {
 			p.input = p.input[1:]
 		}
 	}
+}
 
-	// DRAM completions: fill L2 and wake waiting reads.
+// pumpDRAM collects DRAM completions: fill L2 and wake waiting reads.
+func (m *Subsystem) pumpDRAM(p *partition, coreNow int64) {
 	for _, done := range p.dram.Tick(m.memNow) {
 		m.perKServed[done.Kernel%MaxKernels]++
 		if done.SM >= 0 && done.SM < len(m.perSMServed) {
@@ -278,6 +340,40 @@ func (m *Subsystem) scheduleReply(req memreq.Request, coreNow, extra int64) {
 		req:     req,
 		readyAt: coreNow + extra + int64(m.cfg.Icnt.LatencyCycles),
 	})
+	// Only reads are ever scheduled (writes complete silently), and each
+	// outstanding L1 miss line yields exactly one reply, so replyPending
+	// counts the SM's miss lines with a known wake-up time.
+	if req.SM >= 0 && req.SM < len(m.replyPending) {
+		m.replyPending[req.SM]++
+	}
+}
+
+// RepliesInFlight returns the number of read replies scheduled for the
+// given SM that have not yet been delivered. Each has a stamped readyAt,
+// so the SM's classifier treats them as known wake-ups.
+func (m *Subsystem) RepliesInFlight(sm int) int {
+	if sm < 0 || sm >= len(m.replyPending) {
+		return 0
+	}
+	return int(m.replyPending[sm])
+}
+
+// OnlyRepliesInFlight reports whether every request still inside the
+// hierarchy is a scheduled reply: the request network is empty and every
+// partition has drained its input, retry and waiter state with no DRAM
+// transaction pending. At that point the whole memory system's future is
+// a set of stamped readyAt deliveries — combined with all-SMs-skippable
+// it makes the device cycle fast-forwardable.
+func (m *Subsystem) OnlyRepliesInFlight() bool {
+	if len(m.reqNet) > 0 {
+		return false
+	}
+	for _, p := range m.parts {
+		if len(p.input) > 0 || len(p.retry) > 0 || len(p.waiters) > 0 || p.dram.Pending() > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats returns a snapshot of accumulated statistics.

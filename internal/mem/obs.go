@@ -22,6 +22,11 @@ func (m *Subsystem) Register(r *obs.Registry) {
 	m.Spans.Register(r)
 	r.Collector(func(emit obs.Emit) {
 		st := m.Stats()
+		var pending int64
+		for _, n := range m.replyPending {
+			pending += n
+		}
+		emit("ws_mem_replies_in_flight", obs.Gauge, float64(pending))
 		emit("ws_dram_bus_busy_total", obs.Counter, float64(st.BusBusy))
 		emit("ws_dram_ticks_total", obs.Counter, float64(st.MemTicks))
 		// Aggregate the per-channel service-time histograms into two

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 )
@@ -13,10 +14,11 @@ import (
 // readers: the loop publishes immutable snapshots, readers only ever see
 // the last published one. The event log is thread-safe on its own.
 type Hub struct {
-	mu    sync.RWMutex
-	snap  *Snapshot
-	spans any
-	log   *EventLog
+	mu      sync.RWMutex
+	snap    *Snapshot
+	spans   any
+	profile any
+	log     *EventLog
 }
 
 // NewHub wraps the given event log (nil allocates a fresh one).
@@ -72,6 +74,30 @@ func (h *Hub) Spans() any {
 	return h.spans
 }
 
+// PublishProfile installs the current engine self-profile view (any
+// JSON-marshalable value; producers pass a gpu.Profile). Same contract as
+// PublishSpans: the value must be self-contained. Nil hubs ignore the
+// call.
+func (h *Hub) PublishProfile(v any) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.profile = v
+	h.mu.Unlock()
+}
+
+// Profile returns the last published engine profile (nil before the
+// first PublishProfile).
+func (h *Hub) Profile() any {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.profile
+}
+
 // Log returns the hub's event log.
 func (h *Hub) Log() *EventLog {
 	if h == nil {
@@ -89,10 +115,29 @@ type Server struct {
 	srv  *http.Server
 }
 
+// ServerOption customizes StartServer.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+// metrics mux. Off by default: the pprof endpoints expose goroutine
+// stacks and allow CPU sampling, so they are opt-in (the -pprof flag on
+// cmd/wslicer).
+func WithPprof() ServerOption {
+	return func(c *serverConfig) { c.pprof = true }
+}
+
 // StartServer listens on addr and serves the hub in a background
 // goroutine. It returns once the listener is bound, so callers fail fast
 // on a bad address.
-func StartServer(addr string, hub *Hub) (*Server, error) {
+func StartServer(addr string, hub *Hub, opts ...ServerOption) (*Server, error) {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -105,6 +150,14 @@ func StartServer(addr string, hub *Hub) (*Server, error) {
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/events.jsonl", s.handleEventsJSONL)
 	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/profile", s.handleProfile)
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -126,7 +179,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/snapshot       registry snapshot as JSON\n"+
 		"/events         event log as JSON (?kind=... / ?run=... to filter)\n"+
 		"/events.jsonl   event log as JSON lines\n"+
-		"/spans          sampled memory-request span decomposition as JSON\n")
+		"/spans          sampled memory-request span decomposition as JSON\n"+
+		"/profile        engine self-profile (phase costs + fast-forward meter) as JSON\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -185,6 +239,16 @@ func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
 	v := s.hub.Spans()
 	if v == nil {
 		http.Error(w, "no span view published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	v := s.hub.Profile()
+	if v == nil {
+		http.Error(w, "no profile published yet", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,23 @@
+package prof
+
+import "warpedslicer/internal/obs"
+
+// Register wires the profiler into the registry: monotonic per-phase
+// nanosecond counters (ws_prof_phase_ns{phase=...}) plus the election
+// counters that turn them into per-cycle costs. Like every registry
+// source this is pull-based; the series exist only on runs that attach a
+// profiler, so golden outputs of unprofiled runs are untouched.
+func (p *Profiler) Register(r *obs.Registry) {
+	if p == nil {
+		return
+	}
+	r.Collector(func(emit obs.Emit) {
+		emit("ws_prof_cycles_total", obs.Counter, float64(p.cycles))
+		emit("ws_prof_sampled_cycles_total", obs.Counter, float64(p.sampled))
+		emit("ws_prof_period", obs.Gauge, float64(p.period))
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			emit(obs.Label("ws_prof_phase_ns", "phase", ph.String()),
+				obs.Counter, float64(p.phaseNs[ph]))
+		}
+	})
+}

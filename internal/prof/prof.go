@@ -1,0 +1,198 @@
+// Package prof is the engine's self-profiler: it answers "where inside
+// the cycle loop does wall-clock time go" without perturbing the
+// simulation it measures.
+//
+// The profiler is strictly one-directional. It reads the wall clock and
+// accumulates per-phase nanoseconds, but nothing it produces ever feeds
+// back into simulator state — runs with and without a profiler attached
+// are byte-identical in every counter, CSV and golden output. That is the
+// wall-clock half of the two-sided design (the deterministic half, cycle
+// classification for fast-forward metering, lives in internal/sm and
+// internal/gpu and is part of the determinism contract; see DESIGN.md).
+//
+// To stay inside the observability overhead budget (BENCH_obs.json,
+// 2%), the profiler samples: StartCycle elects one cycle in Period, and
+// only elected cycles pay the phase-boundary clock reads. gpu.Step keeps
+// a dual path — the unelected path runs the exact pre-profiler hot loop,
+// so non-sampled cycles cost nothing beyond the election counter.
+//
+// This package is the only simulator package allowed to read the wall
+// clock; each read site carries a simlint waiver. Phase timers anywhere
+// else must route through a *Profiler (the determinism analyzer will
+// flag them otherwise — see internal/lint/testdata/determ_timer).
+package prof
+
+import "time"
+
+// Phase names one segment of the engine's cycle loop. The segments
+// partition a profiled cycle exactly: every nanosecond between StartCycle
+// and the cycle's last Mark is charged to exactly one phase, so phase
+// shares sum to 100% of measured loop time by construction.
+type Phase uint8
+
+const (
+	// Issue is warp scheduling and instruction issue (sm.issueFrom).
+	Issue Phase = iota
+	// Execute is writeback-ring drain and scoreboard release.
+	Execute
+	// L1 covers the LD/ST line-queue pump, L1 lookups and reply fills.
+	L1
+	// Icnt is request/reply network drain in the core clock domain.
+	Icnt
+	// L2 is the per-partition L2 bank access in the memory clock domain.
+	L2
+	// DRAM is FR-FCFS scheduling, retry drain and completion handling.
+	DRAM
+	// Controller is dispatcher work: arrivals, Setup/Fill/Tick, target
+	// checks.
+	Controller
+	// ObsDrain is observability publication (registry snapshot + hub).
+	ObsDrain
+
+	// NumPhases bounds the phase enum.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"issue", "execute", "l1", "icnt", "l2", "dram", "controller", "obs_drain",
+}
+
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// DefaultPeriod is the default sampling period in cycles: at ~90 phase
+// marks per profiled device cycle (~40ns each on a vDSO clock_gettime),
+// sampling ~1-in-37 keeps the added cost around 2% of a ~5µs cycle.
+//
+// The period is deliberately coprime to the engine's power-of-two
+// housekeeping cadences (checkTargets every 64 cycles, Monitor every 2048
+// by default): a power-of-two period would alias with them — e.g. at 32,
+// half the sampled cycles would include the 1-in-64 target check — and
+// systematically inflate the controller/obs phases.
+const DefaultPeriod = 37
+
+// Profiler accumulates per-phase wall-clock costs over sampled cycles.
+// All methods are nil-safe: a nil *Profiler is "profiling off" and every
+// call is a no-op, so call sites need no guards.
+type Profiler struct {
+	period int64
+	base   time.Time
+
+	cycles  int64 // cycles seen by StartCycle
+	sampled int64 // cycles elected for phase timing
+	active  bool  // current cycle is elected
+	last    int64 // ns stamp of the previous phase boundary
+
+	phaseNs [NumPhases]int64
+}
+
+// New returns a profiler sampling one cycle in period (<= 0 selects
+// DefaultPeriod).
+func New(period int64) *Profiler {
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	//simlint:allow determinism -- profiler epoch: wall-clock reads are confined to this package and never feed simulator state
+	return &Profiler{period: period, base: time.Now()}
+}
+
+// now returns nanoseconds since the profiler's epoch.
+func (p *Profiler) now() int64 {
+	//simlint:allow determinism -- phase timer read: measurement only, no simulator state depends on it
+	return int64(time.Since(p.base))
+}
+
+// StartCycle elects whether the coming cycle is profiled and, when it is,
+// stamps the cycle's first phase boundary. The caller takes the profiled
+// path only on true; on false (including a nil receiver) all Marks until
+// the next StartCycle are no-ops.
+func (p *Profiler) StartCycle() bool {
+	if p == nil {
+		return false
+	}
+	elect := p.cycles%p.period == 0
+	p.cycles++
+	p.active = elect
+	if elect {
+		p.sampled++
+		p.last = p.now()
+	}
+	return elect
+}
+
+// Mark closes one phase segment: all wall time since the previous
+// boundary (StartCycle or the previous Mark) is charged to ph. Multiple
+// Marks against the same phase within a cycle accumulate, so interleaved
+// loops (L2/DRAM per partition per memory tick) attribute correctly.
+func (p *Profiler) Mark(ph Phase) {
+	if p == nil || !p.active {
+		return
+	}
+	now := p.now()
+	p.phaseNs[ph] += now - p.last
+	p.last = now
+}
+
+// Period returns the sampling period in cycles.
+func (p *Profiler) Period() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.period
+}
+
+// PhaseCost is one phase's cost in a Summary.
+type PhaseCost struct {
+	Phase string `json:"phase"`
+	// Ns is the accumulated wall time over all sampled cycles.
+	Ns int64 `json:"ns"`
+	// NsPerCycle is Ns / sampled cycles (the phase's estimated cost per
+	// simulated cycle).
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// Share is this phase's fraction of the total measured loop time.
+	Share float64 `json:"share"`
+}
+
+// Summary is the exported profile view (/profile JSON, figengineprof
+// rows, BENCH_obs.json phase entries).
+type Summary struct {
+	Period  int64 `json:"period"`
+	Cycles  int64 `json:"cycles"`
+	Sampled int64 `json:"sampled_cycles"`
+	// TotalNs sums all phases over the sampled cycles; NsPerCycle is
+	// TotalNs / Sampled, the estimated full-loop cost per cycle.
+	TotalNs    int64       `json:"total_ns"`
+	NsPerCycle float64     `json:"ns_per_cycle"`
+	Phases     []PhaseCost `json:"phases"`
+}
+
+// Summary renders the profiler's current accumulators. Nil receivers
+// return a zero Summary.
+func (p *Profiler) Summary() Summary {
+	if p == nil {
+		return Summary{}
+	}
+	s := Summary{Period: p.period, Cycles: p.cycles, Sampled: p.sampled}
+	for _, ns := range p.phaseNs {
+		s.TotalNs += ns
+	}
+	if p.sampled > 0 {
+		s.NsPerCycle = float64(s.TotalNs) / float64(p.sampled)
+	}
+	s.Phases = make([]PhaseCost, 0, NumPhases)
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		pc := PhaseCost{Phase: ph.String(), Ns: p.phaseNs[ph]}
+		if p.sampled > 0 {
+			pc.NsPerCycle = float64(pc.Ns) / float64(p.sampled)
+		}
+		if s.TotalNs > 0 {
+			pc.Share = float64(pc.Ns) / float64(s.TotalNs)
+		}
+		s.Phases = append(s.Phases, pc)
+	}
+	return s
+}

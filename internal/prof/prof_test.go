@@ -1,0 +1,126 @@
+package prof
+
+import (
+	"testing"
+
+	"warpedslicer/internal/obs"
+)
+
+// TestNilProfilerIsOff pins the nil-safety contract every call site
+// relies on: a nil *Profiler elects nothing, marks nothing, and renders
+// a zero summary, so the hot loop needs no guards.
+func TestNilProfilerIsOff(t *testing.T) {
+	var p *Profiler
+	if p.StartCycle() {
+		t.Error("nil profiler elected a cycle")
+	}
+	p.Mark(Issue) // must not panic
+	if p.Period() != 0 {
+		t.Errorf("nil Period = %d, want 0", p.Period())
+	}
+	if s := p.Summary(); s.Cycles != 0 || s.TotalNs != 0 || s.Phases != nil {
+		t.Errorf("nil Summary = %+v, want zero", s)
+	}
+	p.Register(nil) // must not panic
+}
+
+// TestElectionCadence pins the 1-in-period sampling: exactly
+// ceil(cycles/period) elections, starting with the first cycle.
+func TestElectionCadence(t *testing.T) {
+	p := New(5)
+	elected := 0
+	for c := 0; c < 23; c++ {
+		on := p.StartCycle()
+		if on {
+			elected++
+			p.Mark(Issue)
+		}
+		if want := c%5 == 0; on != want {
+			t.Errorf("cycle %d: elected = %v, want %v", c, on, want)
+		}
+	}
+	if elected != 5 {
+		t.Errorf("elected %d of 23 cycles at period 5, want 5", elected)
+	}
+	s := p.Summary()
+	if s.Cycles != 23 || s.Sampled != 5 {
+		t.Errorf("summary cycles/sampled = %d/%d, want 23/5", s.Cycles, s.Sampled)
+	}
+}
+
+// TestDefaultPeriodCoprime guards the anti-aliasing property the default
+// period exists for: it must not share a factor with the engine's
+// power-of-two housekeeping cadences, or sampled cycles would include
+// the 1-in-64 controller work at a systematically wrong rate.
+func TestDefaultPeriodCoprime(t *testing.T) {
+	if DefaultPeriod%2 == 0 {
+		t.Fatalf("DefaultPeriod = %d is even: it aliases with the %%64 and %%2048 engine cadences", DefaultPeriod)
+	}
+}
+
+// TestSharesTelescope pins the partition property: marks telescope from
+// the StartCycle stamp, so phase shares sum to exactly 1 and TotalNs
+// never double-counts an interval, even when one phase is marked twice
+// in a cycle (the per-partition L2/DRAM loop does this).
+func TestSharesTelescope(t *testing.T) {
+	p := New(1)
+	for c := 0; c < 100; c++ {
+		if !p.StartCycle() {
+			t.Fatal("period-1 profiler skipped a cycle")
+		}
+		p.Mark(Issue)
+		p.Mark(L2)
+		p.Mark(DRAM)
+		p.Mark(L2) // second visit accumulates, not overwrites
+		p.Mark(Controller)
+	}
+	s := p.Summary()
+	if s.TotalNs <= 0 {
+		t.Fatal("no time accumulated over 100 profiled cycles")
+	}
+	var shares float64
+	var ns int64
+	for _, pc := range s.Phases {
+		shares += pc.Share
+		ns += pc.Ns
+	}
+	if shares < 0.999999 || shares > 1.000001 {
+		t.Errorf("phase shares sum to %v, want 1", shares)
+	}
+	if ns != s.TotalNs {
+		t.Errorf("phase ns sum %d != TotalNs %d", ns, s.TotalNs)
+	}
+	if s.NsPerCycle != float64(s.TotalNs)/float64(s.Sampled) {
+		t.Errorf("NsPerCycle = %v, want TotalNs/Sampled = %v",
+			s.NsPerCycle, float64(s.TotalNs)/float64(s.Sampled))
+	}
+}
+
+// TestRegisterSeries pins the metric surface: cycle/sampled counters, the
+// period gauge, and one ws_prof_phase_ns series per phase.
+func TestRegisterSeries(t *testing.T) {
+	p := New(3)
+	for c := 0; c < 9; c++ {
+		if p.StartCycle() {
+			p.Mark(Issue)
+		}
+	}
+	r := obs.NewRegistry()
+	p.Register(r)
+	snap := r.Snapshot()
+	if got := snap.Get("ws_prof_cycles_total"); got != 9 {
+		t.Errorf("ws_prof_cycles_total = %v, want 9", got)
+	}
+	if got := snap.Get("ws_prof_sampled_cycles_total"); got != 3 {
+		t.Errorf("ws_prof_sampled_cycles_total = %v, want 3", got)
+	}
+	if got := snap.Get("ws_prof_period"); got != 3 {
+		t.Errorf("ws_prof_period = %v, want 3", got)
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		key := obs.Label("ws_prof_phase_ns", "phase", ph.String())
+		if !snap.Has(key) {
+			t.Errorf("missing series ws_prof_phase_ns{phase=%q}", ph)
+		}
+	}
+}

@@ -65,4 +65,25 @@ func (s *SM) checkInvariants() {
 	if len(s.memQ) > s.memQCap {
 		assert.Failf("sm %d cycle %d: memQ overflow: %d > %d", s.ID, st.Cycles, len(s.memQ), s.memQCap)
 	}
+
+	// Cycle-class conservation: classify runs once per cycle and lands
+	// every cycle in exactly one class, so the four classes sum to Cycles.
+	// The fast-forward opportunity fractions in figengineprof divide by
+	// this total and depend on the partition being exact.
+	classes := st.CycIssuing + st.CycStallKnown + st.CycStallUnknown + st.CycIdle
+	if classes != uint64(st.Cycles) {
+		assert.Failf("sm %d cycle %d: cycle-class conservation broken: "+
+			"issuing=%d known=%d unknown=%d idle=%d sum=%d",
+			s.ID, st.Cycles, st.CycIssuing, st.CycStallKnown, st.CycStallUnknown, st.CycIdle, classes)
+	}
+
+	// Every outstanding-load line has exactly one L1 MSHR entry (allocated
+	// on Miss, freed by the Fill in OnReply), so the waiters map and the
+	// MSHR population track each other cycle by cycle. classify leans on
+	// this: it treats len(waiters) as "distinct miss lines outstanding"
+	// when deciding whether all wake-ups are known.
+	if len(s.waiters) != s.l1.MSHRInUse() {
+		assert.Failf("sm %d cycle %d: waiters %d != L1 MSHRs in use %d",
+			s.ID, st.Cycles, len(s.waiters), s.l1.MSHRInUse())
+	}
 }

@@ -20,6 +20,10 @@ func (st Stats) EmitObs(emit obs.Emit, kv ...string) {
 	c("ws_sm_stall_exec_total", st.StallExec)
 	c("ws_sm_stall_ibuf_total", st.StallIBuf)
 	c("ws_sm_stall_idle_total", st.StallIdle)
+	c("ws_sm_cyc_issuing_total", st.CycIssuing)
+	c("ws_sm_cyc_stall_known_total", st.CycStallKnown)
+	c("ws_sm_cyc_stall_unknown_total", st.CycStallUnknown)
+	c("ws_sm_cyc_idle_total", st.CycIdle)
 	c("ws_sm_alu_busy_total", st.ALUBusy)
 	c("ws_sm_sfu_busy_total", st.SFUBusy)
 	c("ws_sm_ldst_busy_total", st.LDSTBusy)

@@ -5,11 +5,55 @@ import (
 	"warpedslicer/internal/cache"
 	"warpedslicer/internal/isa"
 	"warpedslicer/internal/memreq"
+	"warpedslicer/internal/prof"
 	"warpedslicer/internal/warp"
 )
 
-// Cycle advances the SM by one core-clock cycle.
-func (s *SM) Cycle(now int64) {
+// CycleClass deterministically classifies one SM-cycle for the
+// fast-forward opportunity meter: what fraction of cycles could an
+// event-driven engine skip because every pending wake-up time is already
+// known? Classification is a pure function of simulator state (no wall
+// clock), so the class counters are byte-identical at any -parallel
+// setting and belong to the determinism contract.
+type CycleClass uint8
+
+const (
+	// ClassIssuing: the SM issued at least one instruction.
+	ClassIssuing CycleClass = iota
+	// ClassStallKnown: no issue, but every pending event has a known
+	// wake-up time — writeback-ring entries, fetch timers, and
+	// outstanding loads whose replies are already scheduled in the reply
+	// network with a stamped readyAt (the PR 5 span wake times). An
+	// event-driven loop could jump this SM straight to the earliest one.
+	ClassStallKnown
+	// ClassStallUnknown: no issue and at least one wake-up time is not
+	// yet known (LD/ST line queue still pumping, or a miss still
+	// traversing L2/DRAM, whose completion cycle is not yet scheduled).
+	ClassStallUnknown
+	// ClassIdle: no resident CTAs.
+	ClassIdle
+
+	// NumClasses bounds the class enum.
+	NumClasses
+)
+
+func (c CycleClass) String() string {
+	switch c {
+	case ClassIssuing:
+		return "issuing"
+	case ClassStallKnown:
+		return "stall_known"
+	case ClassStallUnknown:
+		return "stall_unknown"
+	case ClassIdle:
+		return "idle"
+	}
+	return "unknown"
+}
+
+// Cycle advances the SM by one core-clock cycle and classifies it.
+// CycleProfiled is the phase-timed twin; keep the two in lockstep.
+func (s *SM) Cycle(now int64) CycleClass {
 	s.stats.Cycles++
 	s.stats.RegCycles += uint64(s.usedRegs)
 	s.stats.ShmCycles += uint64(s.usedShm)
@@ -17,14 +61,83 @@ func (s *SM) Cycle(now int64) {
 	s.drainWritebacks(now)
 	s.pumpMemQueue(now)
 
+	issued := false
 	for sched := 0; sched < s.cfg.SM.Schedulers; sched++ {
 		s.stats.Slots++
-		s.issueFrom(sched, now)
+		if s.issueFrom(sched, now) {
+			issued = true
+		}
 	}
 
+	cl := s.classify(issued)
 	if assert.Enabled {
 		s.checkInvariants()
 	}
+	return cl
+}
+
+// CycleProfiled is Cycle with prof phase marks at the stage boundaries
+// (execute = writeback drain, l1 = line-queue pump, issue = scheduler
+// loop). gpu.Step calls it only on cycles the profiler elected, so the
+// unprofiled hot path above stays unchanged. Keep in lockstep with Cycle.
+func (s *SM) CycleProfiled(now int64, p *prof.Profiler) CycleClass {
+	s.stats.Cycles++
+	s.stats.RegCycles += uint64(s.usedRegs)
+	s.stats.ShmCycles += uint64(s.usedShm)
+
+	s.drainWritebacks(now)
+	p.Mark(prof.Execute)
+	s.pumpMemQueue(now)
+	p.Mark(prof.L1)
+
+	issued := false
+	for sched := 0; sched < s.cfg.SM.Schedulers; sched++ {
+		s.stats.Slots++
+		if s.issueFrom(sched, now) {
+			issued = true
+		}
+	}
+	p.Mark(prof.Issue)
+
+	cl := s.classify(issued)
+	if assert.Enabled {
+		s.checkInvariants()
+	}
+	return cl
+}
+
+// classify buckets the cycle that just executed into its CycleClass and
+// bumps the matching counter. Stall disambiguation: a non-empty LD/ST
+// queue has per-cycle side effects (L1 state, interconnect injection) and
+// is never skippable; outstanding miss lines (s.waiters) are skippable
+// only once each line's reply sits in the reply network with a stamped
+// readyAt. Everything else pending — writeback ring, fetch delays, unit
+// busy timers, barriers released by those — wakes at locally known times.
+func (s *SM) classify(issued bool) CycleClass {
+	var cl CycleClass
+	switch {
+	case issued:
+		cl = ClassIssuing
+	case s.usedCTAs == 0:
+		cl = ClassIdle
+	case len(s.memQ) > 0:
+		cl = ClassStallUnknown
+	case len(s.waiters) > 0 && s.sub.RepliesInFlight(s.ID) < len(s.waiters):
+		cl = ClassStallUnknown
+	default:
+		cl = ClassStallKnown
+	}
+	switch cl {
+	case ClassIssuing:
+		s.stats.CycIssuing++
+	case ClassStallKnown:
+		s.stats.CycStallKnown++
+	case ClassStallUnknown:
+		s.stats.CycStallUnknown++
+	default:
+		s.stats.CycIdle++
+	}
+	return cl
 }
 
 // drainWritebacks applies all writebacks scheduled for `now`.
@@ -59,8 +172,9 @@ func (s *SM) schedule(now, lat int64, ev wbEvent) {
 	s.ring[idx] = append(s.ring[idx], ev)
 }
 
-// issueFrom lets scheduler `sched` issue at most one instruction.
-func (s *SM) issueFrom(sched int, now int64) {
+// issueFrom lets scheduler `sched` issue at most one instruction,
+// reporting whether it did.
+func (s *SM) issueFrom(sched int, now int64) bool {
 	candidates := s.candBuf[sched][:0]
 	for _, r := range s.warps {
 		if r.sched == sched {
@@ -70,7 +184,7 @@ func (s *SM) issueFrom(sched int, now int64) {
 	s.candBuf[sched] = candidates
 	if len(candidates) == 0 {
 		s.stats.StallIdle++
-		return
+		return false
 	}
 
 	order := s.order(sched, candidates)
@@ -118,7 +232,7 @@ func (s *SM) issueFrom(sched int, now int64) {
 		}
 		s.issue(r, in, now)
 		s.stats.Issued++
-		return
+		return true
 	}
 
 	switch {
@@ -137,6 +251,7 @@ func (s *SM) issueFrom(sched int, now int64) {
 	default:
 		s.stats.StallIdle++
 	}
+	return false
 }
 
 // order returns candidates in scheduling priority order.

@@ -116,6 +116,12 @@ type Stats struct {
 	Issued uint64
 	// Stall attribution in scheduler-slots (Figure 1 / Figure 7c classes).
 	StallMem, StallRAW, StallExec, StallIBuf, StallIdle uint64
+	// Cycle classification for the fast-forward opportunity meter (ROADMAP
+	// item 2a): every SM-cycle lands in exactly one class, so the four sum
+	// to Cycles (pinned by checkInvariants and the experiments
+	// conservation test). Pure cycle counts — no wall clock — so they are
+	// part of the determinism contract, unlike the prof phase timers.
+	CycIssuing, CycStallKnown, CycStallUnknown, CycIdle uint64
 	// Functional-unit busy cycles (utilization numerators).
 	ALUBusy, SFUBusy, LDSTBusy uint64
 	// Storage usage integrals (cycle-weighted, for REG/SHM utilization).

@@ -85,8 +85,8 @@ type Outcome uint8
 const (
 	OutcomePending Outcome = iota // L2 not reached yet
 	OutcomeL2Hit
-	OutcomeL2Miss  // MSHR allocated, went to DRAM
-	OutcomeMerged  // merged into another request's MSHR
+	OutcomeL2Miss // MSHR allocated, went to DRAM
+	OutcomeMerged // merged into another request's MSHR
 )
 
 func (o Outcome) String() string {
@@ -160,13 +160,13 @@ type record struct {
 
 // Span is one completed request trace.
 type Span struct {
-	Seq      uint64
-	Line     uint64
-	SM       int
-	Kernel   int
-	Outcome  Outcome
-	RowHit   int8 // -1 no DRAM access observed, 0 row miss, 1 row hit
-	Issued   int64
+	Seq       uint64
+	Line      uint64
+	SM        int
+	Kernel    int
+	Outcome   Outcome
+	RowHit    int8 // -1 no DRAM access observed, 0 row miss, 1 row hit
+	Issued    int64
 	Delivered int64
 	// Stages partitions Delivered-Issued exactly (core cycles).
 	Stages [NumStages]int64

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"warpedslicer/internal/obs"
+	"warpedslicer/internal/prof"
 	"warpedslicer/internal/span"
 )
 
@@ -83,6 +84,18 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 					"p99": round3(p.LatP99),
 				}},
 		)
+		// Engine self-profile: one counter track of per-phase wall-clock
+		// cost for the window. Present only when the run attached a
+		// profiler (EnginePhaseNs nil otherwise), so traces of unprofiled
+		// runs are byte-identical to before.
+		if p.EnginePhaseNs != nil {
+			phases := make(map[string]any, len(p.EnginePhaseNs))
+			for i, ns := range p.EnginePhaseNs {
+				phases[prof.Phase(i).String()] = round3(ns)
+			}
+			evs = append(evs, chromeEvent{Name: "engine phase ns", Ph: "C", Ts: ts,
+				Pid: chromePidKernels, Args: phases})
+		}
 		// One stall-attribution counter track per kernel slot, so the
 		// per-kernel stall mix stacks next to that kernel's IPC track.
 		for k := 0; k < t.kernels; k++ {

@@ -15,6 +15,7 @@ import (
 
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/obs"
+	"warpedslicer/internal/prof"
 )
 
 // Point is one window of one timeline.
@@ -39,6 +40,11 @@ type Point struct {
 	// Bandwidth is the DRAM bus utilization within this window (the
 	// delta of the bus-busy and mem-tick counters between snapshots).
 	Bandwidth float64
+	// EnginePhaseNs, when non-nil, holds the window's wall-clock phase
+	// costs (ws_prof_phase_ns deltas, indexed by prof.Phase). It is
+	// populated only when the sampled GPU has a self-profiler attached,
+	// so CSV goldens of unprofiled runs are untouched.
+	EnginePhaseNs []float64
 }
 
 // Timeline samples a GPU at fixed windows.
@@ -154,6 +160,19 @@ func (t *Timeline) sample(g *gpu.GPU) {
 
 	p.Bandwidth = frac(snap.Delta(t.prev, "ws_dram_bus_busy_total"),
 		snap.Delta(t.prev, "ws_dram_ticks_total"))
+
+	var phases []float64
+	var any bool
+	for ph := prof.Phase(0); ph < prof.NumPhases; ph++ {
+		d := snap.Delta(t.prev, obs.Label("ws_prof_phase_ns", "phase", ph.String()))
+		if d > 0 {
+			any = true
+		}
+		phases = append(phases, d)
+	}
+	if any {
+		p.EnginePhaseNs = phases
+	}
 
 	t.prev = snap
 	t.Points = append(t.Points, p)

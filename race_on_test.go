@@ -1,0 +1,8 @@
+//go:build race
+
+package warpedslicer_bench
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation inflates ns/cycle far past any real
+// regression; the throughput budget tests skip themselves under it.
+const raceEnabled = true
