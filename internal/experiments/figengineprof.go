@@ -34,6 +34,11 @@ type EngineProfRow struct {
 	// replies — the upper bound on ROADMAP item 2a's payoff.
 	FFSkippableFrac float64
 
+	// SchedFastFrac is the fraction of issue slots the ready-set
+	// scheduler resolved from its cached attribution without walking the
+	// warp list — the realized, deterministic half of that opportunity.
+	SchedFastFrac float64
+
 	// NsPerCycle is the measured full-loop wall cost per cycle over the
 	// profiler's sampled cycles (0 when profiling is off).
 	NsPerCycle float64
@@ -99,6 +104,7 @@ func (s *Session) engineProfWorkload(w Workload) EngineProfRow {
 		r.IdleFrac = float64(p.CycIdle) / smCycles
 	}
 	r.FFSkippableFrac = p.FFSkippableFrac
+	r.SchedFastFrac = p.SchedFastFrac
 	if p.Phases != nil {
 		r.NsPerCycle = p.Phases.NsPerCycle
 		for i, pc := range p.Phases.Phases {
@@ -117,7 +123,7 @@ func WriteEngineProfCSV(w io.Writer, rows []EngineProfRow) error {
 	cw := csv.NewWriter(w)
 	header := []string{"workload", "category", "kernels", "cycles",
 		"issuing_frac", "stall_known_frac", "stall_unknown_frac", "idle_frac",
-		"fast_forward_skippable_frac", "ns_per_cycle"}
+		"fast_forward_skippable_frac", "sched_fastpath_frac", "ns_per_cycle"}
 	for ph := prof.Phase(0); ph < prof.NumPhases; ph++ {
 		header = append(header, "phase_ns_"+ph.String())
 	}
@@ -131,7 +137,7 @@ func WriteEngineProfCSV(w io.Writer, rows []EngineProfRow) error {
 		rec := []string{
 			r.Workload, r.Category, fmt.Sprint(r.Kernels), fmt.Sprint(r.Cycles),
 			f4(r.IssuingFrac), f4(r.StallKnownFrac), f4(r.StallUnknownFrac), f4(r.IdleFrac),
-			f4(r.FFSkippableFrac), f4(r.NsPerCycle),
+			f4(r.FFSkippableFrac), f4(r.SchedFastFrac), f4(r.NsPerCycle),
 		}
 		for ph := prof.Phase(0); ph < prof.NumPhases; ph++ {
 			rec = append(rec, f4(r.PhaseNsPerCycle[ph]))
@@ -151,11 +157,12 @@ func WriteEngineProfCSV(w io.Writer, rows []EngineProfRow) error {
 // meter always, the phase split only when profiling was on.
 func FormatEngineProf(rows []EngineProfRow) string {
 	var b strings.Builder
-	b.WriteString("workload        issuing known unknown idle   ff-skip  ns/cyc  top phases\n")
+	b.WriteString("workload        issuing known unknown idle   ff-skip sched-fast  ns/cyc  top phases\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-15s %6.1f%% %4.1f%% %5.1f%% %5.1f%% %6.2f%%",
+		fmt.Fprintf(&b, "%-15s %6.1f%% %4.1f%% %5.1f%% %5.1f%% %6.2f%% %9.1f%%",
 			r.Workload, 100*r.IssuingFrac, 100*r.StallKnownFrac,
-			100*r.StallUnknownFrac, 100*r.IdleFrac, 100*r.FFSkippableFrac)
+			100*r.StallUnknownFrac, 100*r.IdleFrac, 100*r.FFSkippableFrac,
+			100*r.SchedFastFrac)
 		if r.NsPerCycle > 0 {
 			fmt.Fprintf(&b, " %7.0f ", r.NsPerCycle)
 			for ph := prof.Phase(0); ph < prof.NumPhases; ph++ {

@@ -359,6 +359,7 @@ func (g *GPU) AggregateSM() sm.Stats {
 		agg.StallExec += st.StallExec
 		agg.StallIBuf += st.StallIBuf
 		agg.StallIdle += st.StallIdle
+		agg.SchedFastSlots += st.SchedFastSlots
 		agg.ALUBusy += st.ALUBusy
 		agg.SFUBusy += st.SFUBusy
 		agg.LDSTBusy += st.LDSTBusy
@@ -413,6 +414,11 @@ type Profile struct {
 	FFSkippableCycles uint64  `json:"ff_skippable_cycles"`
 	FFSkippableFrac   float64 `json:"fast_forward_skippable_frac"`
 
+	// SchedFastFrac is the fraction of issue slots the ready-set
+	// scheduler resolved on its cached fast path (no walk over the warp
+	// list) — the realized half of the opportunity the meter above bounds.
+	SchedFastFrac float64 `json:"sched_fastpath_frac"`
+
 	// Phases is the wall-clock side; nil when no profiler is attached.
 	Phases *prof.Summary `json:"phases,omitempty"`
 }
@@ -428,6 +434,9 @@ func (g *GPU) Profile() Profile {
 		CycStallUnknown:   agg.CycStallUnknown,
 		CycIdle:           agg.CycIdle,
 		FFSkippableCycles: g.ffSkippable,
+	}
+	if agg.Slots > 0 {
+		pr.SchedFastFrac = float64(agg.SchedFastSlots) / float64(agg.Slots)
 	}
 	if g.now > 0 {
 		pr.FFSkippableFrac = float64(g.ffSkippable) / float64(g.now)

@@ -1,6 +1,9 @@
 package sm
 
-import "warpedslicer/internal/assert"
+import (
+	"warpedslicer/internal/assert"
+	"warpedslicer/internal/warp"
+)
 
 // checkInvariants verifies, at the end of every cycle, the conservation
 // and bound invariants the SM maintains by construction. It runs only
@@ -61,9 +64,51 @@ func (s *SM) checkInvariants() {
 			s.ID, st.Cycles, used, s.usedRegs, s.usedShm, s.usedThreads, s.usedCTAs)
 	}
 
-	// The L1 miss queue respects its configured bound.
-	if len(s.memQ) > s.memQCap {
-		assert.Failf("sm %d cycle %d: memQ overflow: %d > %d", s.ID, st.Cycles, len(s.memQ), s.memQCap)
+	// The LD/ST line ring respects its configured bound and cursor range.
+	if s.memQLen < 0 || s.memQLen > s.memQCap {
+		assert.Failf("sm %d cycle %d: memQ overflow: %d > %d", s.ID, st.Cycles, s.memQLen, s.memQCap)
+	}
+	if s.memQHead < 0 || s.memQHead >= s.memQCap {
+		assert.Failf("sm %d cycle %d: memQ head %d outside ring of %d", s.ID, st.Cycles, s.memQHead, s.memQCap)
+	}
+
+	// Ready-set bookkeeping mirrors ground truth: the per-scheduler lists
+	// partition s.warps, hold no dropped residents, and each scheduler's
+	// ready count matches a recount of its cached classifications. The
+	// greedy warp, when tracked, must still be resident in its list.
+	total := 0
+	for i := range s.scheds {
+		q := &s.scheds[i]
+		total += len(q.list)
+		ready := 0
+		greedyListed := q.greedy == nil
+		for _, r := range q.list {
+			if r.gone {
+				assert.Failf("sm %d cycle %d: sched %d lists a dropped resident (kernel %d)",
+					s.ID, st.Cycles, i, r.w.Kernel)
+			}
+			if r.sched != i {
+				assert.Failf("sm %d cycle %d: sched %d lists a resident assigned to sched %d",
+					s.ID, st.Cycles, i, r.sched)
+			}
+			if r.cls == warp.BlockNone {
+				ready++
+			}
+			if r == q.greedy {
+				greedyListed = true
+			}
+		}
+		if ready != q.ready {
+			assert.Failf("sm %d cycle %d: sched %d ready count %d != recount %d",
+				s.ID, st.Cycles, i, q.ready, ready)
+		}
+		if !greedyListed {
+			assert.Failf("sm %d cycle %d: sched %d greedy warp not in its list", s.ID, st.Cycles, i)
+		}
+	}
+	if total != len(s.warps) {
+		assert.Failf("sm %d cycle %d: scheduler lists hold %d residents, SM holds %d",
+			s.ID, st.Cycles, total, len(s.warps))
 	}
 
 	// Cycle-class conservation: classify runs once per cycle and lands

@@ -20,6 +20,7 @@ func (st Stats) EmitObs(emit obs.Emit, kv ...string) {
 	c("ws_sm_stall_exec_total", st.StallExec)
 	c("ws_sm_stall_ibuf_total", st.StallIBuf)
 	c("ws_sm_stall_idle_total", st.StallIdle)
+	c("ws_sm_sched_fastpath_total", st.SchedFastSlots)
 	c("ws_sm_cyc_issuing_total", st.CycIssuing)
 	c("ws_sm_cyc_stall_known_total", st.CycStallKnown)
 	c("ws_sm_cyc_stall_unknown_total", st.CycStallUnknown)

@@ -120,7 +120,7 @@ func (s *SM) classify(issued bool) CycleClass {
 		cl = ClassIssuing
 	case s.usedCTAs == 0:
 		cl = ClassIdle
-	case len(s.memQ) > 0:
+	case s.memQLen > 0:
 		cl = ClassStallUnknown
 	case len(s.waiters) > 0 && s.sub.RepliesInFlight(s.ID) < len(s.waiters):
 		cl = ClassStallUnknown
@@ -140,154 +140,275 @@ func (s *SM) classify(issued bool) CycleClass {
 	return cl
 }
 
-// drainWritebacks applies all writebacks scheduled for `now`.
+// drainWritebacks applies all writebacks and scheduler wake-ups scheduled
+// for `now`. Every warp whose state changes is marked stale so its
+// scheduler re-classifies it before the next issue walk.
 func (s *SM) drainWritebacks(now int64) {
 	idx := now & s.ringMask
 	evs := s.ring[idx]
 	if len(evs) == 0 {
 		return
 	}
+	// The backing array is reused (evs[:0]); entries are overwritten by
+	// future appends at this index, so any resident refs it retains are
+	// transient — unlike the freeCTA compaction tail, which must be nil'd
+	// because it would otherwise live for the whole run.
 	s.ring[idx] = evs[:0]
 	for _, ev := range evs {
-		if ev.tracker != nil {
+		switch {
+		case ev.wake:
+			s.markStale(ev.res)
+		case ev.tracker != nil:
 			ev.tracker.remaining--
 			if ev.tracker.remaining == 0 {
-				ev.tracker.w.Writeback(ev.tracker.reg, true)
+				tr := ev.tracker
+				tr.res.w.Writeback(tr.reg, true)
+				s.markStale(tr.res)
 			}
-			continue
+		default:
+			ev.res.w.Writeback(ev.reg, false)
+			s.markStale(ev.res)
 		}
-		ev.w.Writeback(ev.reg, false)
 	}
 }
 
-// schedule registers a writeback event `lat` cycles in the future.
+// schedule registers a writeback event `lat` cycles in the future. New
+// validates that every configured latency fits the ring, so an
+// out-of-range lat here is a bug, not a config problem.
 func (s *SM) schedule(now, lat int64, ev wbEvent) {
+	if assert.Enabled && (lat < 1 || lat > s.ringMask) {
+		assert.Failf("sm %d cycle %d: scheduled latency %d outside ring [1,%d]",
+			s.ID, now, lat, s.ringMask)
+	}
 	if lat < 1 {
 		lat = 1
-	}
-	if lat > s.ringMask {
-		lat = s.ringMask // ring capacity bounds latencies; clamp defensively
 	}
 	idx := (now + lat) & s.ringMask
 	s.ring[idx] = append(s.ring[idx], ev)
 }
 
+// refresh re-classifies every stale resident of q: one Peek per warp that
+// actually changed state since the last walk, instead of one per resident
+// warp per cycle. An i-buffer-blocked warp's unblock time is its fetch
+// timer, which is known now — a wake event is scheduled for it so no
+// further polling is needed.
+func (s *SM) refresh(q *schedQ, now int64) {
+	if len(q.staleQ) == 0 {
+		return
+	}
+	fetchDelay := s.cfg.SM.FetchDelay
+	for i, r := range q.staleQ {
+		q.staleQ[i] = nil
+		r.stale = false
+		if r.gone {
+			continue
+		}
+		wasReady := r.cls == warp.BlockNone
+		in, cls := r.w.Peek(now, fetchDelay)
+		r.in, r.cls = in, cls
+		if isReady := cls == warp.BlockNone; isReady != wasReady {
+			if isReady {
+				q.ready++
+			} else {
+				q.ready--
+			}
+		}
+		if cls == warp.BlockIBuffer {
+			s.schedule(now, r.w.FetchReadyAt()-now, wbEvent{res: r, wake: true})
+		}
+	}
+	q.staleQ = q.staleQ[:0]
+}
+
+// stallSaw records, per stall class, the kernel slot of the first
+// (highest-priority) warp seen blocked for that class, or -1.
+type stallSaw struct {
+	mem, raw, exec, ibuf int
+}
+
 // issueFrom lets scheduler `sched` issue at most one instruction,
 // reporting whether it did.
 func (s *SM) issueFrom(sched int, now int64) bool {
-	candidates := s.candBuf[sched][:0]
-	for _, r := range s.warps {
-		if r.sched == sched {
-			candidates = append(candidates, r)
-		}
-	}
-	s.candBuf[sched] = candidates
-	if len(candidates) == 0 {
-		s.stats.StallIdle++
+	q := &s.scheds[sched]
+
+	// Fast path: a fully-blocked GTO slot with no pending readiness
+	// events replays its cached stall attribution. With ready == 0 the
+	// walk below cannot issue, touches no per-cycle state (unitFree and
+	// the exit-load check only run for ready warps), and its outcome
+	// depends only on the cached classes and the static greedy-then-
+	// oldest order — all unchanged since the attribution was cached.
+	if s.Sched == GTO && q.attrValid && q.ready == 0 && len(q.staleQ) == 0 {
+		s.stats.SchedFastSlots++
+		s.chargeStall(q.attrCls, q.attrK)
 		return false
 	}
 
-	order := s.order(sched, candidates)
+	s.refresh(q, now)
 
-	// For each stall class remember whether it occurred and which kernel
-	// slot the highest-priority blocked warp belonged to: the stalled
-	// issue slot is charged to that kernel, so the per-kernel counters
-	// sum exactly to the SM-wide class counters.
-	sawMem, sawRAW, sawExec, sawIBuf := -1, -1, -1, -1
-	for _, r := range order {
-		in, blk := r.w.Peek(now, s.cfg.SM.FetchDelay)
-		k := r.w.Kernel % MaxKernels
-		switch blk {
-		case warp.BlockDone, warp.BlockBarrier:
-			continue
-		case warp.BlockIBuffer:
-			if sawIBuf < 0 {
-				sawIBuf = k
-			}
-			continue
-		case warp.BlockRAW:
-			if sawRAW < 0 {
-				sawRAW = k
-			}
-			continue
-		case warp.BlockMemory:
-			if sawMem < 0 {
-				sawMem = k
-			}
-			continue
+	if len(q.list) == 0 {
+		s.stats.StallIdle++
+		if s.Sched == GTO {
+			q.attrValid, q.attrCls, q.attrK = true, stallIdleC, 0
 		}
-		// Exits must wait for outstanding loads so the CTA's resources
-		// are not freed under in-flight replies.
-		if in.Kind == isa.EXIT && r.w.OutstandingLoads > 0 {
-			if sawMem < 0 {
-				sawMem = k
+		return false
+	}
+
+	// Issue pass: find the first ready warp in scheduler priority order
+	// that passes the live checks (exit-load drain, unit availability).
+	// Blocked warps are skipped with a single class compare — stall
+	// attribution only matters when nothing issues, and is computed by a
+	// separate walk below so issuing slots never pay for it. Nothing the
+	// pass observes mutates between candidates (an issue ends the slot,
+	// and ends the walk: CTA retirement may compact q.list in place).
+	greedy := q.greedy // snapshot: an issue reassigns q.greedy mid-slot
+	issued := false
+	rrStart := 0
+	switch s.Sched {
+	case RR:
+		n := len(q.list)
+		rrStart = q.rrNext % n
+		q.rrNext++
+		if q.ready > 0 {
+			for i := 0; i < n; i++ {
+				r := q.list[(rrStart+i)%n]
+				if r.cls == warp.BlockNone && s.tryIssue(q, r, now) {
+					issued = true
+					break
+				}
 			}
-			continue
 		}
-		if !s.unitFree(in, now) {
-			if sawExec < 0 {
-				sawExec = k
+	default: // GTO: greedy on most-recently-issued, then oldest.
+		if q.ready > 0 {
+			if greedy != nil && greedy.cls == warp.BlockNone {
+				issued = s.tryIssue(q, greedy, now)
 			}
-			continue
+			if !issued {
+				// Oldest-first by launch age (list preserves launch order).
+				for _, r := range q.list {
+					if r.cls != warp.BlockNone || r == greedy {
+						continue
+					}
+					if s.tryIssue(q, r, now) {
+						issued = true
+						break
+					}
+				}
+			}
 		}
-		s.issue(r, in, now)
+	}
+
+	if issued {
 		s.stats.Issued++
 		return true
 	}
 
+	// Attribution pass (no-issue slot): first-seen blocked warp per stall
+	// class, in the same priority order the issue pass used. Ready warps
+	// reaching this pass are unissuable this slot (the issue pass proved
+	// it, and nothing has changed since), so they attribute as exec or
+	// exit-load-wait.
+	saw := stallSaw{mem: -1, raw: -1, exec: -1, ibuf: -1}
+	if s.Sched == RR {
+		n := len(q.list)
+		for i := 0; i < n; i++ {
+			s.attribute(q.list[(rrStart+i)%n], now, &saw)
+		}
+	} else {
+		if greedy != nil {
+			s.attribute(greedy, now, &saw)
+		}
+		for _, r := range q.list {
+			if r != greedy {
+				s.attribute(r, now, &saw)
+			}
+		}
+	}
+
+	cls, k := stallIdleC, 0
 	switch {
-	case sawMem >= 0:
-		s.stats.StallMem++
-		s.stats.PerKernel[sawMem].StallMem++
-	case sawRAW >= 0:
-		s.stats.StallRAW++
-		s.stats.PerKernel[sawRAW].StallRAW++
-	case sawExec >= 0:
-		s.stats.StallExec++
-		s.stats.PerKernel[sawExec].StallExec++
-	case sawIBuf >= 0:
-		s.stats.StallIBuf++
-		s.stats.PerKernel[sawIBuf].StallIBuf++
-	default:
-		s.stats.StallIdle++
+	case saw.mem >= 0:
+		cls, k = stallMemC, saw.mem
+	case saw.raw >= 0:
+		cls, k = stallRAWC, saw.raw
+	case saw.exec >= 0:
+		cls, k = stallExecC, saw.exec
+	case saw.ibuf >= 0:
+		cls, k = stallIBufC, saw.ibuf
+	}
+	s.chargeStall(cls, k)
+	if s.Sched == GTO && q.ready == 0 {
+		q.attrValid, q.attrCls, q.attrK = true, cls, k
 	}
 	return false
 }
 
-// order returns candidates in scheduling priority order.
-func (s *SM) order(sched int, cands []*resident) []*resident {
-	switch s.Sched {
-	case RR:
-		n := len(cands)
-		start := s.rrNext[sched] % n
-		s.rrNext[sched]++
-		out := s.orderBuf[sched][:0]
-		for i := 0; i < n; i++ {
-			out = append(out, cands[(start+i)%n])
+// tryIssue attempts to issue a ready (cls == BlockNone) candidate,
+// reporting whether it did.
+func (s *SM) tryIssue(q *schedQ, r *resident, now int64) bool {
+	in := r.in
+	// Exits must wait for outstanding loads so the CTA's resources are
+	// not freed under in-flight replies.
+	if in.Kind == isa.EXIT && r.w.OutstandingLoads > 0 {
+		return false
+	}
+	if !s.unitFree(in, now) {
+		return false
+	}
+	s.issue(r, in, now)
+	// The issuer now has the scheduler's maximum LastIssued, i.e. it is
+	// the next greedy warp — unless the issue retired it (EXIT freeing
+	// its CTA), in which case resyncSched already rescanned.
+	if !r.gone {
+		q.greedy = r
+	}
+	return true
+}
+
+// attribute records r's stall class into saw (first-seen per class).
+func (s *SM) attribute(r *resident, now int64, saw *stallSaw) {
+	k := r.w.Kernel % MaxKernels
+	switch r.cls {
+	case warp.BlockDone, warp.BlockBarrier:
+	case warp.BlockIBuffer:
+		if saw.ibuf < 0 {
+			saw.ibuf = k
 		}
-		s.orderBuf[sched] = out
-		return out
-	default: // GTO: greedy on most-recently-issued, then oldest.
-		var greedy *resident
-		var last int64 = -1
-		for _, r := range cands {
-			if r.w.LastIssued > last {
-				last, greedy = r.w.LastIssued, r
+	case warp.BlockRAW:
+		if saw.raw < 0 {
+			saw.raw = k
+		}
+	case warp.BlockMemory:
+		if saw.mem < 0 {
+			saw.mem = k
+		}
+	default: // ready, but proved unissuable by the issue pass
+		if r.in.Kind == isa.EXIT && r.w.OutstandingLoads > 0 {
+			if saw.mem < 0 {
+				saw.mem = k
 			}
+		} else if saw.exec < 0 {
+			saw.exec = k
 		}
-		out := s.orderBuf[sched][:0]
-		if greedy != nil && last > 0 {
-			out = append(out, greedy)
-		}
-		// Oldest-first by launch age (insertion order is already by age;
-		// candidates preserve s.warps order which is launch order).
-		for _, r := range cands {
-			if r != greedy || last <= 0 {
-				out = append(out, r)
-			}
-		}
-		s.orderBuf[sched] = out
-		return out
+	}
+}
+
+// chargeStall accounts one stalled issue slot to its class and kernel.
+func (s *SM) chargeStall(cls stallClass, k int) {
+	switch cls {
+	case stallMemC:
+		s.stats.StallMem++
+		s.stats.PerKernel[k].StallMem++
+	case stallRAWC:
+		s.stats.StallRAW++
+		s.stats.PerKernel[k].StallRAW++
+	case stallExecC:
+		s.stats.StallExec++
+		s.stats.PerKernel[k].StallExec++
+	case stallIBufC:
+		s.stats.StallIBuf++
+		s.stats.PerKernel[k].StallIBuf++
+	default:
+		s.stats.StallIdle++
 	}
 }
 
@@ -308,7 +429,7 @@ func (s *SM) unitFree(in isa.Instr, now int64) bool {
 		if lines == 0 {
 			lines = 1
 		}
-		return s.ldstFreeAt <= now && len(s.memQ)+lines <= s.memQCap
+		return s.ldstFreeAt <= now && s.memQLen+lines <= s.memQCap
 	case isa.LDS:
 		return s.ldstFreeAt <= now
 	default: // BAR, EXIT consume only the issue slot
@@ -338,6 +459,9 @@ func (s *SM) issue(r *resident, in isa.Instr, now int64) {
 
 	isLoad := in.Kind == isa.LDG
 	r.w.Issue(now, in, isLoad, s.cfg.SM.FetchDelay, spec.ICacheMissPct)
+	// Issue changed the warp's state (i-buffer consumed, scoreboard,
+	// possibly Done/AtBarrier): re-classify before the next walk.
+	s.markStale(r)
 
 	switch in.Kind {
 	case isa.ALU:
@@ -348,12 +472,12 @@ func (s *SM) issue(r *resident, in isa.Instr, now int64) {
 			}
 		}
 		s.stats.ALUBusy += uint64(warpCycles)
-		s.schedule(now, int64(s.cfg.SM.ALULatency), wbEvent{w: r.w, reg: in.Dest})
+		s.schedule(now, int64(s.cfg.SM.ALULatency), wbEvent{res: r, reg: in.Dest})
 
 	case isa.SFU:
 		s.sfuFreeAt = now + int64(s.cfg.SM.SFUInitInterval)*warpCycles
 		s.stats.SFUBusy += uint64(int64(s.cfg.SM.SFUInitInterval) * warpCycles)
-		s.schedule(now, int64(s.cfg.SM.SFULatency), wbEvent{w: r.w, reg: in.Dest})
+		s.schedule(now, int64(s.cfg.SM.SFULatency), wbEvent{res: r, reg: in.Dest})
 
 	case isa.LDS:
 		// Lines carries the bank-conflict serialization factor for
@@ -364,7 +488,7 @@ func (s *SM) issue(r *resident, in isa.Instr, now int64) {
 		}
 		s.ldstFreeAt = now + warpCycles*passes
 		s.stats.LDSTBusy += uint64(warpCycles * passes)
-		s.schedule(now, int64(s.cfg.SM.LDSLatency)+(passes-1)*warpCycles, wbEvent{w: r.w, reg: in.Dest})
+		s.schedule(now, int64(s.cfg.SM.LDSLatency)+(passes-1)*warpCycles, wbEvent{res: r, reg: in.Dest})
 
 	case isa.LDG, isa.STG:
 		lines := int(in.Lines)
@@ -379,13 +503,13 @@ func (s *SM) issue(r *resident, in isa.Instr, now int64) {
 		s.stats.LDSTBusy += uint64(occ)
 		var tr *loadTracker
 		if isLoad {
-			tr = &loadTracker{w: r.w, reg: in.Dest, remaining: lines}
+			tr = &loadTracker{res: r, reg: in.Dest, remaining: lines}
 			s.stats.PerKernel[k].LoadsIssued++
 		}
 		lineBytes := uint64(s.cfg.L1.LineBytes)
 		base := in.Addr &^ (lineBytes - 1)
 		for i := 0; i < lines; i++ {
-			s.memQ = append(s.memQ, lineOp{
+			s.memQPush(lineOp{
 				addr:    base + uint64(i)*lineBytes,
 				kernel:  r.w.Kernel,
 				write:   !isLoad,
@@ -410,8 +534,17 @@ func (s *SM) arriveBarrier(slot int) {
 		return
 	}
 	c.atBarrier = 0
-	for _, w := range c.warpRefs {
-		w.ReleaseBarrier()
+	s.releaseBarrier(c)
+}
+
+// releaseBarrier resumes every warp of c waiting at the barrier, marking
+// each stale so its scheduler sees the transition.
+func (s *SM) releaseBarrier(c *cta) {
+	for _, r := range c.warpRefs {
+		if r.w.State == warp.AtBarrier {
+			r.w.ReleaseBarrier()
+			s.markStale(r)
+		}
 	}
 }
 
@@ -427,19 +560,32 @@ func (s *SM) retireWarp(r *resident) {
 	// A barrier may now be satisfiable with fewer live warps.
 	if c.atBarrier >= c.warpsLeft && c.atBarrier > 0 {
 		c.atBarrier = 0
-		for _, w := range c.warpRefs {
-			w.ReleaseBarrier()
-		}
+		s.releaseBarrier(c)
 	}
+}
+
+// memQPush appends one line transaction to the LD/ST ring. unitFree
+// guarantees space before the issuing instruction enqueues.
+func (s *SM) memQPush(op lineOp) {
+	s.memQ[(s.memQHead+s.memQLen)&(s.memQCap-1)] = op
+	s.memQLen++
+}
+
+// memQPop removes the head transaction, zeroing the slot so the ring does
+// not retain tracker references after the op completes.
+func (s *SM) memQPop() {
+	s.memQ[s.memQHead] = lineOp{}
+	s.memQHead = (s.memQHead + 1) & (s.memQCap - 1)
+	s.memQLen--
 }
 
 // pumpMemQueue services the head of the LD/ST line queue: one L1 access
 // per cycle.
 func (s *SM) pumpMemQueue(now int64) {
-	if len(s.memQ) == 0 {
+	if s.memQLen == 0 {
 		return
 	}
-	op := s.memQ[0]
+	op := s.memQ[s.memQHead]
 	la := s.l1.LineAddr(op.addr)
 
 	if op.write {
@@ -449,7 +595,7 @@ func (s *SM) pumpMemQueue(now int64) {
 			return // interconnect saturated; retry next cycle
 		}
 		s.l1.Access(op.addr, true)
-		s.memQ = s.memQ[1:]
+		s.memQPop()
 		return
 	}
 
@@ -462,7 +608,7 @@ func (s *SM) pumpMemQueue(now int64) {
 	switch s.l1.Access(op.addr, false) {
 	case cache.Hit:
 		s.schedule(now, int64(s.cfg.L1.HitLatency), wbEvent{tracker: op.tracker})
-		s.memQ = s.memQ[1:]
+		s.memQPop()
 	case cache.Miss:
 		// The L1 miss (MSHR just allocated) is the span's root: sampling
 		// is decided here, purely from (line, cycle, kernel) identity.
@@ -471,10 +617,10 @@ func (s *SM) pumpMemQueue(now int64) {
 			Span: s.sub.Spans.Begin(la, s.ID, op.kernel, now),
 		}, now)
 		s.waiters[la] = append(s.waiters[la], op.tracker)
-		s.memQ = s.memQ[1:]
+		s.memQPop()
 	case cache.MissMerged:
 		s.waiters[la] = append(s.waiters[la], op.tracker)
-		s.memQ = s.memQ[1:]
+		s.memQPop()
 	case cache.ReservationFail:
 		// MSHRs exhausted: structural stall, retry next cycle.
 	}
@@ -491,7 +637,8 @@ func (s *SM) OnReply(lineAddr uint64) {
 		}
 		tr.remaining--
 		if tr.remaining == 0 {
-			tr.w.Writeback(tr.reg, true)
+			tr.res.w.Writeback(tr.reg, true)
+			s.markStale(tr.res)
 		}
 	}
 }

@@ -1,0 +1,149 @@
+//go:build schedref
+
+package sm
+
+import (
+	"warpedslicer/internal/assert"
+	"warpedslicer/internal/isa"
+	"warpedslicer/internal/warp"
+)
+
+// This file carries the pre-ready-set reference scheduler: the full
+// per-cycle rescan the issue stage used before the event-driven rewrite
+// (modulo the GTO cycle-0 fix, which is pinned in both paths). It exists
+// only for the old-vs-new cross-check test, which drives two SMs in
+// lockstep — one through Cycle, one through CycleRef — and requires their
+// statistics to stay byte-identical. It compiles only under the schedref
+// build tag so the reference path can never leak into a release binary.
+
+// CycleRef is Cycle with the reference scheduler in place of the
+// ready-set issue loop. Everything outside issueFrom is shared.
+func (s *SM) CycleRef(now int64) CycleClass {
+	s.stats.Cycles++
+	s.stats.RegCycles += uint64(s.usedRegs)
+	s.stats.ShmCycles += uint64(s.usedShm)
+
+	s.drainWritebacks(now)
+	s.pumpMemQueue(now)
+
+	issued := false
+	for sched := 0; sched < s.cfg.SM.Schedulers; sched++ {
+		s.stats.Slots++
+		if s.refIssueFrom(sched, now) {
+			issued = true
+		}
+	}
+
+	cl := s.classify(issued)
+	if assert.Enabled {
+		s.checkInvariants()
+	}
+	return cl
+}
+
+// refIssueFrom is the original issue loop: rebuild the scheduler's
+// candidate list from s.warps, order it, and Peek every candidate live.
+func (s *SM) refIssueFrom(sched int, now int64) bool {
+	var candidates []*resident
+	for _, r := range s.warps {
+		if r.sched == sched {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		s.stats.StallIdle++
+		return false
+	}
+
+	order := s.refOrder(sched, candidates)
+
+	sawMem, sawRAW, sawExec, sawIBuf := -1, -1, -1, -1
+	for _, r := range order {
+		in, blk := r.w.Peek(now, s.cfg.SM.FetchDelay)
+		k := r.w.Kernel % MaxKernels
+		switch blk {
+		case warp.BlockDone, warp.BlockBarrier:
+			continue
+		case warp.BlockIBuffer:
+			if sawIBuf < 0 {
+				sawIBuf = k
+			}
+			continue
+		case warp.BlockRAW:
+			if sawRAW < 0 {
+				sawRAW = k
+			}
+			continue
+		case warp.BlockMemory:
+			if sawMem < 0 {
+				sawMem = k
+			}
+			continue
+		}
+		if in.Kind == isa.EXIT && r.w.OutstandingLoads > 0 {
+			if sawMem < 0 {
+				sawMem = k
+			}
+			continue
+		}
+		if !s.unitFree(in, now) {
+			if sawExec < 0 {
+				sawExec = k
+			}
+			continue
+		}
+		s.issue(r, in, now)
+		s.stats.Issued++
+		return true
+	}
+
+	switch {
+	case sawMem >= 0:
+		s.chargeStall(stallMemC, sawMem)
+	case sawRAW >= 0:
+		s.chargeStall(stallRAWC, sawRAW)
+	case sawExec >= 0:
+		s.chargeStall(stallExecC, sawExec)
+	case sawIBuf >= 0:
+		s.chargeStall(stallIBufC, sawIBuf)
+	default:
+		s.chargeStall(stallIdleC, 0)
+	}
+	return false
+}
+
+// refOrder returns candidates in scheduling priority order. The RR cursor
+// is the same per-scheduler counter the ready-set path uses, so either
+// path sees identical rotations.
+func (s *SM) refOrder(sched int, cands []*resident) []*resident {
+	q := &s.scheds[sched]
+	switch s.Sched {
+	case RR:
+		n := len(cands)
+		start := q.rrNext % n
+		q.rrNext++
+		out := make([]*resident, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, cands[(start+i)%n])
+		}
+		return out
+	default: // GTO: greedy on most-recently-issued, then oldest.
+		var greedy *resident
+		var last int64 = -1
+		for _, r := range cands {
+			if r.w.LastIssued > last {
+				last, greedy = r.w.LastIssued, r
+			}
+		}
+		out := make([]*resident, 0, len(cands)+1)
+		if greedy != nil && last >= 0 {
+			out = append(out, greedy)
+		}
+		for _, r := range cands {
+			if r != greedy || last < 0 {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+}

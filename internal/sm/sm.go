@@ -3,6 +3,12 @@
 // scoreboard, CTA-granular resource allocation with optional per-kernel
 // quotas (the mechanism all intra-SM slicing policies build on), an L1 data
 // cache, and stall attribution in the classes of Figure 1 of the paper.
+//
+// The issue stage is event-driven: each scheduler keeps a ready-set over
+// its resident warps (see DESIGN.md, "Ready-set issue scheduler") that is
+// updated only where warp state actually changes — writeback drain, memory
+// reply, barrier release, fetch-timer expiry, launch, and retire — instead
+// of re-deriving every warp's readiness by a full rescan each cycle.
 package sm
 
 import (
@@ -10,6 +16,7 @@ import (
 
 	"warpedslicer/internal/cache"
 	"warpedslicer/internal/config"
+	"warpedslicer/internal/isa"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
 	"warpedslicer/internal/warp"
@@ -58,22 +65,24 @@ type cta struct {
 	warpsLeft int // warps not yet Done
 	atBarrier int
 	numWarps  int
-	warpRefs  []*warp.Warp
+	warpRefs  []*resident
 	active    bool
 }
 
 // loadTracker aggregates the per-line completions of one load instruction.
 type loadTracker struct {
-	w         *warp.Warp
+	res       *resident
 	reg       int8
 	remaining int
 }
 
-// wbEvent is a scheduled writeback (direct) or load-line completion
-// (tracker != nil).
+// wbEvent is a scheduled writeback (direct), a load-line completion
+// (tracker != nil), or a pure scheduler wake-up (wake: the resident's
+// fetch timer expires this cycle and it must be re-classified).
 type wbEvent struct {
-	w       *warp.Warp
+	res     *resident
 	reg     int8
+	wake    bool
 	tracker *loadTracker
 }
 
@@ -85,12 +94,60 @@ type lineOp struct {
 	tracker *loadTracker
 }
 
-// resident wraps a warp with SM bookkeeping.
+// resident wraps a warp with SM bookkeeping. cls/in cache the warp's issue
+// classification as of its last refresh: cls is what Peek last returned and
+// in the instruction it wants (valid when cls == BlockNone). stale marks a
+// pending re-classification (the resident sits in its scheduler's staleQ);
+// gone marks a resident removed from the SM whose pointer may still be
+// referenced by in-flight trackers or ring events.
 type resident struct {
 	w       *warp.Warp
 	sched   int
 	ctaSlot int
 	threads int // active threads (last warp of a CTA may be partial)
+
+	cls   warp.Block
+	in    isa.Instr
+	stale bool
+	gone  bool
+}
+
+// stallClass labels the outcome of one stalled issue slot (the Figure 1
+// classes plus idle). It exists separately from warp.Block because the
+// exec class (functional unit busy) has no warp-side counterpart.
+type stallClass uint8
+
+const (
+	stallIdleC stallClass = iota
+	stallMemC
+	stallRAWC
+	stallExecC
+	stallIBufC
+)
+
+// schedQ is one warp scheduler's incrementally-maintained state.
+//
+// Invariants (checked under -tags simassert):
+//   - list holds exactly the non-gone residents assigned to this
+//     scheduler, in launch order (the GTO "oldest" order).
+//   - ready == |{r ∈ list : r.cls == BlockNone}| — the count is over the
+//     *cached* classification, which staleQ/refresh keep honest.
+//   - greedy, when non-nil, is the list resident with the maximum
+//     LastIssued ≥ 0 (unique per scheduler: one issue per slot per cycle).
+type schedQ struct {
+	list   []*resident
+	staleQ []*resident
+	greedy *resident
+	rrNext int
+	ready  int
+
+	// attrValid caches the stall attribution of a fully-blocked GTO slot
+	// (ready == 0): with no ready warp the walk outcome is a pure function
+	// of the cached classes and the static greedy-then-oldest order, so it
+	// is replayed until the next readiness event invalidates it.
+	attrValid bool
+	attrCls   stallClass
+	attrK     int
 }
 
 // KernelStats accumulates per-kernel-slot activity on one SM.
@@ -116,6 +173,12 @@ type Stats struct {
 	Issued uint64
 	// Stall attribution in scheduler-slots (Figure 1 / Figure 7c classes).
 	StallMem, StallRAW, StallExec, StallIBuf, StallIdle uint64
+	// SchedFastSlots counts issue slots resolved on the scheduler fast
+	// path: a fully-blocked GTO slot whose stall attribution was replayed
+	// from cache with no walk over the warp list. Pure event bookkeeping —
+	// no wall clock — so it is deterministic and part of the obs surface
+	// (ws_sm_sched_fastpath_total).
+	SchedFastSlots uint64
 	// Cycle classification for the fast-forward opportunity meter (ROADMAP
 	// item 2a): every SM-cycle lands in exactly one class, so the four sum
 	// to Cycles (pinned by checkInvariants and the experiments
@@ -144,6 +207,12 @@ type SM struct {
 	warps []*resident
 	ctas  []*cta
 
+	// scheds holds one ready-set per warp scheduler; warpSeq assigns new
+	// warps round-robin (monotonic, so mid-run CTA retirements cannot
+	// skew the assignment parity the way a len(warps)-based rule does).
+	scheds  []schedQ
+	warpSeq int
+
 	usedRegs, usedShm, usedThreads, usedCTAs int
 	quotas                                   [MaxKernels]Quota
 	kUsed                                    [MaxKernels]Quota // current usage per kernel
@@ -157,20 +226,17 @@ type SM struct {
 	sfuFreeAt  int64
 	ldstFreeAt int64
 
-	memQ    []lineOp
-	memQCap int
+	// memQ is a fixed ring buffer of memQCap (power of two) line
+	// transactions: memQHead indexes the oldest, memQLen counts occupancy.
+	memQ     []lineOp
+	memQCap  int
+	memQHead int
+	memQLen  int
 
 	ring     [][]wbEvent
 	ringMask int64
 
 	waiters map[uint64][]*loadTracker
-
-	rrNext []int // per-scheduler round-robin cursor
-
-	// candBuf/orderBuf are per-scheduler scratch slices reused every
-	// cycle to keep the issue loop allocation-free.
-	candBuf  [][]*resident
-	orderBuf [][]*resident
 
 	launchStamp int64
 
@@ -181,9 +247,24 @@ type SM struct {
 	OnCTAComplete func(smID, kernel, gridID int)
 }
 
-// New constructs an SM attached to the shared memory subsystem.
+// ringSize bounds how far ahead a writeback or wake-up may be scheduled.
+// New rejects configurations whose worst-case latency does not fit, so
+// schedule never has to clamp (a clamp would silently distort timing).
+const ringSize = 512
+
+// maxLDSPasses is the worst-case shared-memory serialization factor: the
+// 32-bank model in internal/kernels caps BankConflicts at 32, so an LDS op
+// occupies the unit for at most 32 warp passes.
+const maxLDSPasses = 32
+
+// New constructs an SM attached to the shared memory subsystem. It panics
+// if cfg's pipeline latencies cannot fit in the writeback ring: the old
+// behavior of clamping oversized latencies to the ring bound silently
+// distorted timing, so oversized configurations are rejected up front.
 func New(id int, cfg config.GPU, sub *mem.Subsystem) *SM {
-	const ringSize = 512
+	if err := validateLatencies(cfg); err != nil {
+		panic(fmt.Sprintf("sm.New: %v", err))
+	}
 	s := &SM{
 		ID:        id,
 		cfg:       cfg,
@@ -194,15 +275,41 @@ func New(id int, cfg config.GPU, sub *mem.Subsystem) *SM {
 		ring:      make([][]wbEvent, ringSize),
 		ringMask:  ringSize - 1,
 		waiters:   make(map[uint64][]*loadTracker),
-		rrNext:    make([]int, cfg.SM.Schedulers),
+		scheds:    make([]schedQ, cfg.SM.Schedulers),
 		ctas:      make([]*cta, cfg.SM.MaxCTAs),
 	}
+	s.memQ = make([]lineOp, s.memQCap)
 	for i := range s.quotas {
 		s.quotas[i] = Unlimited()
 	}
-	s.candBuf = make([][]*resident, cfg.SM.Schedulers)
-	s.orderBuf = make([][]*resident, cfg.SM.Schedulers)
 	return s
+}
+
+// validateLatencies checks that every latency the SM can ever pass to
+// schedule() fits inside the writeback ring.
+func validateLatencies(cfg config.GPU) error {
+	warpCycles := cfg.SM.WarpSize / cfg.SM.SIMTWidth
+	if warpCycles < 1 {
+		warpCycles = 1
+	}
+	worst := []struct {
+		name string
+		lat  int
+	}{
+		{"SM.ALULatency", cfg.SM.ALULatency},
+		{"SM.SFULatency", cfg.SM.SFULatency},
+		{"SM.LDSLatency (with max bank serialization)",
+			cfg.SM.LDSLatency + (maxLDSPasses-1)*warpCycles},
+		{"SM.FetchDelay", cfg.SM.FetchDelay},
+		{"L1.HitLatency", cfg.L1.HitLatency},
+	}
+	for _, w := range worst {
+		if w.lat >= ringSize {
+			return fmt.Errorf("config: %s = %d cycles does not fit the %d-cycle writeback ring",
+				w.name, w.lat, ringSize)
+		}
+	}
+	return nil
 }
 
 // SetQuota installs a per-kernel resource budget (intra-SM slicing).
@@ -309,15 +416,94 @@ func (s *SM) Launch(kernel int, spec *kernels.Spec, base uint64, gridID int) boo
 		remaining -= threads
 		r := &resident{
 			w:       w,
-			sched:   len(s.warps) % s.cfg.SM.Schedulers,
+			sched:   s.warpSeq % s.cfg.SM.Schedulers,
 			ctaSlot: slot,
 			threads: threads,
+			// Not fetched yet: the first refresh will classify it. Seeding
+			// a non-ready class keeps the schedQ ready count honest until
+			// then.
+			cls: warp.BlockIBuffer,
 		}
+		s.warpSeq++
 		s.warps = append(s.warps, r)
-		c.warpRefs = append(c.warpRefs, w)
+		s.scheds[r.sched].list = append(s.scheds[r.sched].list, r)
+		s.markStale(r)
+		c.warpRefs = append(c.warpRefs, r)
 	}
 	s.stats.PerKernel[k].CTAsLaunched++
 	return true
+}
+
+// markStale queues a resident for re-classification by its scheduler's
+// next refresh. Every warp state transition must be followed by a
+// markStale of the affected resident (the wake-up hook contract; see
+// DESIGN.md) — missing one would freeze the warp's cached class.
+func (s *SM) markStale(r *resident) {
+	q := &s.scheds[r.sched]
+	q.attrValid = false
+	if r.stale || r.gone {
+		return
+	}
+	r.stale = true
+	q.staleQ = append(q.staleQ, r)
+}
+
+// dropResidents removes every resident for which drop returns true from
+// both s.warps and the per-scheduler lists, marking them gone so in-flight
+// trackers and ring events referencing them become no-ops. Tails of the
+// compacted backing arrays are nil'd so removed warps are unreachable.
+func (s *SM) dropResidents(drop func(*resident) bool) {
+	removed := false
+	kept := s.warps[:0]
+	for _, r := range s.warps {
+		if drop(r) {
+			r.gone = true
+			removed = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := len(kept); i < len(s.warps); i++ {
+		s.warps[i] = nil
+	}
+	s.warps = kept
+	if !removed {
+		return
+	}
+	for i := range s.scheds {
+		s.resyncSched(&s.scheds[i])
+	}
+}
+
+// resyncSched rebuilds one scheduler's ready-set bookkeeping after
+// residents were dropped: compacts the list (preserving launch order),
+// recounts ready warps from the cached classes (removal cannot change the
+// class of a surviving warp), and rescans for the greedy warp in case the
+// previous one was removed.
+func (s *SM) resyncSched(q *schedQ) {
+	kept := q.list[:0]
+	ready := 0
+	var greedy *resident
+	var last int64 = -1
+	for _, r := range q.list {
+		if r.gone {
+			continue
+		}
+		kept = append(kept, r)
+		if r.cls == warp.BlockNone {
+			ready++
+		}
+		if r.w.LastIssued >= 0 && r.w.LastIssued > last {
+			last, greedy = r.w.LastIssued, r
+		}
+	}
+	for i := len(kept); i < len(q.list); i++ {
+		q.list[i] = nil
+	}
+	q.list = kept
+	q.ready = ready
+	q.greedy = greedy
+	q.attrValid = false
 }
 
 // ResidentCTAs returns the number of active CTAs of kernel k.
@@ -356,11 +542,12 @@ func (s *SM) Stats() Stats {
 // methodology: a finished kernel's resources return to the pool). In-flight
 // memory replies to halted warps are dropped harmlessly.
 func (s *SM) HaltKernel(kernel int) {
-	for slot, c := range s.ctas {
+	for _, c := range s.ctas {
 		if c == nil || !c.active || c.kernel != kernel {
 			continue
 		}
 		c.active = false
+		c.warpRefs = nil
 		s.usedRegs -= c.regs
 		s.usedShm -= c.shm
 		s.usedThreads -= c.threads
@@ -370,19 +557,8 @@ func (s *SM) HaltKernel(kernel int) {
 		s.kUsed[k].Shm -= c.shm
 		s.kUsed[k].Threads -= c.threads
 		s.kUsed[k].CTAs--
-		_ = slot
 	}
-	kept := s.warps[:0]
-	for _, r := range s.warps {
-		if r.w.Kernel != kernel {
-			kept = append(kept, r)
-		}
-	}
-	// Zero the tail so halted warps are not retained by the backing array.
-	for i := len(kept); i < len(s.warps); i++ {
-		s.warps[i] = nil
-	}
-	s.warps = kept
+	s.dropResidents(func(r *resident) bool { return r.w.Kernel == kernel })
 }
 
 // freeCTA releases slot's resources and removes its warps.
@@ -392,6 +568,7 @@ func (s *SM) freeCTA(slot int) {
 		panic(fmt.Sprintf("sm%d: freeing inactive CTA slot %d", s.ID, slot))
 	}
 	c.active = false
+	c.warpRefs = nil
 	s.usedRegs -= c.regs
 	s.usedShm -= c.shm
 	s.usedThreads -= c.threads
@@ -403,13 +580,7 @@ func (s *SM) freeCTA(slot int) {
 	s.kUsed[k].CTAs--
 	s.stats.PerKernel[k].CTAsDone++
 
-	kept := s.warps[:0]
-	for _, r := range s.warps {
-		if r.ctaSlot != slot || !r.w.Finished() {
-			kept = append(kept, r)
-		}
-	}
-	s.warps = kept
+	s.dropResidents(func(r *resident) bool { return r.ctaSlot == slot && r.w.Finished() })
 
 	if s.OnCTAComplete != nil {
 		s.OnCTAComplete(s.ID, c.kernel, c.gridID)
@@ -420,7 +591,7 @@ func (s *SM) freeCTA(slot int) {
 func (s *SM) L1MSHRInUse() int { return s.l1.MSHRInUse() }
 
 // MemQueueLen exposes the LD/ST line-queue depth (diagnostics).
-func (s *SM) MemQueueLen() int { return len(s.memQ) }
+func (s *SM) MemQueueLen() int { return s.memQLen }
 
 // DebugWarpStates summarizes resident warps for diagnostics: counts by
 // (state, outstanding-loads>0) plus CTA slot occupancy.
@@ -446,5 +617,5 @@ func (s *SM) DebugWarpStates(now int64) string {
 		}
 	}
 	return fmt.Sprintf("warps=%d run=%d bar=%d done=%d loads=%d ctas=%d memQ=%d mshr=%d",
-		len(s.warps), running, barrier, done, withLoads, activeCTAs, len(s.memQ), s.l1.MSHRInUse())
+		len(s.warps), running, barrier, done, withLoads, activeCTAs, s.memQLen, s.l1.MSHRInUse())
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"warpedslicer/internal/config"
+	"warpedslicer/internal/isa"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
 )
@@ -332,5 +333,210 @@ func TestPerKernelStallConservation(t *testing.T) {
 	if st.PerKernel[0].StallMem+st.PerKernel[0].StallRAW+st.PerKernel[0].StallExec+st.PerKernel[0].StallIBuf == 0 ||
 		st.PerKernel[1].StallMem+st.PerKernel[1].StallRAW+st.PerKernel[1].StallExec+st.PerKernel[1].StallIBuf == 0 {
 		t.Fatal("stalls attributed to only one of the two resident kernels")
+	}
+}
+
+// aluSpec builds a minimal compute kernel for scheduler unit tests:
+// `body` controls the op mix, one warp per CTA at BlockDim 32.
+func aluSpec(t *testing.T, abbr string, blockDim int, body []kernels.Op, iters int) *kernels.Spec {
+	t.Helper()
+	spec := &kernels.Spec{
+		Name: "sched-test-" + abbr, Abbr: abbr,
+		GridDim: 64, BlockDim: blockDim,
+		RegsPerThread: 32, SharedMemPerTA: 1024,
+		Body: body, Iterations: iters,
+		Class: kernels.Compute,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("spec %s invalid: %v", abbr, err)
+	}
+	return spec
+}
+
+// TestGTOGreedyAtCycleZero pins the cycle-0 off-by-one fix: a warp that
+// issued at cycle 0 must get greedy priority at cycle 1 over an older
+// warp that has not issued yet. Before LastIssued was initialized to -1,
+// the `last > 0` greedy guard treated "issued at cycle 0" as
+// "never issued" and fell back to oldest-first.
+func TestGTOGreedyAtCycleZero(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.SM.SIMTWidth = cfg.SM.WarpSize // one cycle per warp: keeps units free each cycle
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+
+	// Kernel A: LDS then a dependent ALU. Kernel B: independent ALUs.
+	// Two warps each (BlockDim 64) so scheduler 1 holds A.w1 (older) and
+	// B.w1. Cycle 0: scheduler 0's A.w0 takes the LD/ST unit, so A.w1 is
+	// exec-blocked and B.w1 issues its first ALU. Cycle 1: both A.w1 and
+	// B.w1 are issuable — greedy semantics must pick B.w1 (issued at 0).
+	a := aluSpec(t, "GZA", 64, []kernels.Op{
+		{Kind: isa.LDS},
+		{Kind: isa.ALU, DependsPrev: true},
+	}, 8)
+	b := aluSpec(t, "GZB", 64, []kernels.Op{
+		{Kind: isa.ALU},
+		{Kind: isa.ALU},
+	}, 8)
+	if !s.Launch(0, a, 1<<40, 0) || !s.Launch(1, b, 2<<40, 0) {
+		t.Fatal("launches failed")
+	}
+	aw1, bw1 := s.warps[1], s.warps[3]
+	if aw1.sched != 1 || bw1.sched != 1 {
+		t.Fatalf("warp-scheduler assignment changed: A.w1 sched %d, B.w1 sched %d, want 1,1",
+			aw1.sched, bw1.sched)
+	}
+	runSM(s, sub, 2)
+	if got := bw1.w.LastIssued; got != 1 {
+		t.Fatalf("B.w1 LastIssued = %d, want 1 (greedy warp must keep priority at cycle 1)", got)
+	}
+	if got := aw1.w.LastIssued; got != -1 {
+		t.Fatalf("A.w1 LastIssued = %d, want -1 (older warp must not beat the cycle-0 issuer)", got)
+	}
+}
+
+// TestFreeCTANilsCompactionTail pins the retained-pointer fix: after a
+// CTA retires, the tail of the s.warps backing array must be nil'd so the
+// freed residents (and their warps) are unreachable.
+func TestFreeCTANilsCompactionTail(t *testing.T) {
+	sub := mem.New(config.Baseline())
+	s := New(0, config.Baseline(), sub)
+	spec := aluSpec(t, "NIL", 32, []kernels.Op{{Kind: isa.ALU}, {Kind: isa.ALU}}, 2)
+	if !s.Launch(0, spec, 1<<40, 0) || !s.Launch(0, spec, 1<<40, 1) {
+		t.Fatal("launches failed")
+	}
+	backing := s.warps
+	origLen := len(backing)
+	runSM(s, sub, 300)
+	if done := s.Stats().PerKernel[0].CTAsDone; done != 2 {
+		t.Fatalf("CTAs done = %d, want 2", done)
+	}
+	if len(s.warps) != 0 {
+		t.Fatalf("warps still resident after both CTAs retired: %d", len(s.warps))
+	}
+	for i := len(s.warps); i < origLen; i++ {
+		if backing[i] != nil {
+			t.Fatalf("backing[%d] still references a retired warp (kernel %d): compaction tail not nil'd",
+				i, backing[i].w.Kernel)
+		}
+	}
+	for i := range s.scheds {
+		if n := len(s.scheds[i].list); n != 0 {
+			t.Fatalf("scheduler %d still lists %d residents after retirement", i, n)
+		}
+	}
+}
+
+// TestNewRejectsOversizedLatency pins the latency-clamp fix: a latency
+// that cannot fit the writeback ring must be rejected at construction
+// instead of being silently truncated at schedule time.
+func TestNewRejectsOversizedLatency(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.SM.SFULatency = 600 // > ring capacity of 512
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted SFULatency=600, which the 512-entry writeback ring cannot represent")
+		}
+	}()
+	New(0, cfg, mem.New(cfg))
+}
+
+// TestLaunchAssignmentSurvivesHalt pins the scheduler-assignment fix:
+// warp-to-scheduler assignment must come from a monotonic counter, not
+// from len(s.warps), so replacement launches after a mid-run halt keep
+// alternating instead of piling onto one parity.
+func TestLaunchAssignmentSurvivesHalt(t *testing.T) {
+	sub := mem.New(config.Baseline())
+	s := New(0, config.Baseline(), sub)
+	spec := aluSpec(t, "BAL", 32, []kernels.Op{{Kind: isa.ALU}, {Kind: isa.ALU}}, 64)
+	if !s.Launch(0, spec, 1<<40, 0) || !s.Launch(1, spec, 2<<40, 0) {
+		t.Fatal("launches failed")
+	}
+	s.HaltKernel(0) // removes the scheduler-0 warp; len(s.warps) is now 1
+	if !s.Launch(2, spec, 3<<40, 0) {
+		t.Fatal("relaunch failed")
+	}
+	r := s.warps[len(s.warps)-1]
+	if r.w.Kernel != 2 {
+		t.Fatalf("last resident belongs to kernel %d, want 2", r.w.Kernel)
+	}
+	if r.sched != 0 {
+		t.Fatalf("replacement warp assigned to scheduler %d, want 0: "+
+			"a len(warps)-based rule piles replacements onto the surviving parity", r.sched)
+	}
+	for i := range s.scheds {
+		if n := len(s.scheds[i].list); n != 1 {
+			t.Fatalf("scheduler %d holds %d warps, want 1 (balanced)", i, n)
+		}
+	}
+}
+
+// TestHaltKernelWithInFlightMemory pins that halting a kernel while its
+// loads are outstanding drains the orphaned trackers without corrupting
+// the surviving kernel, and that the waiters==MSHR invariant (which
+// classify and the simassert build rely on) holds through the halt.
+func TestHaltKernelWithInFlightMemory(t *testing.T) {
+	cfg := config.Baseline()
+	sub := mem.New(cfg)
+	s := New(0, cfg, sub)
+	q := Unlimited()
+	q.CTAs = 2
+	s.SetQuota(0, q)
+	s.SetQuota(1, q)
+	mvp, hot := kernels.ByAbbr("MVP"), kernels.ByAbbr("HOT")
+	for g := 0; s.Launch(0, mvp, 1<<40, g); g++ {
+	}
+	for g := 0; s.Launch(1, hot, 2<<40, g); g++ {
+	}
+
+	checkWaiters := func(now int64) {
+		if len(s.waiters) != s.l1.MSHRInUse() {
+			t.Fatalf("cycle %d: waiters %d != L1 MSHRs in use %d", now, len(s.waiters), s.l1.MSHRInUse())
+		}
+	}
+
+	// Run until the memory kernel has loads in flight.
+	now := int64(0)
+	for ; now < 20000 && len(s.waiters) == 0; now++ {
+		s.Cycle(now)
+		for _, r := range sub.Tick(now) {
+			s.OnReply(r.LineAddr)
+		}
+		checkWaiters(now)
+	}
+	if len(s.waiters) == 0 {
+		t.Fatal("MVP never put a load in flight")
+	}
+
+	s.HaltKernel(0)
+	checkWaiters(now)
+	if got := s.ResidentCTAs(0); got != 0 {
+		t.Fatalf("halted kernel still holds %d CTAs", got)
+	}
+	hotBefore := s.Stats().PerKernel[1]
+	mvpInsts := s.Stats().PerKernel[0].WarpInsts
+
+	// Drain: in-flight replies to halted warps must complete harmlessly
+	// while the surviving kernel keeps issuing.
+	sawDrain := false
+	for end := now + 20000; now < end; now++ {
+		s.Cycle(now)
+		for _, r := range sub.Tick(now) {
+			s.OnReply(r.LineAddr)
+		}
+		checkWaiters(now)
+		if len(s.waiters) == 0 {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Fatal("orphaned load trackers never drained after the halt")
+	}
+	st := s.Stats()
+	if st.PerKernel[0].WarpInsts != mvpInsts {
+		t.Fatalf("halted kernel kept issuing: %d -> %d warp insts", mvpInsts, st.PerKernel[0].WarpInsts)
+	}
+	if st.PerKernel[1].WarpInsts <= hotBefore.WarpInsts {
+		t.Fatalf("surviving kernel stopped issuing after the halt: %d -> %d warp insts",
+			hotBefore.WarpInsts, st.PerKernel[1].WarpInsts)
 	}
 }

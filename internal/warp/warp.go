@@ -71,19 +71,27 @@ type Warp struct {
 	OutstandingLoads int
 
 	// LastIssued is the cycle this warp last issued (GTO greediness).
+	// -1 until the first issue: cycle numbers start at 0, so a zero
+	// initialization would be indistinguishable from "issued at cycle 0"
+	// and would deny greedy priority to a warp that legitimately did.
 	LastIssued int64
 }
 
 // New binds a warp to its instruction stream.
 func New(kernel, ctaSlot int, age int64, stream *kernels.Stream) *Warp {
 	return &Warp{
-		Kernel: kernel,
-		CTA:    ctaSlot,
-		Age:    age,
-		stream: stream,
-		r:      rng.NewStream(rng.Mix2(uint64(age), 0xabcd)),
+		Kernel:     kernel,
+		CTA:        ctaSlot,
+		Age:        age,
+		stream:     stream,
+		r:          rng.NewStream(rng.Mix2(uint64(age), 0xabcd)),
+		LastIssued: -1,
 	}
 }
+
+// FetchReadyAt returns the cycle the next instruction fetch completes (the
+// scheduler's wake-up time for an i-buffer-blocked warp).
+func (w *Warp) FetchReadyAt() int64 { return w.fetchReadyAt }
 
 // Spec returns the kernel spec this warp executes.
 func (w *Warp) Spec() *kernels.Spec { return w.stream.Spec() }

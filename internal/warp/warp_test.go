@@ -16,13 +16,18 @@ func newWarp(t *testing.T) *Warp {
 
 func TestPeekThenIssueProgresses(t *testing.T) {
 	w := newWarp(t)
+	// A fresh warp must read as never-issued: cycle numbers start at 0,
+	// so the sentinel has to be -1, not 0 (the GTO cycle-0 off-by-one).
+	if w.LastIssued != -1 {
+		t.Fatalf("fresh warp LastIssued = %d, want -1", w.LastIssued)
+	}
 	in, blk := w.Peek(0, 12)
 	if blk != BlockNone {
 		t.Fatalf("fresh warp blocked: %v", blk)
 	}
 	w.Issue(0, in, false, 12, 0)
 	if w.LastIssued != 0 {
-		t.Fatal("LastIssued not recorded")
+		t.Fatalf("LastIssued = %d after issuing at cycle 0, want 0", w.LastIssued)
 	}
 }
 
