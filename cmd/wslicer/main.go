@@ -26,6 +26,9 @@
 //	bigsm    §V-H       large-SM configuration
 //	overhead §V-I       hardware overhead of the profiling logic
 //	timeline            windowed per-kernel IPC/occupancy trace (CSV)
+//	divergence          first-divergence bisector: compare two recorded digest
+//	                    trails (-trail-a/-trail-b), record one (-record-trail),
+//	                    or self-check serial vs parallel sessions (default)
 //	report              paper-vs-measured claim comparison
 //	all                 everything above, in order
 package main
@@ -41,6 +44,8 @@ import (
 
 	"warpedslicer/internal/config"
 	"warpedslicer/internal/core"
+	"warpedslicer/internal/digest"
+	"warpedslicer/internal/divergence"
 	"warpedslicer/internal/experiments"
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
@@ -73,6 +78,13 @@ func main() {
 		profPeriod  = flag.Int64("prof-period", 0, "engine self-profiler sampling period in cycles (0 = off; figengineprof defaults to 37)")
 		chromeTrace = flag.String("chrometrace", "", "timeline: also write Chrome trace-event JSON here (chrome://tracing)")
 		eventsPath  = flag.String("events", "", "write the structured event log as JSONL to this file at exit")
+
+		digestPeriod = flag.Int64("digest-period", 0, "state-digest recording period in cycles (0 = off; divergence defaults to 1024)")
+		blackbox     = flag.String("blackbox", "", "arm the flight recorder and dump a black-box JSON report here if a run panics (requires -digest-period)")
+		trailA       = flag.String("trail-a", "", "divergence: first recorded digest trail (JSONL) to compare")
+		trailB       = flag.String("trail-b", "", "divergence: second recorded digest trail (JSONL) to compare")
+		recordTrail  = flag.String("record-trail", "", "divergence: record this run's digest trail as JSONL here instead of comparing")
+		divPolicy    = flag.String("policy", "even", "divergence: co-run policy for recorded/self-check trails")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -90,8 +102,13 @@ func main() {
 	}
 	o.Parallelism = *parallel
 	o.ProfPeriod = *profPeriod
+	o.DigestEvery = *digestPeriod
+	o.BlackBoxPath = *blackbox
 	if err := o.Validate(); err != nil {
 		fatal(err)
+	}
+	if *blackbox != "" && *digestPeriod <= 0 {
+		fatal(fmt.Errorf("-blackbox requires -digest-period > 0"))
 	}
 	if *pprofFlag && *metricsAddr == "" {
 		fatal(fmt.Errorf("-pprof requires -metrics-addr"))
@@ -125,6 +142,8 @@ func main() {
 
 	tlKernelsVal, tlWindowVal, tlCyclesVal, tlCSVVal = *tlKernels, *tlWindow, *tlCycles, *tlCSV
 	csvDirVal = *csvDir
+	trailAVal, trailBVal, recordTrailVal = *trailA, *trailB, *recordTrail
+	divPolicyVal, digestPeriodVal = *divPolicy, *digestPeriod
 
 	start := time.Now()
 	results = map[string]any{}
@@ -314,6 +333,8 @@ func run(name string, o experiments.Options, ws []experiments.Workload, withOrac
 		fmt.Print(rep.Format())
 	case "timeline":
 		runTimeline(o)
+	case "divergence":
+		runDivergence(o)
 	case "all":
 		runAll(o, ws, withOracle)
 	default:
@@ -330,16 +351,95 @@ var (
 	chromeTraceVal = ""
 )
 
-// runTimeline traces a Warped-Slicer co-run window by window.
-func runTimeline(o experiments.Options) {
+// parseKernels resolves a comma-separated abbreviation list ("IMG,BLK").
+func parseKernels(list string) []*kernels.Spec {
 	var specs []*kernels.Spec
-	for _, a := range strings.Split(tlKernelsVal, ",") {
+	for _, a := range strings.Split(list, ",") {
 		spec := kernels.ByAbbr(strings.TrimSpace(a))
 		if spec == nil {
 			fatal(fmt.Errorf("unknown kernel %q", a))
 		}
 		specs = append(specs, spec)
 	}
+	return specs
+}
+
+// divergence flag values (set in main, read by runDivergence).
+var (
+	trailAVal, trailBVal, recordTrailVal string
+	divPolicyVal                         string
+	digestPeriodVal                      int64
+)
+
+// runDivergence is the first-divergence bisector entry point. Three
+// modes: compare two recorded trail files, record a trail, or (default)
+// self-check that a serial and a parallel session produce identical
+// digest trails for the same co-run. Exits 1 on divergence.
+func runDivergence(o experiments.Options) {
+	every := digestPeriodVal
+	if every <= 0 {
+		every = gpu.DefaultDigestEvery
+	}
+	specs := parseKernels(tlKernelsVal)
+
+	switch {
+	case trailAVal != "" || trailBVal != "":
+		if trailAVal == "" || trailBVal == "" {
+			fatal(fmt.Errorf("divergence: -trail-a and -trail-b must both be set"))
+		}
+		a, b := readTrail(trailAVal), readTrail(trailBVal)
+		d, ok := divergence.Trails(a, b)
+		report(d, ok, fmt.Sprintf("%s vs %s (%d vs %d records)",
+			trailAVal, trailBVal, len(a.Records), len(b.Records)))
+
+	case recordTrailVal != "":
+		s := experiments.NewSession(o)
+		t := s.DigestTrail(specs, divPolicyVal, nil, every)
+		f, err := os.Create(recordTrailVal)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := t.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d digest records (period %d, chain %s) to %s\n",
+			len(t.Records), every, t.Chain(), recordTrailVal)
+
+	default:
+		header("Divergence self-check: serial vs parallel session")
+		d, ok := divergence.ParallelSerial(o, specs, divPolicyVal, nil, every)
+		report(d, ok, fmt.Sprintf("serial vs parallel, policy %q, workload %s, period %d",
+			divPolicyVal, experiments.WorkloadName(specs), every))
+	}
+}
+
+func readTrail(path string) *digest.Trail {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := digest.ReadTrailJSONL(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return t
+}
+
+// report prints a bisection verdict and exits 1 on divergence.
+func report(d digest.Divergence, ok bool, label string) {
+	if !ok {
+		fmt.Printf("identical: %s\n", label)
+		return
+	}
+	fmt.Printf("DIVERGED (%s): %s\n", label, d)
+	os.Exit(1)
+}
+
+// runTimeline traces a Warped-Slicer co-run window by window.
+func runTimeline(o experiments.Options) {
+	specs := parseKernels(tlKernelsVal)
 	ctrl := core.NewController()
 	ctrl.WarmupCycles = o.Warmup
 	ctrl.SampleCycles = o.Sample

@@ -1,0 +1,52 @@
+package core
+
+import "warpedslicer/internal/digest"
+
+// DigestInto walks the controller's mutable state: the profiling state
+// machine, the current profiling layout, the per-kernel sample baselines,
+// phase-monitoring state, and the decision results. Configuration knobs
+// are static inputs and excluded; profiled kernels are identified by
+// their GPU slot (the kernel records themselves digest under the GPU's
+// "kernels" component).
+func (c *Controller) DigestInto(h *digest.Hasher) {
+	h.Int(c.state)
+	h.I64(c.warmupEnd)
+	h.I64(c.sampleStart)
+	h.I64(c.decideAt)
+	h.Int(len(c.profiled))
+	for _, k := range c.profiled {
+		h.Int(k.Slot)
+	}
+	digestInts(h, c.owner)
+	digestInts(h, c.cap)
+	digestU64s(h, c.baseInsts)
+	digestU64s(h, c.baseSlots)
+	digestU64s(h, c.baseStallMem)
+	h.U64(c.lastPhaseInsts)
+	h.F64(c.lastPhaseIPC)
+	h.I64(c.nextPhaseCheck)
+	h.Int(c.reprofiles)
+	digestInts(h, c.Partition)
+	h.Bool(c.ChoseSpatial)
+	h.Int(len(c.Curves))
+	for _, row := range c.Curves {
+		h.Int(len(row))
+		for _, v := range row {
+			h.F64(v)
+		}
+	}
+}
+
+func digestInts(h *digest.Hasher, vs []int) {
+	h.Int(len(vs))
+	for _, v := range vs {
+		h.Int(v)
+	}
+}
+
+func digestU64s(h *digest.Hasher, vs []uint64) {
+	h.Int(len(vs))
+	for _, v := range vs {
+		h.U64(v)
+	}
+}

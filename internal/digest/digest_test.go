@@ -1,0 +1,190 @@
+package digest_test
+
+import (
+	"bytes"
+	"testing"
+
+	"warpedslicer/internal/digest"
+)
+
+func TestHasherDeterministic(t *testing.T) {
+	feed := func() digest.Sum {
+		h := digest.NewHasher()
+		h.U64(42)
+		h.I64(-7)
+		h.Str("l1")
+		h.Bool(true)
+		h.F64(0.25)
+		h.Bytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+		return h.Sum()
+	}
+	if feed() != feed() {
+		t.Fatal("identical write sequences produced different sums")
+	}
+}
+
+func TestHasherOrderAndFramingMatter(t *testing.T) {
+	sum := func(f func(h *digest.Hasher)) digest.Sum {
+		h := digest.NewHasher()
+		f(h)
+		return h.Sum()
+	}
+	a := sum(func(h *digest.Hasher) { h.U64(1); h.U64(2) })
+	b := sum(func(h *digest.Hasher) { h.U64(2); h.U64(1) })
+	if a == b {
+		t.Fatal("swapped write order left the sum unchanged")
+	}
+	// String framing: ("ab","c") must not alias ("a","bc").
+	c := sum(func(h *digest.Hasher) { h.Str("ab"); h.Str("c") })
+	d := sum(func(h *digest.Hasher) { h.Str("a"); h.Str("bc") })
+	if c == d {
+		t.Fatal("string boundary aliased")
+	}
+	// Sum must not consume the stream.
+	h := digest.NewHasher()
+	h.U64(9)
+	s1 := h.Sum()
+	if s2 := h.Sum(); s1 != s2 {
+		t.Fatalf("Sum is not idempotent: %s vs %s", s1, s2)
+	}
+}
+
+func comps(vals ...uint64) []digest.Component {
+	names := []string{"sm0", "sm1", "mem"}
+	out := make([]digest.Component, len(vals))
+	for i, v := range vals {
+		out[i] = digest.Component{Name: names[i%len(names)], Sum: digest.Sum(v)}
+	}
+	return out
+}
+
+func TestChainCommitsToHistory(t *testing.T) {
+	var a, b digest.Trail
+	a.Append(0, comps(1, 2, 3), digest.Counters{})
+	b.Append(0, comps(1, 2, 9), digest.Counters{}) // differs at cycle 0
+	// Identical state from cycle 64 on: chains must still differ.
+	ra := a.Append(64, comps(4, 5, 6), digest.Counters{})
+	rb := b.Append(64, comps(4, 5, 6), digest.Counters{})
+	if ra.Chain == rb.Chain {
+		t.Fatal("chain at cycle 64 forgot the cycle-0 divergence")
+	}
+	d, ok := digest.Compare(a.Records, b.Records)
+	if !ok || d.Cycle != 0 || d.Component != "mem" || d.Kind != "component" {
+		t.Fatalf("Compare = %+v, ok=%v; want component \"mem\" at cycle 0", d, ok)
+	}
+}
+
+func TestCompareIdenticalAndLength(t *testing.T) {
+	var a, b digest.Trail
+	for cyc := int64(0); cyc < 5; cyc++ {
+		a.Append(cyc*64, comps(uint64(cyc), 7, 8), digest.Counters{Issued: uint64(cyc)})
+		b.Append(cyc*64, comps(uint64(cyc), 7, 8), digest.Counters{Issued: uint64(cyc)})
+	}
+	if d, ok := digest.Compare(a.Records, b.Records); ok {
+		t.Fatalf("identical trails reported divergent: %+v", d)
+	}
+	b.Append(5*64, comps(9, 7, 8), digest.Counters{})
+	d, ok := digest.Compare(a.Records, b.Records)
+	if !ok || d.Kind != "length" || d.Cycle != 5*64 {
+		t.Fatalf("Compare = %+v, ok=%v; want length divergence at cycle %d", d, ok, 5*64)
+	}
+}
+
+func TestTrailJSONLRoundTrip(t *testing.T) {
+	var tr digest.Trail
+	for cyc := int64(0); cyc < 3; cyc++ {
+		tr.Append(cyc*128, comps(uint64(cyc)+10, 20, 30), digest.Counters{ThreadInsts: 99})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := digest.ReadTrailJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrailJSONL: %v", err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got.Records), len(tr.Records))
+	}
+	if d, ok := digest.Compare(tr.Records, got.Records); ok {
+		t.Fatalf("round trip changed the trail: %+v", d)
+	}
+	if got.Chain() != tr.Chain() {
+		t.Fatalf("round trip lost the chain: %s vs %s", got.Chain(), tr.Chain())
+	}
+	if got.Records[0].Counters.ThreadInsts != 99 {
+		t.Fatalf("counters lost in round trip: %+v", got.Records[0].Counters)
+	}
+}
+
+func TestRingEvictsOldestFirst(t *testing.T) {
+	r := digest.NewRing(4)
+	for cyc := int64(0); cyc < 10; cyc++ {
+		r.Append(cyc, comps(uint64(cyc), 0, 0), digest.Counters{})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot kept %d records, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		if want := int64(6 + i); rec.Cycle != want {
+			t.Fatalf("snapshot[%d].Cycle = %d, want %d (oldest-first)", i, rec.Cycle, want)
+		}
+	}
+	// The ring chain matches a full trail over the same records.
+	var tr digest.Trail
+	for cyc := int64(0); cyc < 10; cyc++ {
+		tr.Append(cyc, comps(uint64(cyc), 0, 0), digest.Counters{})
+	}
+	if r.Chain() != tr.Chain() {
+		t.Fatalf("ring chain %s != trail chain %s over identical records", r.Chain(), tr.Chain())
+	}
+}
+
+func TestBlackBoxRoundTrip(t *testing.T) {
+	r := digest.NewRing(2)
+	r.Append(100, comps(1, 2, 3), digest.Counters{DRAMServed: 5})
+	bb := &digest.BlackBox{
+		DigestVersion: digest.Version,
+		Reason:        "simassert: waiters out of sync",
+		Cycle:         100,
+		Chain:         r.Chain(),
+		RecordsTotal:  r.Total(),
+		Records:       r.Snapshot(),
+	}
+	var buf bytes.Buffer
+	if err := bb.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := digest.ReadBlackBox(&buf)
+	if err != nil {
+		t.Fatalf("ReadBlackBox: %v", err)
+	}
+	if got.Reason != bb.Reason || got.Cycle != 100 || got.Chain != bb.Chain || len(got.Records) != 1 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if got.Records[0].Counters.DRAMServed != 5 {
+		t.Fatalf("counters lost: %+v", got.Records[0].Counters)
+	}
+}
+
+func TestSumJSONHex(t *testing.T) {
+	s := digest.Sum(0xdeadbeefcafef00d)
+	b, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"deadbeefcafef00d"` {
+		t.Fatalf("MarshalJSON = %s", b)
+	}
+	var back digest.Sum
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip: %x != %x", uint64(back), uint64(s))
+	}
+}

@@ -1,0 +1,108 @@
+package digest
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// DefaultFlightDepth is how many digest records the flight recorder
+// retains — the crash window is DefaultFlightDepth × digest period
+// cycles wide.
+const DefaultFlightDepth = 64
+
+// Ring is the flight recorder: a fixed ring of the most recent digest
+// records, chained like a Trail but overwriting the oldest entry instead
+// of growing. It is cheap enough to leave armed for an entire run.
+type Ring struct {
+	recs  []Record
+	next  int
+	total uint64
+	chain Sum
+}
+
+// NewRing returns a flight recorder retaining the last k records.
+func NewRing(k int) *Ring {
+	if k <= 0 {
+		k = DefaultFlightDepth
+	}
+	return &Ring{recs: make([]Record, 0, k)}
+}
+
+// Append records one cycle, evicting the oldest record once the ring is
+// full, and returns the completed record.
+func (r *Ring) Append(cycle int64, comps []Component, counters Counters) Record {
+	r.chain = ChainStep(r.chain, cycle, comps)
+	rec := Record{Cycle: cycle, Chain: r.chain, Components: comps, Counters: counters}
+	if len(r.recs) < cap(r.recs) {
+		r.recs = append(r.recs, rec)
+	} else {
+		r.recs[r.next] = rec
+		r.next = (r.next + 1) % cap(r.recs)
+	}
+	r.total++
+	return rec
+}
+
+// AppendRecord appends a pre-chained record (see Trail.AppendRecord).
+func (r *Ring) AppendRecord(rec Record) {
+	if len(r.recs) < cap(r.recs) {
+		r.recs = append(r.recs, rec)
+	} else {
+		r.recs[r.next] = rec
+		r.next = (r.next + 1) % cap(r.recs)
+	}
+	r.total++
+	r.chain = rec.Chain
+}
+
+// Total is the number of records ever appended.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Chain is the current chain digest.
+func (r *Ring) Chain() Sum { return r.chain }
+
+// Snapshot returns the retained records oldest-first.
+func (r *Ring) Snapshot() []Record {
+	out := make([]Record, 0, len(r.recs))
+	out = append(out, r.recs[r.next:]...)
+	out = append(out, r.recs[:r.next]...)
+	return out
+}
+
+// BlackBox is the crash report dumped when an armed simulation panics
+// (including simassert violations, which panic): the flight-recorder
+// window plus whatever observability the run had attached. Every field
+// beyond the digest window is best-effort — a crash report must never
+// fail to write because a surface was missing.
+type BlackBox struct {
+	DigestVersion int      `json:"digest_version"`
+	Reason        string   `json:"reason"`
+	Cycle         int64    `json:"cycle"`
+	Chain         Sum      `json:"chain"`
+	RecordsTotal  uint64   `json:"records_total"`
+	Records       []Record `json:"records"`
+	// Profile is the engine self-profile (gpu.Profile), if any.
+	Profile any `json:"profile,omitempty"`
+	// Snapshot is the obs registry snapshot, if a registry was attached.
+	Snapshot any `json:"snapshot,omitempty"`
+	// Events are the most recent controller/experiment events.
+	Events any `json:"events,omitempty"`
+	// Spans is the span collector summary (the /spans JSON shape).
+	Spans any `json:"spans,omitempty"`
+}
+
+// WriteJSON dumps the report, indented for humans.
+func (b *BlackBox) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBlackBox parses a report written by WriteJSON.
+func ReadBlackBox(r io.Reader) (*BlackBox, error) {
+	var b BlackBox
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

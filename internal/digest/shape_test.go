@@ -1,0 +1,143 @@
+package digest_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"warpedslicer/internal/core"
+	"warpedslicer/internal/digest"
+	"warpedslicer/internal/gpu"
+)
+
+// The digest layer promises that two runs with equal chains have equal
+// architectural state — a promise that silently breaks when someone adds
+// state to a component without extending its DigestInto walk. This test
+// fingerprints the exported struct shape of everything reachable from the
+// digest roots (the GPU and the dynamic controller) and pins one
+// fingerprint per digest.Version: adding or removing an exported field
+// anywhere in that graph fails the test until the digest version is
+// bumped and the new shape is pinned, forcing a conscious decision about
+// whether the new field belongs in the canonical-state traversal.
+
+// skipPkgs are observability / static-configuration packages excluded
+// from the canonical-state contract (their state is deliberately not
+// digested, so shape changes there must not force a version bump).
+var skipPkgs = map[string]bool{
+	"warpedslicer/internal/obs":    true,
+	"warpedslicer/internal/span":   true,
+	"warpedslicer/internal/prof":   true,
+	"warpedslicer/internal/trace":  true,
+	"warpedslicer/internal/config": true,
+}
+
+// skipTypes are individual module-local types excluded from the walk:
+// kernels.Spec is a static workload description (digested by identity
+// only — its Abbr).
+var skipTypes = map[string]bool{
+	"warpedslicer/internal/kernels.Spec": true,
+}
+
+// shapeLines walks the module-local struct graph and returns one line per
+// exported field: "pkg.Type.Field fieldType". Unexported fields are
+// traversed (to reach nested module types) but not recorded — the pin
+// covers the exported surface other packages can mutate.
+func shapeLines(roots ...reflect.Type) []string {
+	seen := map[reflect.Type]bool{}
+	var lines []string
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		for {
+			switch t.Kind() {
+			case reflect.Pointer, reflect.Slice, reflect.Array, reflect.Map, reflect.Chan:
+				t = t.Elem()
+				continue
+			}
+			break
+		}
+		if t.Kind() != reflect.Struct || seen[t] {
+			return
+		}
+		pkg := t.PkgPath()
+		if !strings.HasPrefix(pkg, "warpedslicer/") || skipPkgs[pkg] || skipTypes[pkg+"."+t.Name()] {
+			return
+		}
+		seen[t] = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.IsExported() {
+				lines = append(lines, fmt.Sprintf("%s.%s.%s %s", pkg, t.Name(), f.Name, f.Type.String()))
+			}
+			walk(f.Type)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func shapeFingerprint() digest.Sum {
+	lines := shapeLines(
+		reflect.TypeOf(gpu.GPU{}),
+		reflect.TypeOf(core.Controller{}),
+	)
+	h := digest.NewHasher()
+	h.Int(len(lines))
+	for _, l := range lines {
+		h.Str(l)
+	}
+	return h.Sum()
+}
+
+// pinnedShape maps each digest.Version to the struct-shape fingerprint it
+// was audited against.
+var pinnedShape = map[int]digest.Sum{
+	1: 0xb0d4ce9983e357f4,
+}
+
+func TestStructShapePinnedToDigestVersion(t *testing.T) {
+	want, ok := pinnedShape[digest.Version]
+	if !ok {
+		t.Fatalf("no pinned struct shape for digest.Version %d: audit the DigestInto walks and pin %s",
+			digest.Version, shapeFingerprint())
+	}
+	got := shapeFingerprint()
+	if got != want {
+		t.Fatalf("exported state shape changed: fingerprint %s, pinned %s for digest.Version %d.\n"+
+			"A struct reachable from the digest roots gained or lost an exported field. Decide whether the\n"+
+			"field is architectural state: if yes, add it to the component's DigestInto walk; if no, document\n"+
+			"the exclusion in internal/sm/digest.go or DESIGN.md. Then bump digest.Version and re-pin.\n"+
+			"Current shape:\n  %s",
+			got, want, digest.Version, strings.Join(shapeLines(
+				reflect.TypeOf(gpu.GPU{}), reflect.TypeOf(core.Controller{})), "\n  "))
+	}
+}
+
+// TestShapeWalkCoversKnownState guards the walker itself: if the walk
+// ever stops descending (a refactor hides the graph behind interfaces),
+// the fingerprint would freeze and the pin would stop protecting
+// anything. Spot-check that known deep fields are in the line set.
+func TestShapeWalkCoversKnownState(t *testing.T) {
+	lines := shapeLines(reflect.TypeOf(gpu.GPU{}), reflect.TypeOf(core.Controller{}))
+	for _, want := range []string{
+		"warpedslicer/internal/gpu.Kernel.NextCTA int",
+		"warpedslicer/internal/sm.Stats.Issued uint64",
+		"warpedslicer/internal/warp.Warp.OutstandingLoads int",
+		"warpedslicer/internal/core.Controller.Partition []int",
+	} {
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("shape walk lost %q — walker no longer descends this part of the graph", want)
+		}
+	}
+}

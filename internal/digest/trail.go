@@ -1,0 +1,217 @@
+package digest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// MarshalJSON renders a Sum as a fixed-width hex string.
+func (s Sum) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// UnmarshalJSON parses the hex form written by MarshalJSON.
+func (s *Sum) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	v, err := strconv.ParseUint(str, 16, 64)
+	if err != nil {
+		return fmt.Errorf("digest: bad sum %q: %w", str, err)
+	}
+	*s = Sum(v)
+	return nil
+}
+
+func (s Sum) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// Component is one named component's digest at a recorded cycle.
+// Components appear in a fixed order within a Record; the order is part
+// of the chain.
+type Component struct {
+	Name string `json:"name"`
+	Sum  Sum    `json:"sum"`
+}
+
+// Counters are the key architectural counters snapshotted alongside each
+// digest record — enough for a black-box reader to orient a crash window
+// without replaying the run.
+type Counters struct {
+	Issued      uint64 `json:"issued"`
+	ThreadInsts uint64 `json:"thread_insts"`
+	L2Misses    uint64 `json:"l2_misses"`
+	DRAMServed  uint64 `json:"dram_served"`
+}
+
+// Record is one digested cycle: the per-component sums, the chain digest
+// (which commits to every prior record of the run), and key counters.
+type Record struct {
+	Cycle      int64       `json:"cycle"`
+	Chain      Sum         `json:"chain"`
+	Components []Component `json:"components"`
+	Counters   Counters    `json:"counters"`
+}
+
+// ChainStep folds one cycle's component digests into the running chain:
+// chain' = H(chain, cycle, name_0, sum_0, ..., name_n, sum_n). Because
+// each step absorbs the previous chain, equal chains at cycle N imply
+// equal digests at every recorded cycle up to N.
+func ChainStep(prev Sum, cycle int64, comps []Component) Sum {
+	h := NewHasher()
+	h.U64(uint64(prev))
+	h.I64(cycle)
+	h.Int(len(comps))
+	for _, c := range comps {
+		h.Str(c.Name)
+		h.U64(uint64(c.Sum))
+	}
+	return h.Sum()
+}
+
+// Trail is an append-only digest trail: every recorded cycle of a run,
+// in order, with the chain threaded through.
+type Trail struct {
+	Records []Record
+	chain   Sum
+}
+
+// Append records one cycle and returns the completed record (with the
+// chain filled in).
+func (t *Trail) Append(cycle int64, comps []Component, counters Counters) Record {
+	t.chain = ChainStep(t.chain, cycle, comps)
+	rec := Record{Cycle: cycle, Chain: t.chain, Components: comps, Counters: counters}
+	t.Records = append(t.Records, rec)
+	return rec
+}
+
+// AppendRecord appends a pre-chained record (a producer feeding several
+// sinks computes the chain once; the record's chain becomes the trail's).
+func (t *Trail) AppendRecord(rec Record) {
+	t.Records = append(t.Records, rec)
+	t.chain = rec.Chain
+}
+
+// Chain is the current chain digest (the last record's, or zero).
+func (t *Trail) Chain() Sum { return t.chain }
+
+// WriteJSONL streams the trail one Record per line.
+func (t *Trail) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.Records {
+		if err := enc.Encode(&t.Records[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrailJSONL parses a trail written by WriteJSONL. The chain is
+// restored from the last record, so a loaded trail can be extended.
+func ReadTrailJSONL(r io.Reader) (*Trail, error) {
+	t := &Trail{}
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if n := len(t.Records); n > 0 {
+		t.chain = t.Records[n-1].Chain
+	}
+	return t, nil
+}
+
+// Divergence locates the first difference between two digest trails.
+type Divergence struct {
+	// Cycle is the first recorded cycle at which the trails differ.
+	Cycle int64 `json:"cycle"`
+	// Component names the first differing component at that cycle, or is
+	// empty when the difference is structural (see Kind).
+	Component string `json:"component,omitempty"`
+	// Kind classifies the difference: "component" (a component digest
+	// differs), "chain" (component sums match but the chains differ —
+	// the trails have different histories before their common window),
+	// "cycle" (the records sample different cycles), or "length" (one
+	// trail ends early).
+	Kind string `json:"kind"`
+	// A and B are the differing sums (component sums for "component",
+	// chain sums for "chain"; record counts for "length").
+	A Sum `json:"a"`
+	B Sum `json:"b"`
+}
+
+func (d Divergence) String() string {
+	switch d.Kind {
+	case "component":
+		return fmt.Sprintf("first divergence at cycle %d in component %q: %s vs %s", d.Cycle, d.Component, d.A, d.B)
+	case "chain":
+		return fmt.Sprintf("chains differ at cycle %d (%s vs %s) with equal components: histories diverged before the compared window", d.Cycle, d.A, d.B)
+	case "cycle":
+		return fmt.Sprintf("record cadence differs: cycle %d on one side vs %d on the other", int64(d.A), int64(d.B))
+	default:
+		return fmt.Sprintf("trail lengths differ: %d vs %d records (first missing cycle %d)", int64(d.A), int64(d.B), d.Cycle)
+	}
+}
+
+// Compare bisects two record sequences and reports the first divergence.
+// The second result is false when the trails are identical.
+func Compare(a, b []Record) (Divergence, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ra, rb := &a[i], &b[i]
+		if ra.Cycle != rb.Cycle {
+			return Divergence{Cycle: ra.Cycle, Kind: "cycle", A: Sum(ra.Cycle), B: Sum(rb.Cycle)}, true
+		}
+		if ra.Chain == rb.Chain {
+			continue
+		}
+		if d, ok := compareComponents(ra, rb); ok {
+			return d, true
+		}
+		return Divergence{Cycle: ra.Cycle, Kind: "chain", A: ra.Chain, B: rb.Chain}, true
+	}
+	if len(a) != len(b) {
+		cyc := int64(0)
+		if len(a) > n {
+			cyc = a[n].Cycle
+		} else if len(b) > n {
+			cyc = b[n].Cycle
+		}
+		return Divergence{Cycle: cyc, Kind: "length", A: Sum(len(a)), B: Sum(len(b))}, true
+	}
+	return Divergence{}, false
+}
+
+func compareComponents(ra, rb *Record) (Divergence, bool) {
+	n := len(ra.Components)
+	if len(rb.Components) < n {
+		n = len(rb.Components)
+	}
+	for i := 0; i < n; i++ {
+		ca, cb := ra.Components[i], rb.Components[i]
+		if ca.Name != cb.Name {
+			return Divergence{Cycle: ra.Cycle, Component: ca.Name + "/" + cb.Name, Kind: "component", A: ca.Sum, B: cb.Sum}, true
+		}
+		if ca.Sum != cb.Sum {
+			return Divergence{Cycle: ra.Cycle, Component: ca.Name, Kind: "component", A: ca.Sum, B: cb.Sum}, true
+		}
+	}
+	if len(ra.Components) != len(rb.Components) {
+		return Divergence{Cycle: ra.Cycle, Kind: "component", Component: "(count)",
+			A: Sum(len(ra.Components)), B: Sum(len(rb.Components))}, true
+	}
+	return Divergence{}, false
+}

@@ -1,0 +1,70 @@
+// Package divergence is the first-divergence bisector: it compares two
+// supposedly-identical simulations through their chained state-digest
+// records (internal/digest) and pinpoints the first recorded cycle — and
+// the first component within it — at which they differ. It replaces the
+// bespoke full-Stats comparison loops the determinism tests used to carry:
+// any pair of runs that should be deterministic twins (serial vs parallel
+// session, reference vs ready-set scheduler, two recorded trail files) now
+// reports "first divergence at cycle N in component sm3" instead of a wall
+// of mismatched counters at the end of the run.
+package divergence
+
+import (
+	"warpedslicer/internal/digest"
+	"warpedslicer/internal/experiments"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+)
+
+// Trails compares two recorded digest trails (e.g. loaded from JSONL
+// files written by `wslicer divergence -record-trail`). The second result
+// is false when the trails are identical.
+func Trails(a, b *digest.Trail) (digest.Divergence, bool) {
+	return digest.Compare(a.Records, b.Records)
+}
+
+// Runs steps two independently built GPUs in lockstep, hashing the full
+// component state of both every `every` cycles (zero or one compares
+// every cycle), and stops at the first divergent record — the simulations
+// run only as far as the first difference, not to the end. Records are
+// labeled with Now() after each step, i.e. the count of completed cycles.
+//
+// Because each record's chain commits to every prior record, comparing
+// only the newest pair per boundary is sound: an equal prefix plus an
+// equal new chain implies equal histories.
+func Runs(a, b *gpu.GPU, cycles, every int64) (digest.Divergence, bool) {
+	if every <= 0 {
+		every = 1
+	}
+	var ta, tb digest.Trail
+	for c := int64(0); c < cycles; c++ {
+		a.Step()
+		b.Step()
+		if a.Now()%every != 0 && c != cycles-1 {
+			continue
+		}
+		ta.Append(a.Now(), a.ComponentDigests(), digest.Counters{})
+		tb.Append(b.Now(), b.ComponentDigests(), digest.Counters{})
+		last := len(ta.Records) - 1
+		if d, ok := digest.Compare(ta.Records[last:], tb.Records[last:]); ok {
+			return d, true
+		}
+	}
+	return digest.Divergence{}, false
+}
+
+// ParallelSerial builds two sessions over the same options — one forced
+// serial (Parallelism=1), one using the configured worker pool — runs the
+// same co-run through both, and bisects their digest trails. A non-false
+// result is a determinism violation in the parallel runner.
+func ParallelSerial(o experiments.Options, specs []*kernels.Spec, policy string, ctas []int, every int64) (digest.Divergence, bool) {
+	serial := o
+	serial.Parallelism = 1
+	par := o
+	if par.Parallelism == 1 {
+		par.Parallelism = 0
+	}
+	ta := experiments.NewSession(serial).DigestTrail(specs, policy, ctas, every)
+	tb := experiments.NewSession(par).DigestTrail(specs, policy, ctas, every)
+	return Trails(ta, tb)
+}

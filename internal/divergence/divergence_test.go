@@ -1,0 +1,90 @@
+package divergence_test
+
+import (
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/divergence"
+	"warpedslicer/internal/experiments"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/policy"
+)
+
+func build(t *testing.T, d gpu.Dispatcher) *gpu.GPU {
+	t.Helper()
+	g := gpu.New(config.Baseline(), d)
+	g.AddKernel(kernels.ByAbbr("HOT"), 0)
+	return g
+}
+
+// perturb wraps a dispatcher and flips one SM's architectural state at a
+// chosen cycle, seeding a known divergence for the bisector to find.
+type perturb struct {
+	gpu.Dispatcher
+	at int64
+	sm int
+}
+
+func (p perturb) Tick(g *gpu.GPU) {
+	p.Dispatcher.Tick(g)
+	if g.Now() == p.at {
+		g.SMs[p.sm].HaltKernel(0)
+	}
+}
+
+// TestSeededDivergencePinpointed is the acceptance demo: perturb one SM
+// mid-run and require the bisector to name the exact first divergent
+// record and the exact component. The perturbation lands during cycle
+// `at` (dispatcher Tick), so the first record that can see it is labeled
+// at+1 (records are taken after each completed cycle).
+func TestSeededDivergencePinpointed(t *testing.T) {
+	const at, smIdx = 600, 1
+	a := build(t, policy.Even{})
+	b := build(t, perturb{Dispatcher: policy.Even{}, at: at, sm: smIdx})
+
+	d, ok := divergence.Runs(a, b, 2_000, 1)
+	if !ok {
+		t.Fatal("seeded perturbation went undetected")
+	}
+	if d.Cycle != at+1 {
+		t.Errorf("first divergence at cycle %d, want %d", d.Cycle, at+1)
+	}
+	if d.Component != "sm1" {
+		t.Errorf("divergent component %q, want sm1", d.Component)
+	}
+	if d.Kind != "component" {
+		t.Errorf("divergence kind %q, want component", d.Kind)
+	}
+	// The bisector must stop at the first divergence, not run to the end.
+	if a.Now() != at+1 {
+		t.Errorf("bisector kept stepping to cycle %d after diverging at %d", a.Now(), at+1)
+	}
+}
+
+// TestRunsIdenticalTwins: two independently built, identically configured
+// GPUs must digest identically at every boundary, and the lockstep runner
+// must walk the full window.
+func TestRunsIdenticalTwins(t *testing.T) {
+	a := build(t, policy.Even{})
+	b := build(t, policy.Even{})
+	if d, ok := divergence.Runs(a, b, 1_500, 128); ok {
+		t.Fatalf("identical twins diverged: %s", d)
+	}
+	if a.Now() != 1_500 || b.Now() != 1_500 {
+		t.Fatalf("runner stopped early: a at %d, b at %d", a.Now(), b.Now())
+	}
+}
+
+// TestParallelSerialAgrees runs the same workload through a serial and a
+// parallel session and requires byte-identical digest trails.
+func TestParallelSerialAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs one workload through two full sessions")
+	}
+	o := experiments.Quick()
+	specs := []*kernels.Spec{kernels.ByAbbr("HOT"), kernels.ByAbbr("MVP")}
+	if d, ok := divergence.ParallelSerial(o, specs, "even", nil, 512); ok {
+		t.Fatalf("serial vs parallel session diverged: %s", d)
+	}
+}

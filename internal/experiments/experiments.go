@@ -16,6 +16,7 @@ import (
 
 	"warpedslicer/internal/config"
 	"warpedslicer/internal/core"
+	"warpedslicer/internal/digest"
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
@@ -70,6 +71,15 @@ type Options struct {
 	// profiling; the deterministic opportunity counters are collected
 	// either way.
 	ProfPeriod int64
+	// DigestEvery, when positive, arms the state-digest audit trail on
+	// every GPU the session builds: a chained whole-device digest is
+	// recorded into a flight-recorder ring every DigestEvery cycles (see
+	// internal/digest). Zero leaves digesting off the hot path entirely.
+	DigestEvery int64
+	// BlackBoxPath, when set (and DigestEvery is positive), is where a
+	// panicking simulation — including simassert violations — dumps its
+	// flight-recorder black box.
+	BlackBoxPath string
 }
 
 // Validate rejects option values that would produce degenerate runs:
@@ -96,6 +106,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiments: Parallelism = %d, must be non-negative", o.Parallelism)
 	case o.ProfPeriod < 0:
 		return fmt.Errorf("experiments: ProfPeriod = %d, must be non-negative", o.ProfPeriod)
+	case o.DigestEvery < 0:
+		return fmt.Errorf("experiments: DigestEvery = %d, must be non-negative", o.DigestEvery)
 	}
 	return nil
 }
@@ -144,11 +156,15 @@ func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
 	if o.ProfPeriod > 0 {
 		g.Prof = prof.New(o.ProfPeriod)
 	}
+	if o.DigestEvery > 0 {
+		g.ArmFlightRecorder(digest.DefaultFlightDepth, o.DigestEvery, o.BlackBoxPath)
+	}
 	if o.Hub == nil {
 		return
 	}
 	reg := obs.NewRegistry()
 	g.Register(reg)
+	g.ObsSnapshot = func() any { return reg.Snapshot() }
 	g.MonitorEvery = o.PublishEvery
 	if g.MonitorEvery <= 0 {
 		g.MonitorEvery = 2048
@@ -429,6 +445,35 @@ func (s *Session) RunFixedCycles(specs []*kernels.Spec, name string, ctas []int,
 		r.IPC = float64(total) / float64(cycles)
 	}
 	return r
+}
+
+// DigestTrail runs specs under the named policy with isolation-derived
+// instruction targets, recording a chained whole-GPU digest record every
+// `every` cycles (zero selects the default period), and returns the full
+// audit trail. The targets route through the session's isolation cache and
+// worker pool, so a serial session and a parallel session over equal
+// Options must produce byte-identical trails — the invariant the
+// first-divergence bisector (internal/divergence) checks.
+func (s *Session) DigestTrail(specs []*kernels.Spec, name string, ctas []int, every int64) *digest.Trail {
+	targets := make([]uint64, len(specs))
+	s.parallelFor(len(specs), func(i int) {
+		targets[i] = s.Isolation(specs[i]).Insts
+	})
+	log := s.O.Events.WithRun(runScope("digest", name, ctas, specs))
+	d := s.dispatcher(name, ctas, log)
+	g := gpu.New(s.O.Cfg, d)
+	g.SetSchedulers(s.O.Sched)
+	s.O.instrument(g, log)
+	for i, spec := range specs {
+		g.AddKernel(spec, targets[i])
+	}
+	if every <= 0 {
+		every = gpu.DefaultDigestEvery
+	}
+	g.DigestEvery = every
+	g.Digests = &digest.Trail{}
+	g.Run(s.O.MaxCoRunCycles)
+	return g.Digests
 }
 
 // CoRun runs specs under the named policy using isolation-derived targets

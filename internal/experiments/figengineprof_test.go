@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
+	"warpedslicer/internal/prof"
 )
 
 // TestEngineProfConservation pins the opportunity meter's accounting:
@@ -105,5 +107,42 @@ func TestEngineProfPhases(t *testing.T) {
 		r.StallUnknownFrac != b.StallUnknownFrac || r.IdleFrac != b.IdleFrac ||
 		r.FFSkippableFrac != b.FFSkippableFrac || r.Cycles != b.Cycles {
 		t.Errorf("deterministic columns changed when profiling was enabled:\nwith: %+v\nwithout: %+v", r, b)
+	}
+}
+
+// TestEngineProfAllPhasesExercised pins that every phase the profiler
+// reports is actually measured by some code path: a run with monitoring
+// and state digests armed must land nonzero nanoseconds in all of them.
+// This is the regression test for the dead obs_drain phase, which sat at
+// a constant 0 because it was only marked when a sampled cycle (period
+// 37) coincided with a monitor cycle (period 2048) — deliberately
+// coprime, so never. Rare phases (obs_drain, digest) are now timed on
+// every occurrence instead of sampled (prof.RareStart/RareEnd).
+func TestEngineProfAllPhasesExercised(t *testing.T) {
+	o := Quick()
+	o.ProfPeriod = 7
+	o.DigestEvery = 512
+	o.Hub = obs.NewHub(nil)
+	o.PublishEvery = 512
+
+	g := gpu.New(o.Cfg, policy.Even{})
+	g.SetSchedulers(o.Sched)
+	o.Instrument(g)
+	for _, spec := range Pairs()[0].Specs {
+		g.AddKernel(spec, 0)
+	}
+	g.RunCycles(o.IsolationCycles)
+
+	sum := g.Prof.Summary()
+	if len(sum.Phases) != int(prof.NumPhases) {
+		t.Fatalf("summary reports %d phases, want %d", len(sum.Phases), prof.NumPhases)
+	}
+	for _, pc := range sum.Phases {
+		if pc.Ns <= 0 {
+			t.Errorf("phase %q reported %d ns — dead phase: no code path ever times it", pc.Phase, pc.Ns)
+		}
+	}
+	if g.DigestRecords() == 0 {
+		t.Error("digests armed but no records taken")
 	}
 }

@@ -1,0 +1,100 @@
+package gpu
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/digest"
+	"warpedslicer/internal/kernels"
+)
+
+// bomb is greedy plus a seeded panic at a chosen cycle, standing in for a
+// simassert violation (simassert panics with a "simassert:" prefix).
+type bomb struct {
+	greedy
+	at int64
+}
+
+func (b bomb) Tick(g *GPU) {
+	if g.Now() == b.at {
+		panic("simassert: seeded violation for the flight recorder")
+	}
+}
+
+// TestBlackBoxDumpOnPanic is the acceptance test for the flight recorder:
+// an armed run that panics must leave a parseable black-box report behind
+// and still propagate the original panic value.
+func TestBlackBoxDumpOnPanic(t *testing.T) {
+	const at = 900
+	path := filepath.Join(t.TempDir(), "blackbox.json")
+	g := New(config.Baseline(), bomb{at: at})
+	g.AddKernel(kernels.ByAbbr("HOT"), 0)
+	g.ArmFlightRecorder(8, 64, path)
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("seeded panic did not propagate")
+			}
+			if s, ok := r.(string); !ok || !strings.HasPrefix(s, "simassert:") {
+				t.Fatalf("recovered %v, want the original simassert panic", r)
+			}
+		}()
+		g.RunCycles(2_000)
+	}()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("black box not written: %v", err)
+	}
+	defer f.Close()
+	bb, err := digest.ReadBlackBox(f)
+	if err != nil {
+		t.Fatalf("black box not parseable: %v", err)
+	}
+	if bb.DigestVersion != digest.Version {
+		t.Errorf("digest_version = %d, want %d", bb.DigestVersion, digest.Version)
+	}
+	if !strings.Contains(bb.Reason, "simassert: seeded violation") {
+		t.Errorf("reason %q does not carry the panic value", bb.Reason)
+	}
+	if bb.Cycle != at {
+		t.Errorf("crash cycle = %d, want %d", bb.Cycle, at)
+	}
+	if len(bb.Records) != 8 {
+		t.Fatalf("flight window holds %d records, want the full ring of 8", len(bb.Records))
+	}
+	// Ring keeps the newest 8 of the 64-cycle cadence: cycles 448..896.
+	for i, rec := range bb.Records {
+		if want := int64(448 + 64*i); rec.Cycle != want {
+			t.Errorf("record %d at cycle %d, want %d", i, rec.Cycle, want)
+		}
+		if rec.Chain == 0 {
+			t.Errorf("record %d has a zero chain", i)
+		}
+		if len(rec.Components) == 0 {
+			t.Errorf("record %d has no components", i)
+		}
+	}
+	if bb.Chain != bb.Records[len(bb.Records)-1].Chain {
+		t.Errorf("report chain %s != last record chain %s",
+			bb.Chain, bb.Records[len(bb.Records)-1].Chain)
+	}
+}
+
+// TestRunWithoutArmedRecorderStillPanics: the recover/re-panic path must
+// be inert when nothing is armed.
+func TestRunWithoutArmedRecorderStillPanics(t *testing.T) {
+	g := New(config.Baseline(), bomb{at: 10})
+	g.AddKernel(kernels.ByAbbr("HOT"), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic swallowed")
+		}
+	}()
+	g.RunCycles(100)
+}

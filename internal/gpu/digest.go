@@ -1,0 +1,192 @@
+package gpu
+
+import (
+	"fmt"
+	"os"
+
+	"warpedslicer/internal/digest"
+)
+
+// DefaultDigestEvery is the default digest period when a caller arms
+// digesting without choosing one. A whole-GPU record walks every cache
+// line, warp scoreboard and queue in the device (tens of microseconds),
+// so the default amortizes it to well under a percent of cycle cost; the
+// bench rig (TestEngineProfileBudget) enforces the budget.
+const DefaultDigestEvery = 1024
+
+// ComponentDigests hashes every component of the device at the current
+// cycle, in fixed order: each SM, the three memory-hierarchy sections,
+// the kernel table, and the dispatcher. This is the whole-GPU canonical
+// state walk (DESIGN.md "The canonical-state traversal contract").
+func (g *GPU) ComponentDigests() []digest.Component {
+	comps := make([]digest.Component, 0, len(g.SMs)+5)
+	for i, s := range g.SMs {
+		comps = append(comps, digest.Component{Name: g.smName(i), Sum: digest.Of(s)})
+	}
+	h := digest.NewHasher()
+	g.Mem.DigestIcnt(h)
+	comps = append(comps, digest.Component{Name: "icnt", Sum: h.Sum()})
+	h = digest.NewHasher()
+	g.Mem.DigestL2(h)
+	comps = append(comps, digest.Component{Name: "l2", Sum: h.Sum()})
+	h = digest.NewHasher()
+	g.Mem.DigestDRAM(h)
+	comps = append(comps, digest.Component{Name: "dram", Sum: h.Sum()})
+
+	h = digest.NewHasher()
+	h.I64(g.now)
+	h.Bool(g.needFill)
+	h.U64(g.ffSkippable)
+	h.Int(len(g.Kernels))
+	for _, k := range g.Kernels {
+		k.digestInto(h)
+	}
+	comps = append(comps, digest.Component{Name: "kernels", Sum: h.Sum()})
+
+	h = digest.NewHasher()
+	if d, ok := g.dispatcher.(digest.Digester); ok {
+		h.Bool(true)
+		d.DigestInto(h)
+	} else {
+		h.Bool(false)
+	}
+	comps = append(comps, digest.Component{Name: "controller", Sum: h.Sum()})
+	return comps
+}
+
+func (k *Kernel) digestInto(h *digest.Hasher) {
+	h.Str(k.Spec.Abbr)
+	h.Int(k.Slot)
+	h.U64(k.Base)
+	h.Int(k.NextCTA)
+	h.U64(k.TargetInsts)
+	h.Bool(k.Done)
+	h.I64(k.FinishCycle)
+	h.U64(k.Insts)
+	h.I64(k.ArrivalCycle)
+	h.Bool(k.arrived)
+}
+
+func (g *GPU) smName(i int) string {
+	if g.smNames == nil {
+		g.smNames = make([]string, len(g.SMs))
+		for j := range g.SMs {
+			g.smNames[j] = fmt.Sprintf("sm%d", j)
+		}
+	}
+	return g.smNames[i]
+}
+
+// digestCounters snapshots the key architectural counters stored next to
+// each digest record, so a black-box reader can orient the crash window
+// without replaying the run.
+func (g *GPU) digestCounters() digest.Counters {
+	var c digest.Counters
+	for _, s := range g.SMs {
+		st := s.Stats()
+		c.Issued += st.Issued
+		for k := range st.PerKernel {
+			c.ThreadInsts += st.PerKernel[k].ThreadInsts
+		}
+	}
+	ms := g.Mem.Stats()
+	c.L2Misses = ms.L2.LoadMiss
+	for _, v := range ms.DRAMServed {
+		c.DRAMServed += v
+	}
+	return c
+}
+
+// recordDigest appends one chained digest record to every attached sink.
+// Called from Step on DigestEvery boundaries only.
+func (g *GPU) recordDigest() {
+	comps := g.ComponentDigests()
+	g.digestChain = digest.ChainStep(g.digestChain, g.now, comps)
+	rec := digest.Record{Cycle: g.now, Chain: g.digestChain, Components: comps, Counters: g.digestCounters()}
+	if g.Digests != nil {
+		g.Digests.AppendRecord(rec)
+	}
+	if g.Flight != nil {
+		g.Flight.AppendRecord(rec)
+	}
+	g.digestRecords++
+}
+
+// DigestChain returns the current chained whole-GPU digest (zero until
+// the first record).
+func (g *GPU) DigestChain() digest.Sum { return g.digestChain }
+
+// DigestRecords returns how many digest records the run has taken.
+func (g *GPU) DigestRecords() uint64 { return g.digestRecords }
+
+// ArmFlightRecorder attaches a flight recorder of `depth` records taken
+// every `every` cycles (zeros select the defaults), dumping a black-box
+// report to path if the run panics.
+func (g *GPU) ArmFlightRecorder(depth int, every int64, path string) {
+	if every <= 0 {
+		every = DefaultDigestEvery
+	}
+	g.DigestEvery = every
+	g.Flight = digest.NewRing(depth)
+	g.BlackBoxPath = path
+}
+
+// BlackBox assembles the crash report: the flight-recorder window (or
+// the tail of a full trail if only that is attached) plus every
+// observability surface the run carries — self-profile, obs snapshot,
+// recent events, span summary. All best-effort: a missing surface is
+// simply omitted.
+func (g *GPU) BlackBox(reason string) *digest.BlackBox {
+	bb := &digest.BlackBox{
+		DigestVersion: digest.Version,
+		Reason:        reason,
+		Cycle:         g.now,
+		Chain:         g.digestChain,
+		RecordsTotal:  g.digestRecords,
+	}
+	switch {
+	case g.Flight != nil:
+		bb.Records = g.Flight.Snapshot()
+	case g.Digests != nil:
+		recs := g.Digests.Records
+		if len(recs) > digest.DefaultFlightDepth {
+			recs = recs[len(recs)-digest.DefaultFlightDepth:]
+		}
+		bb.Records = append([]digest.Record(nil), recs...)
+	}
+	bb.Profile = g.Profile()
+	if g.ObsSnapshot != nil {
+		bb.Snapshot = g.ObsSnapshot()
+	}
+	if evs := g.Log.Events(); len(evs) > 0 {
+		const keep = 64
+		if len(evs) > keep {
+			evs = evs[len(evs)-keep:]
+		}
+		bb.Events = evs
+	}
+	if g.Mem != nil && g.Mem.Spans != nil {
+		bb.Spans = g.Mem.Spans.Summary()
+	}
+	return bb
+}
+
+// recoverToBlackBox is installed via defer by Run/RunCycles: on panic —
+// including simassert violations, which panic with a "simassert:"
+// prefix — it dumps the black-box report to BlackBoxPath (when a flight
+// recorder is armed with a path) and re-panics with the original value.
+func (g *GPU) recoverToBlackBox() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if g.BlackBoxPath != "" && (g.Flight != nil || g.Digests != nil) {
+		if f, err := os.Create(g.BlackBoxPath); err == nil {
+			// Best-effort on the crash path: a report we cannot write
+			// must not mask the original panic.
+			_ = g.BlackBox(fmt.Sprint(r)).WriteJSON(f)
+			_ = f.Close()
+		}
+	}
+	panic(r)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"warpedslicer/internal/config"
+	"warpedslicer/internal/digest"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
 	"warpedslicer/internal/memreq"
@@ -96,9 +97,34 @@ type GPU struct {
 	// counter and CSV.
 	Prof *prof.Profiler
 
+	// DigestEvery, when > 0, records a chained whole-GPU state digest
+	// every DigestEvery cycles into Digests and/or Flight (see
+	// internal/digest). Zero (the default) keeps digesting entirely off
+	// the hot path: Step pays one predicted-not-taken branch.
+	DigestEvery int64
+	// Digests, when non-nil, accumulates every digest record of the run
+	// (the audit trail the divergence bisector compares).
+	Digests *digest.Trail
+	// Flight, when non-nil, keeps only the most recent records (the
+	// flight recorder dumped as a black box on panic).
+	Flight *digest.Ring
+	// BlackBoxPath, when non-empty and a flight recorder is armed, is
+	// where Run/RunCycles write the black-box JSON report if the
+	// simulation panics (simassert violations panic too).
+	BlackBoxPath string
+	// ObsSnapshot, when non-nil, supplies the obs registry snapshot for
+	// black-box reports (instrument wires it when a registry exists).
+	ObsSnapshot func() any
+
 	dispatcher Dispatcher
 	now        int64
 	needFill   bool
+
+	// digestChain threads the chained digest when only a Flight ring is
+	// attached; digestRecords counts records for the obs surface.
+	digestChain   digest.Sum
+	digestRecords uint64
+	smNames       []string
 
 	// ffSkippable counts device cycles where every SM was in a
 	// known-wakeup stall or idle AND the memory hierarchy held nothing
@@ -288,10 +314,14 @@ func (g *GPU) Step() {
 		p.Mark(prof.Controller)
 	}
 	if g.MonitorEvery > 0 && g.Monitor != nil && g.now%g.MonitorEvery == 0 {
+		// The monitor runs on its own cadence (deliberately coprime to
+		// the profiler's sampling period), so it is timed as a rare
+		// phase on every firing: a sampled Mark here essentially never
+		// coincided with a monitor cycle and reported obs_drain as a
+		// constant 0.
+		t0 := p.RareStart()
 		g.Monitor(g)
-		if profiled {
-			p.Mark(prof.ObsDrain)
-		}
+		p.RareEnd(prof.ObsDrain, t0)
 	}
 	if g.needFill {
 		g.needFill = false
@@ -299,6 +329,11 @@ func (g *GPU) Step() {
 		if profiled {
 			p.Mark(prof.Controller)
 		}
+	}
+	if g.DigestEvery > 0 && g.now%g.DigestEvery == 0 {
+		t0 := p.RareStart()
+		g.recordDigest()
+		p.RareEnd(prof.Digest, t0)
 	}
 	g.now++
 }
@@ -329,8 +364,11 @@ func (g *GPU) anyResident(slot int) bool {
 }
 
 // Run executes until all kernels halt or maxCycles elapse; it returns the
-// elapsed cycles.
+// elapsed cycles. If the simulation panics (simassert violations panic)
+// and a flight recorder is armed with a BlackBoxPath, the black-box
+// report is dumped before the panic propagates.
 func (g *GPU) Run(maxCycles int64) int64 {
+	defer g.recoverToBlackBox()
 	for g.now < maxCycles && !g.AllDone() {
 		g.Step()
 	}
@@ -338,8 +376,10 @@ func (g *GPU) Run(maxCycles int64) int64 {
 	return g.now
 }
 
-// RunCycles advances exactly n further cycles (ignoring targets).
+// RunCycles advances exactly n further cycles (ignoring targets), with
+// the same black-box-on-panic behavior as Run.
 func (g *GPU) RunCycles(n int64) {
+	defer g.recoverToBlackBox()
 	end := g.now + n
 	for g.now < end {
 		g.Step()

@@ -48,6 +48,20 @@ func (g *GPU) Register(r *obs.Registry) {
 		emit("ws_gpu_ff_skippable_cycles_total", obs.Counter, float64(g.ffSkippable))
 	})
 
+	// State-digest surface. Emitted only while digesting is armed, so
+	// golden outputs of digest-off runs are untouched. The 64-bit chain
+	// is split into two 32-bit gauges: float64 holds 52 mantissa bits and
+	// would silently corrupt a whole chain.
+	r.Collector(func(emit obs.Emit) {
+		if g.DigestEvery <= 0 {
+			return
+		}
+		emit("ws_digest_records_total", obs.Counter, float64(g.digestRecords))
+		emit("ws_digest_period", obs.Gauge, float64(g.DigestEvery))
+		emit("ws_digest_chain_lo", obs.Gauge, float64(uint32(g.digestChain)))
+		emit("ws_digest_chain_hi", obs.Gauge, float64(uint32(uint64(g.digestChain)>>32)))
+	})
+
 	for _, s := range g.SMs {
 		s.Register(r)
 	}

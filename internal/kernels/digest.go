@@ -1,0 +1,25 @@
+package kernels
+
+import "warpedslicer/internal/digest"
+
+// DigestLogical hashes the stream's logical position: its identity (which
+// kernel, address base, CTA and warp coordinates) plus how many
+// instructions it has emitted. The generator's internal cursors — pc,
+// iter, prevDest, done, the RNG, the pending divergent-pair buffer — are
+// pure functions of identity + emit count, so hashing them would make the
+// digest sensitive to prefetch timing: the ready-set issue path
+// materializes a warp's next instruction into its i-buffer on cycles the
+// reference rescan never examines that warp, advancing every cursor one
+// step early with zero architectural effect. The warp digest passes
+// prefetched=1 while an emitted instruction sits unissued in the
+// i-buffer, backing the count down to the issue boundary both scheduler
+// paths agree on. The Spec is static workload configuration, not mutable
+// state; its abbreviation is hashed as an identity so two streams over
+// different kernels never compare equal.
+func (st *Stream) DigestLogical(h *digest.Hasher, prefetched int) {
+	h.Str(st.spec.Abbr)
+	h.U64(st.base)
+	h.Int(st.cta)
+	h.Int(st.warp)
+	h.U64(st.seq - uint64(prefetched))
+}

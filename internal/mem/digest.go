@@ -1,0 +1,86 @@
+package mem
+
+import (
+	"slices"
+
+	"warpedslicer/internal/digest"
+)
+
+// The memory hierarchy digests as three components matching its pipeline
+// stages — interconnect, L2 banks, DRAM channels — so the divergence
+// bisector can localize a mismatch below the SMs without a custom walk.
+// Histograms and the span collector are observability and excluded
+// everywhere; see DESIGN.md "The canonical-state traversal contract".
+
+// DigestIcnt hashes the interconnect: both network queues, the per-SM
+// reply ledger, and the core→memory clock-domain accumulator.
+func (m *Subsystem) DigestIcnt(h *digest.Hasher) {
+	digestTimed(h, m.reqNet)
+	digestTimed(h, m.replyNet)
+	h.Int(len(m.replyPending))
+	for _, v := range m.replyPending {
+		h.I64(v)
+	}
+	h.F64(m.memAccum)
+	h.I64(m.memNow)
+}
+
+// DigestL2 hashes every partition's L2 bank plus the queues feeding it:
+// the input queue, the retry queue parked on DRAM backpressure, and the
+// per-line waiter lists in sorted line order.
+func (m *Subsystem) DigestL2(h *digest.Hasher) {
+	h.Int(len(m.parts))
+	for _, p := range m.parts {
+		p.l2.DigestInto(h)
+		digestTimed(h, p.input)
+		digestTimed(h, p.retry)
+		keys := make([]uint64, 0, len(p.waiters))
+		for la := range p.waiters {
+			keys = append(keys, la)
+		}
+		slices.Sort(keys)
+		h.Int(len(keys))
+		for _, la := range keys {
+			h.U64(la)
+			ws := p.waiters[la]
+			h.Int(len(ws))
+			for _, w := range ws {
+				w.DigestInto(h)
+			}
+		}
+	}
+}
+
+// DigestDRAM hashes every partition's DRAM channel and the per-kernel /
+// per-SM service counters.
+func (m *Subsystem) DigestDRAM(h *digest.Hasher) {
+	h.Int(len(m.parts))
+	for _, p := range m.parts {
+		p.dram.DigestInto(h)
+	}
+	for k := 0; k < MaxKernels; k++ {
+		h.U64(m.perKServed[k])
+		h.U64(m.perKL2Miss[k])
+		h.U64(m.perKL2Acc[k])
+	}
+	h.Int(len(m.perSMServed))
+	for _, v := range m.perSMServed {
+		h.U64(v)
+	}
+}
+
+// DigestInto hashes the whole subsystem (the three section digests in
+// pipeline order).
+func (m *Subsystem) DigestInto(h *digest.Hasher) {
+	m.DigestIcnt(h)
+	m.DigestL2(h)
+	m.DigestDRAM(h)
+}
+
+func digestTimed(h *digest.Hasher, ts []timed) {
+	h.Int(len(ts))
+	for i := range ts {
+		ts[i].req.DigestInto(h)
+		h.I64(ts[i].readyAt)
+	}
+}

@@ -1,0 +1,14 @@
+package memreq
+
+import "warpedslicer/internal/digest"
+
+// DigestInto hashes the request's architectural identity. The span
+// handle is excluded: it is observability metadata and never influences
+// how the memory system treats the request.
+func (r Request) DigestInto(h *digest.Hasher) {
+	h.U64(r.LineAddr)
+	h.Int(r.SM)
+	h.Int(r.Kernel)
+	h.Bool(r.Write)
+	h.I64(r.Issued)
+}

@@ -1,0 +1,155 @@
+package obs_test
+
+// The /profile and /spans endpoints are consumed by dashboards and CI
+// scripts that key on exact JSON field names. These tests pin the served
+// shapes against *real* producer values (gpu.Profile, span.Summary) —
+// the in-package server tests use synthetic maps because obs must not
+// import the simulator — and pin determinism: two identical runs must
+// publish byte-identical views (modulo wall-clock phase timings).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/obs"
+	"warpedslicer/internal/policy"
+	"warpedslicer/internal/prof"
+)
+
+// runSim executes a small deterministic co-run and returns the device.
+func runSim(t *testing.T, profiled bool) *gpu.GPU {
+	t.Helper()
+	g := gpu.New(config.Baseline(), policy.Even{})
+	if profiled {
+		g.Prof = prof.New(37)
+	}
+	g.AddKernel(kernels.ByAbbr("IMG"), 0)
+	g.AddKernel(kernels.ByAbbr("BLK"), 0)
+	g.RunCycles(20_000)
+	return g
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("GET %s: not JSON: %v\n%s", url, err, body)
+	}
+	return m
+}
+
+func requireKeys(t *testing.T, m map[string]any, where string, keys ...string) {
+	t.Helper()
+	for _, k := range keys {
+		if _, ok := m[k]; !ok {
+			t.Errorf("%s: missing field %q (got %v)", where, k, m)
+		}
+	}
+}
+
+func TestProfileEndpointShape(t *testing.T) {
+	g := runSim(t, true)
+	hub := obs.NewHub(nil)
+	hub.PublishProfile(g.Profile())
+	srv, err := obs.StartServer("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := getJSON(t, "http://"+srv.Addr()+"/profile")
+	requireKeys(t, m, "/profile",
+		"cycles", "sms",
+		"cyc_issuing", "cyc_stall_known", "cyc_stall_unknown", "cyc_idle",
+		"ff_skippable_cycles", "fast_forward_skippable_frac",
+		"sched_fastpath_frac", "phases")
+	phases, ok := m["phases"].(map[string]any)
+	if !ok {
+		t.Fatalf("/profile phases is %T, want object", m["phases"])
+	}
+	requireKeys(t, phases, "/profile phases",
+		"period", "cycles", "sampled_cycles", "total_ns", "ns_per_cycle", "phases")
+	list, ok := phases["phases"].([]any)
+	if !ok || len(list) == 0 {
+		t.Fatalf("/profile phases.phases is empty or wrong type: %v", phases["phases"])
+	}
+	pc, ok := list[0].(map[string]any)
+	if !ok {
+		t.Fatalf("/profile phase entry is %T", list[0])
+	}
+	requireKeys(t, pc, "/profile phase entry", "phase", "ns", "ns_per_cycle", "share")
+}
+
+func TestSpansEndpointShape(t *testing.T) {
+	g := runSim(t, false)
+	hub := obs.NewHub(nil)
+	hub.PublishSpans(g.Mem.Spans.Summary())
+	srv, err := obs.StartServer("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := getJSON(t, "http://"+srv.Addr()+"/spans")
+	requireKeys(t, m, "/spans", "period", "open", "sampled", "dropped", "kernels", "recent")
+	ks, ok := m["kernels"].([]any)
+	if !ok || len(ks) == 0 {
+		t.Fatalf("/spans kernels empty or wrong type: %v — the sim must have sampled spans", m["kernels"])
+	}
+	k0, ok := ks[0].(map[string]any)
+	if !ok {
+		t.Fatalf("/spans kernel entry is %T", ks[0])
+	}
+	requireKeys(t, k0, "/spans kernel entry",
+		"kernel", "completed", "mean_end_to_end_cycles",
+		"l2_hits", "l2_misses", "merged",
+		"dram_row_hits", "dram_row_misses", "stages")
+}
+
+// TestPublishedViewsDeterministic: two identical runs must publish
+// byte-identical span views, and byte-identical profiles once the
+// wall-clock phase block is dropped (phase timings are real nanoseconds
+// and legitimately differ run to run; everything else is cycle-exact).
+func TestPublishedViewsDeterministic(t *testing.T) {
+	marshal := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	profileSansWallclock := func(g *gpu.GPU) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(marshal(g.Profile()), &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "phases")
+		return marshal(m)
+	}
+
+	a, b := runSim(t, true), runSim(t, true)
+	if sa, sb := marshal(a.Mem.Spans.Summary()), marshal(b.Mem.Spans.Summary()); !bytes.Equal(sa, sb) {
+		t.Errorf("span summaries differ across identical runs:\n%s\n%s", sa, sb)
+	}
+	if pa, pb := profileSansWallclock(a), profileSansWallclock(b); !bytes.Equal(pa, pb) {
+		t.Errorf("profiles (sans wall-clock phases) differ across identical runs:\n%s\n%s", pa, pb)
+	}
+}

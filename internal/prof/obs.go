@@ -17,7 +17,7 @@ func (p *Profiler) Register(r *obs.Registry) {
 		emit("ws_prof_period", obs.Gauge, float64(p.period))
 		for ph := Phase(0); ph < NumPhases; ph++ {
 			emit(obs.Label("ws_prof_phase_ns", "phase", ph.String()),
-				obs.Counter, float64(p.phaseNs[ph]))
+				obs.Counter, float64(p.phaseNs[ph]+p.rareNs[ph]))
 		}
 	})
 }

@@ -46,15 +46,24 @@ const (
 	// Controller is dispatcher work: arrivals, Setup/Fill/Tick, target
 	// checks.
 	Controller
-	// ObsDrain is observability publication (registry snapshot + hub).
+	// ObsDrain is observability publication (registry snapshot + hub). It
+	// is a rare phase: the monitor fires on its own cadence (default
+	// 1-in-2048, deliberately coprime to the sampling period), so it is
+	// timed on every occurrence via RareStart/RareEnd rather than on
+	// sampled cycles — the old sampled Mark essentially never coincided
+	// with a monitor cycle and reported a constant 0.
 	ObsDrain
+	// Digest is whole-GPU state-digest recording (internal/digest). Also
+	// a rare phase: records land every DigestEvery cycles (default
+	// 1-in-1024), off the sampled path.
+	Digest
 
 	// NumPhases bounds the phase enum.
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
-	"issue", "execute", "l1", "icnt", "l2", "dram", "controller", "obs_drain",
+	"issue", "execute", "l1", "icnt", "l2", "dram", "controller", "obs_drain", "digest",
 }
 
 func (p Phase) String() string {
@@ -88,6 +97,13 @@ type Profiler struct {
 	last    int64 // ns stamp of the previous phase boundary
 
 	phaseNs [NumPhases]int64
+
+	// rareNs accumulates phases timed on every occurrence rather than on
+	// sampled cycles (RareStart/RareEnd): work on its own long cadence —
+	// monitor drains, digest records — that a 1-in-period sample would
+	// essentially never observe. Folded into Summary as ns-per-total-cycle
+	// instead of ns-per-sampled-cycle.
+	rareNs [NumPhases]int64
 }
 
 // New returns a profiler sampling one cycle in period (<= 0 selects
@@ -137,6 +153,32 @@ func (p *Profiler) Mark(ph Phase) {
 	p.last = now
 }
 
+// RareStart opens a rare-phase interval: work that happens every N
+// cycles for large N (monitor drains, digest records) and would be
+// missed by cycle sampling. It returns the start stamp for RareEnd; a
+// nil receiver returns 0 and reads no clock.
+func (p *Profiler) RareStart() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.now()
+}
+
+// RareEnd closes a rare-phase interval opened by RareStart, charging the
+// elapsed time to ph on every occurrence. When the enclosing cycle is
+// also a sampled one, the boundary stamp advances so the rare interval
+// is never double-charged into the next sampled phase segment.
+func (p *Profiler) RareEnd(ph Phase, start int64) {
+	if p == nil {
+		return
+	}
+	end := p.now()
+	p.rareNs[ph] += end - start
+	if p.active {
+		p.last = end
+	}
+}
+
 // Period returns the sampling period in cycles.
 func (p *Profiler) Period() int64 {
 	if p == nil {
@@ -148,12 +190,16 @@ func (p *Profiler) Period() int64 {
 // PhaseCost is one phase's cost in a Summary.
 type PhaseCost struct {
 	Phase string `json:"phase"`
-	// Ns is the accumulated wall time over all sampled cycles.
+	// Ns is the accumulated wall time: over sampled cycles for sampled
+	// phases, over every occurrence for rare phases.
 	Ns int64 `json:"ns"`
-	// NsPerCycle is Ns / sampled cycles (the phase's estimated cost per
-	// simulated cycle).
+	// NsPerCycle is the phase's estimated cost per simulated cycle:
+	// sampled ns / sampled cycles, plus rare ns / total cycles (rare
+	// phases are timed on every occurrence, so their amortization
+	// denominator is all cycles).
 	NsPerCycle float64 `json:"ns_per_cycle"`
-	// Share is this phase's fraction of the total measured loop time.
+	// Share is this phase's fraction of the total estimated per-cycle
+	// loop cost.
 	Share float64 `json:"share"`
 }
 
@@ -163,8 +209,10 @@ type Summary struct {
 	Period  int64 `json:"period"`
 	Cycles  int64 `json:"cycles"`
 	Sampled int64 `json:"sampled_cycles"`
-	// TotalNs sums all phases over the sampled cycles; NsPerCycle is
-	// TotalNs / Sampled, the estimated full-loop cost per cycle.
+	// TotalNs sums all phases (sampled and rare accumulators both);
+	// NsPerCycle is the estimated full-loop cost per cycle: sampled ns /
+	// Sampled plus rare ns / Cycles. With no rare time it reduces exactly
+	// to TotalNs / Sampled.
 	TotalNs    int64       `json:"total_ns"`
 	NsPerCycle float64     `json:"ns_per_cycle"`
 	Phases     []PhaseCost `json:"phases"`
@@ -177,20 +225,29 @@ func (p *Profiler) Summary() Summary {
 		return Summary{}
 	}
 	s := Summary{Period: p.period, Cycles: p.cycles, Sampled: p.sampled}
-	for _, ns := range p.phaseNs {
-		s.TotalNs += ns
+	var sampledNs, rareNs int64
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		sampledNs += p.phaseNs[ph]
+		rareNs += p.rareNs[ph]
 	}
+	s.TotalNs = sampledNs + rareNs
 	if p.sampled > 0 {
-		s.NsPerCycle = float64(s.TotalNs) / float64(p.sampled)
+		s.NsPerCycle = float64(sampledNs) / float64(p.sampled)
+	}
+	if rareNs > 0 && p.cycles > 0 {
+		s.NsPerCycle += float64(rareNs) / float64(p.cycles)
 	}
 	s.Phases = make([]PhaseCost, 0, NumPhases)
 	for ph := Phase(0); ph < NumPhases; ph++ {
-		pc := PhaseCost{Phase: ph.String(), Ns: p.phaseNs[ph]}
+		pc := PhaseCost{Phase: ph.String(), Ns: p.phaseNs[ph] + p.rareNs[ph]}
 		if p.sampled > 0 {
-			pc.NsPerCycle = float64(pc.Ns) / float64(p.sampled)
+			pc.NsPerCycle = float64(p.phaseNs[ph]) / float64(p.sampled)
 		}
-		if s.TotalNs > 0 {
-			pc.Share = float64(pc.Ns) / float64(s.TotalNs)
+		if p.rareNs[ph] > 0 && p.cycles > 0 {
+			pc.NsPerCycle += float64(p.rareNs[ph]) / float64(p.cycles)
+		}
+		if s.NsPerCycle > 0 {
+			pc.Share = pc.NsPerCycle / s.NsPerCycle
 		}
 		s.Phases = append(s.Phases, pc)
 	}

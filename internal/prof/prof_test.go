@@ -96,6 +96,79 @@ func TestSharesTelescope(t *testing.T) {
 	}
 }
 
+// TestRarePhaseAccounting pins the rare-phase path (obs_drain, digest):
+// intervals timed via RareStart/RareEnd accumulate on every occurrence —
+// even on cycles the sampler did not elect — and fold into the summary
+// amortized over ALL cycles, with shares still summing to 1 alongside
+// the sampled phases.
+func TestRarePhaseAccounting(t *testing.T) {
+	p := New(7)
+	var sink uint64
+	for c := 0; c < 70; c++ {
+		on := p.StartCycle()
+		if on {
+			p.Mark(Issue)
+		}
+		// Rare work every 10 cycles, mostly on non-elected cycles (7 and
+		// 10 are coprime, like the real monitor/profiler cadences).
+		if c%10 == 0 {
+			t0 := p.RareStart()
+			for i := uint64(0); i < 20000; i++ {
+				sink += i * i
+			}
+			p.RareEnd(ObsDrain, t0)
+		}
+	}
+	if sink == 0 {
+		t.Fatal("busywork optimized away")
+	}
+	s := p.Summary()
+	var obsDrain, issue PhaseCost
+	for _, pc := range s.Phases {
+		switch pc.Phase {
+		case "obs_drain":
+			obsDrain = pc
+		case "issue":
+			issue = pc
+		}
+	}
+	if obsDrain.Ns <= 0 {
+		t.Fatal("rare phase accumulated no time despite 7 occurrences")
+	}
+	if issue.Ns <= 0 {
+		t.Fatal("sampled phase accumulated no time")
+	}
+	// Rare phases amortize over all cycles, not sampled ones.
+	if want := float64(obsDrain.Ns) / float64(s.Cycles); obsDrain.NsPerCycle != want {
+		t.Errorf("rare NsPerCycle = %v, want Ns/Cycles = %v", obsDrain.NsPerCycle, want)
+	}
+	var shares, nspc float64
+	var ns int64
+	for _, pc := range s.Phases {
+		shares += pc.Share
+		nspc += pc.NsPerCycle
+		ns += pc.Ns
+	}
+	if ns != s.TotalNs {
+		t.Errorf("phase ns sum %d != TotalNs %d", ns, s.TotalNs)
+	}
+	if shares < 0.999999 || shares > 1.000001 {
+		t.Errorf("phase shares sum to %v, want 1", shares)
+	}
+	if diff := nspc - s.NsPerCycle; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("per-phase NsPerCycle sum %v != summary NsPerCycle %v", nspc, s.NsPerCycle)
+	}
+}
+
+// TestRareEndNilSafe pins nil-safety for the rare-phase API.
+func TestRareEndNilSafe(t *testing.T) {
+	var p *Profiler
+	if got := p.RareStart(); got != 0 {
+		t.Errorf("nil RareStart = %d, want 0", got)
+	}
+	p.RareEnd(ObsDrain, 0) // must not panic
+}
+
 // TestRegisterSeries pins the metric surface: cycle/sampled counters, the
 // period gauge, and one ws_prof_phase_ns series per phase.
 func TestRegisterSeries(t *testing.T) {

@@ -33,6 +33,11 @@ func NewStream(seed uint64) Stream {
 	return Stream{s: s}
 }
 
+// State exposes the generator's internal state word for canonical-state
+// digests and (later) checkpointing. Two streams with equal state produce
+// identical futures.
+func (r *Stream) State() uint64 { return r.s }
+
 // Next returns the next pseudo-random 64-bit value.
 func (r *Stream) Next() uint64 {
 	x := r.s

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"warpedslicer/internal/config"
+	"warpedslicer/internal/digest"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/mem"
 )
@@ -13,11 +14,14 @@ import (
 // The cross-check drives two SMs in lockstep over the same workload: one
 // through the reference full-rescan scheduler (CycleRef), one through the
 // ready-set scheduler (Cycle), each with its own memory subsystem. Every
-// cycle the complete statistics snapshots must match byte-for-byte —
-// issued instructions, per-kernel stall attribution, cycle classes, and
-// L1 activity all pin the two issue loops to identical decisions. Only
-// SchedFastSlots is excluded: it counts the ready-set path's cache hits,
-// which the reference path by definition never takes.
+// cycle the two SMs' canonical state digests must match — the digest walk
+// covers residents, warp scoreboards, CTA slots, allocator, execution
+// pipes, and statistics (internal/sm/digest.go), so it pins the two issue
+// loops to identical decisions far more tightly than the old full-Stats
+// comparison. On a mismatch the per-section digests localize which part
+// of the SM diverged first. SchedFastSlots is excluded by the digest
+// contract: it counts the ready-set path's cache hits, which the
+// reference path by definition never takes.
 
 type smPair struct {
 	ref, rdy       *SM
@@ -66,12 +70,21 @@ func (p *smPair) run(t *testing.T, from, to int64) {
 		for _, r := range p.rdySub.Tick(now) {
 			p.rdy.OnReply(r.LineAddr)
 		}
-		sr, sn := p.ref.Stats(), p.rdy.Stats()
-		sn.SchedFastSlots = 0
-		if sr != sn {
-			t.Fatalf("cycle %d: scheduler divergence\nref:       %+v\nready-set: %+v\nref state: %s\nrdy state: %s",
-				now, sr, sn, p.ref.DebugWarpStates(now), p.rdy.DebugWarpStates(now))
+		if digest.Of(p.ref) == digest.Of(p.rdy) {
+			continue
 		}
+		// Localize the divergence: hash each canonical section separately
+		// and name the first that differs.
+		sr, sn := p.ref.DigestSections(), p.rdy.DigestSections()
+		section := "(chain)"
+		for i := range sr {
+			if sr[i].Sum != sn[i].Sum {
+				section = sr[i].Name
+				break
+			}
+		}
+		t.Fatalf("cycle %d: scheduler divergence in section %q\nref stats:       %+v\nready-set stats: %+v\nref state: %s\nrdy state: %s",
+			now, section, p.ref.Stats(), p.rdy.Stats(), p.ref.DebugWarpStates(now), p.rdy.DebugWarpStates(now))
 	}
 }
 

@@ -1,0 +1,32 @@
+package warp
+
+import "warpedslicer/internal/digest"
+
+// DigestInto walks the warp's architectural state: identity and
+// lifecycle, the logical stream position, fetch timing, the register
+// scoreboard, and the issue stamp. The order is fixed — see DESIGN.md
+// "The canonical-state traversal contract".
+//
+// The i-buffer (have/cur) is deliberately excluded and instead folded
+// into the stream's logical position: whether the next instruction has
+// been materialized yet depends on when a scheduler last peeked the warp,
+// which differs between the ready-set and reference issue paths without
+// any architectural consequence — the buffered instruction is a pure
+// function of the stream position it was fetched from.
+func (w *Warp) DigestInto(h *digest.Hasher) {
+	h.Int(w.Kernel)
+	h.Int(w.CTA)
+	h.I64(w.Age)
+	h.U64(uint64(w.State))
+	prefetched := 0
+	if w.have {
+		prefetched = 1
+	}
+	w.stream.DigestLogical(h, prefetched)
+	h.U64(w.r.State())
+	h.I64(w.fetchReadyAt)
+	h.Bytes(w.pend[:])
+	h.Bytes(w.pendLoad[:])
+	h.Int(w.OutstandingLoads)
+	h.I64(w.LastIssued)
+}

@@ -102,11 +102,13 @@ func (w *Warp) fetch(now int64, fetchDelay int) {
 	if w.have || w.State == Done {
 		return
 	}
-	if w.fetchReadyAt == 0 {
-		// First fetch after launch or after an issue that did not
-		// pre-schedule (defensive).
-		w.fetchReadyAt = now
-	}
+	// fetchReadyAt of 0 (freshly launched) means "ready immediately"; it
+	// is deliberately NOT stamped with `now` here. Fetch time depends on
+	// when a scheduler first peeks the warp — the ready-set path peeks
+	// eagerly, the reference rescan lazily — so recording it would smuggle
+	// scheduler-implementation timing into architectural state and break
+	// digest equality between the two issue paths (the schedref
+	// cross-check). Only Issue writes fetchReadyAt.
 	if now < w.fetchReadyAt {
 		return
 	}
