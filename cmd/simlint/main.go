@@ -1,19 +1,28 @@
 // Command simlint runs the repository's simulator-specific static
 // analyzers (internal/lint) and exits non-zero on any finding:
 //
-//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint ./internal/... ./cmd/...
 //
 // Flags:
 //
-//	-rules determinism,obsregister,cycleguard   run a subset
-//	-list                                       print the analyzers and exit
+//	-rules determinism,statecov,...   run a subset (see -list for all)
+//	-list                             print the analyzers and exit
+//	-strict-waivers                   also fail on waivers that suppress nothing
+//	-github                           emit GitHub Actions ::error annotations too
 //
-// Findings are waived in source with `//simlint:allow <rule> -- reason`.
+// Findings are waived in source with `//simlint:allow <rule> -- reason`;
+// struct fields deliberately excluded from digest coverage carry
+// `//simlint:nodigest <reason>`. Under -strict-waivers, directives that
+// suppress no finding (or lack a written reason) are reported as rule
+// "stalewaiver".
+//
+// Exit codes: 0 clean, 1 findings or type errors, 2 usage or load errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,16 +31,28 @@ import (
 )
 
 func main() {
-	rules := flag.String("rules", "", "comma-separated analyzer subset (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: parses args, runs the suite, renders
+// findings to stdout, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	strictWaivers := fs.Bool("strict-waivers", false, "also report //simlint directives that suppress no finding")
+	github := fs.Bool("github", false, "also emit GitHub Actions ::error annotations")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *rules != "" {
 		want := make(map[string]bool)
@@ -46,21 +67,21 @@ func main() {
 			}
 		}
 		for r := range want {
-			fmt.Fprintf(os.Stderr, "simlint: unknown rule %q\n", r)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "simlint: unknown rule %q\n", r)
+			return 2
 		}
 		analyzers = sel
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	pkgs, err := lint.NewLoader().Load(patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
 	}
 
 	failed := false
@@ -68,22 +89,34 @@ func main() {
 		for _, e := range p.TypeErrors {
 			// Analysis precision depends on clean type-checking; surface
 			// loader problems rather than silently passing.
-			fmt.Fprintf(os.Stderr, "simlint: %s: type error: %v\n", p.ImportPath, e)
+			fmt.Fprintf(stderr, "simlint: %s: type error: %v\n", p.ImportPath, e)
 			failed = true
 		}
 	}
 
+	findings, stale := lint.RunAudited(pkgs, analyzers)
+	if *strictWaivers {
+		findings = append(findings, stale...)
+		lint.SortDiagnostics(findings)
+	}
 	cwd, _ := os.Getwd()
-	for _, d := range lint.Run(pkgs, analyzers) {
+	for _, d := range findings {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 				d.Pos.Filename = rel
 			}
 		}
-		fmt.Println(d)
+		fmt.Fprintln(stdout, d)
+		if *github {
+			// Workflow-command form: one ::error per finding makes CI
+			// surface the diagnostics inline on the PR diff.
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=simlint %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+		}
 		failed = true
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

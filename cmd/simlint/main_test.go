@@ -1,0 +1,125 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixture module lives under testdata/src so the loader's pattern
+// walk (which skips testdata subdirectories but not a testdata root)
+// reaches it explicitly, and its import paths fall under .../internal/...
+// — which makes the fixture packages Sim packages, subject to the full
+// contract suite, without touching the real tree.
+const (
+	cleanPkg = "./testdata/src/internal/e2eclean"
+	badPkg   = "./testdata/src/internal/e2ebad"
+	stalePkg = "./testdata/src/internal/e2estale"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, rule := range []string{"determinism", "obsregister", "cycleguard", "statecov", "wakehook", "determtaint"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("-list output missing analyzer %q:\n%s", rule, out)
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, errw := runCLI(t, cleanPkg)
+	if code != 0 {
+		t.Fatalf("clean fixture exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+	if out != "" {
+		t.Errorf("clean fixture produced output:\n%s", out)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, out, _ := runCLI(t, badPkg)
+	if code != 1 {
+		t.Fatalf("bad fixture exit = %d, want 1\nstdout:\n%s", code, out)
+	}
+	// One finding per contract family, rendered with its rule tag.
+	for _, rule := range []string{"[determinism]", "[statecov]", "[determtaint]"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("bad fixture output missing %s finding:\n%s", rule, out)
+		}
+	}
+}
+
+func TestRulesSubsetRestrictsFindings(t *testing.T) {
+	code, out, _ := runCLI(t, "-rules", "determinism", badPkg)
+	if code != 1 {
+		t.Fatalf("-rules determinism exit = %d, want 1\nstdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[determinism]") {
+		t.Errorf("subset run missing determinism finding:\n%s", out)
+	}
+	for _, rule := range []string{"[statecov]", "[determtaint]"} {
+		if strings.Contains(out, rule) {
+			t.Errorf("subset run leaked %s finding:\n%s", rule, out)
+		}
+	}
+}
+
+func TestUnknownRuleExitsTwo(t *testing.T) {
+	code, _, errw := runCLI(t, "-rules", "nosuchrule", badPkg)
+	if code != 2 {
+		t.Fatalf("unknown rule exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw, "nosuchrule") {
+		t.Errorf("stderr does not name the unknown rule:\n%s", errw)
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	code, _, errw := runCLI(t, "./testdata/src/internal/doesnotexist")
+	if code != 2 {
+		t.Fatalf("missing dir exit = %d, want 2\nstderr:\n%s", code, errw)
+	}
+}
+
+func TestStaleWaiverOnlyFailsUnderStrict(t *testing.T) {
+	code, out, _ := runCLI(t, stalePkg)
+	if code != 0 {
+		t.Fatalf("stale fixture without -strict-waivers exit = %d, want 0\nstdout:\n%s", code, out)
+	}
+	code, out, _ = runCLI(t, "-strict-waivers", stalePkg)
+	if code != 1 {
+		t.Fatalf("stale fixture with -strict-waivers exit = %d, want 1\nstdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[stalewaiver]") {
+		t.Errorf("strict run missing stalewaiver finding:\n%s", out)
+	}
+}
+
+func TestUsedWaiverSurvivesStrict(t *testing.T) {
+	code, out, _ := runCLI(t, "-strict-waivers", cleanPkg)
+	if code != 0 {
+		t.Fatalf("clean fixture with -strict-waivers exit = %d, want 0\nstdout:\n%s", code, out)
+	}
+}
+
+func TestGitHubAnnotations(t *testing.T) {
+	code, out, _ := runCLI(t, "-github", badPkg)
+	if code != 1 {
+		t.Fatalf("-github exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "::error file=") {
+		t.Errorf("-github output missing workflow annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "title=simlint determinism") {
+		t.Errorf("-github annotation missing rule title:\n%s", out)
+	}
+}

@@ -1,0 +1,30 @@
+// Package e2ebad seeds one finding per contract family, so the CLI test
+// can assert exit codes, rendered rule names, and -rules subsetting.
+package e2ebad
+
+import "time"
+
+type hasher struct{ acc uint64 }
+
+func (h *hasher) U64(v uint64) { h.acc = h.acc*31 + v }
+
+type state struct {
+	ticks  uint64
+	hidden uint64 // not digested, not waived -> statecov
+}
+
+func (s *state) DigestInto(h *hasher) {
+	h.U64(s.ticks)
+}
+
+// stamp is a direct wall-clock read -> determinism.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// seed launders the clock through the wrapper -> determtaint.
+func seed() int64 {
+	return stamp()
+}
+
+var _ = seed

@@ -1,0 +1,11 @@
+// Package e2eclean is the lint-clean fixture for the CLI end-to-end
+// test: compliant code plus one used, justified waiver (so default runs
+// exit 0 and -strict-waivers has nothing to report).
+package e2eclean
+
+func perCycle(insts, cycles uint64) uint64 {
+	//simlint:allow cycleguard -- fixture: the caller guarantees cycles > 0
+	return insts / cycles
+}
+
+var _ = perCycle

@@ -1,0 +1,14 @@
+// Package e2estale carries only a stale waiver: the division below is
+// already guarded, so the directive suppresses nothing. Default runs exit
+// 0; -strict-waivers reports it and exits 1.
+package e2estale
+
+func frac(part, cycles uint64) uint64 {
+	if cycles == 0 {
+		return 0
+	}
+	//simlint:allow cycleguard -- stale on purpose: the guard above already handles zero
+	return part / cycles
+}
+
+var _ = frac

@@ -76,10 +76,10 @@ func (s Stats) MissRate() float64 {
 
 // Cache is one set-associative cache with an MSHR file.
 type Cache struct {
-	sets      int
-	assoc     int
-	lineBytes uint64
-	mshrMax   int
+	sets      int    //simlint:nodigest -- config: cache geometry, fixed at construction
+	assoc     int    //simlint:nodigest -- config: cache geometry, fixed at construction
+	lineBytes uint64 //simlint:nodigest -- config: cache geometry, fixed at construction
+	mshrMax   int    //simlint:nodigest -- config: cache geometry, fixed at construction
 
 	lines []line // sets*assoc, row-major by set
 	mshr  map[uint64]struct{}
@@ -91,6 +91,7 @@ type Cache struct {
 	// (the LRU clock) the victim survived since its last touch. A
 	// left-shifted distribution means lines die before reuse — the
 	// thrashing signature intra-SM sharing can induce.
+	//simlint:nodigest -- observability: exported histogram; the digest pins Stats counters instead
 	EvictionAge obs.Hist
 }
 

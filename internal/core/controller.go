@@ -25,43 +25,44 @@ const (
 // threshold of §IV.
 type Controller struct {
 	// WarmupCycles precede the sampling window (paper: 20K).
-	WarmupCycles int64
+	WarmupCycles int64 //simlint:nodigest -- config: policy knob, set before Run and never mutated
 	// SampleCycles is the profiling window length (paper: 5K).
-	SampleCycles int64
+	SampleCycles int64 //simlint:nodigest -- config: policy knob, set before Run and never mutated
 	// AlgorithmDelay models the partitioning computation time between the
 	// end of sampling and the repartition (paper Fig. 10a: 1K-10K has
 	// <1.5% impact).
-	AlgorithmDelay int64
+	AlgorithmDelay int64 //simlint:nodigest -- config: policy knob, set before Run and never mutated
 	// UseScaledIPC enables the Eq. 3-4 bandwidth correction (ablation
 	// point; the paper always enables it).
-	UseScaledIPC bool
+	UseScaledIPC bool //simlint:nodigest -- config: policy knob, set before Run and never mutated
 	// SymmetricScaling also scales DOWN samples from SMs profiled below
 	// the average occupancy (the literal reading of Eq. 4, where ψ goes
 	// negative). The default applies the correction only as the paper
 	// motivates it — offsetting the bandwidth-contention penalty of
 	// above-average SMs — which keeps bandwidth-saturated kernels' curves
 	// flat instead of artificially rising.
-	SymmetricScaling bool
+	SymmetricScaling bool //simlint:nodigest -- config: policy knob, set before Run and never mutated
 	// LossThresholdScale sets the spatial-fallback threshold to
 	// Scale/K (paper: 1.2, i.e. 120%/K maximum tolerated loss).
-	LossThresholdScale float64
+	LossThresholdScale float64 //simlint:nodigest -- config: policy knob, set before Run and never mutated
 
 	// ArrivalWarmup is the shortened warm-up used when a newly arrived
 	// kernel triggers re-profiling (the machine is already warm).
-	ArrivalWarmup int64
+	ArrivalWarmup int64 //simlint:nodigest -- config: policy knob, set before Run and never mutated
 
 	// RepeatOnPhaseChange enables §IV-B phase monitoring: when the
 	// device IPC shifts by more than PhaseDeltaFrac between consecutive
 	// PhaseWindow-cycle windows after the decision, profiling restarts.
-	RepeatOnPhaseChange bool
-	PhaseWindow         int64
-	PhaseDeltaFrac      float64
+	RepeatOnPhaseChange bool    //simlint:nodigest -- config: policy knob, set before Run and never mutated
+	PhaseWindow         int64   //simlint:nodigest -- config: policy knob, set before Run and never mutated
+	PhaseDeltaFrac      float64 //simlint:nodigest -- config: policy knob, set before Run and never mutated
 
 	// Log, when non-nil, receives the controller's decision trail:
 	// profile_start, sample_start, per-kernel curves, the water-filling
 	// decision, and the exact cycle each repartition landed. It is the
 	// audited record of every partitioning episode (tests assert on it,
 	// the CLI dumps it, the Chrome-trace exporter draws it).
+	//simlint:nodigest -- observability: decision event log, output only, never read back by the model
 	Log *obs.EventLog
 
 	// Results (valid once Decided).

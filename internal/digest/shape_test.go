@@ -15,12 +15,21 @@ import (
 // The digest layer promises that two runs with equal chains have equal
 // architectural state — a promise that silently breaks when someone adds
 // state to a component without extending its DigestInto walk. This test
-// fingerprints the exported struct shape of everything reachable from the
-// digest roots (the GPU and the dynamic controller) and pins one
-// fingerprint per digest.Version: adding or removing an exported field
-// anywhere in that graph fails the test until the digest version is
-// bumped and the new shape is pinned, forcing a conscious decision about
-// whether the new field belongs in the canonical-state traversal.
+// fingerprints the struct shape — exported AND unexported fields — of
+// everything reachable from the digest roots (the GPU and the dynamic
+// controller) and pins one fingerprint per digest.Version: adding or
+// removing a field anywhere in that graph fails the test until the digest
+// version is bumped and the new shape is pinned, forcing a conscious
+// decision about whether the new field belongs in the canonical-state
+// traversal.
+//
+// Division of labor with the statecov analyzer (internal/lint): this pin
+// detects that a field APPEARED or VANISHED (layout drift, cross-version);
+// statecov proves each field is actually READ by its type's DigestInto or
+// carries a //simlint:nodigest justification (coverage, per-build). The
+// pin cannot see an unread field; the analyzer cannot see a removed one
+// that took its digest call along with it. Together they close both
+// halves of the contract.
 
 // skipPkgs are observability / static-configuration packages excluded
 // from the canonical-state contract (their state is deliberately not
@@ -41,9 +50,11 @@ var skipTypes = map[string]bool{
 }
 
 // shapeLines walks the module-local struct graph and returns one line per
-// exported field: "pkg.Type.Field fieldType". Unexported fields are
-// traversed (to reach nested module types) but not recorded — the pin
-// covers the exported surface other packages can mutate.
+// field — exported and unexported alike: "pkg.Type.Field fieldType".
+// Unexported fields carry just as much architectural state (the warp
+// scoreboard, the SM memory queue, the cache LRU clock), so the pin must
+// see them; before PR 9 they were traversed but not recorded, which let
+// an unexported-field add slip past the fingerprint.
 func shapeLines(roots ...reflect.Type) []string {
 	seen := map[reflect.Type]bool{}
 	var lines []string
@@ -67,9 +78,7 @@ func shapeLines(roots ...reflect.Type) []string {
 		seen[t] = true
 		for i := 0; i < t.NumField(); i++ {
 			f := t.Field(i)
-			if f.IsExported() {
-				lines = append(lines, fmt.Sprintf("%s.%s.%s %s", pkg, t.Name(), f.Name, f.Type.String()))
-			}
+			lines = append(lines, fmt.Sprintf("%s.%s.%s %s", pkg, t.Name(), f.Name, f.Type.String()))
 			walk(f.Type)
 		}
 	}
@@ -94,9 +103,11 @@ func shapeFingerprint() digest.Sum {
 }
 
 // pinnedShape maps each digest.Version to the struct-shape fingerprint it
-// was audited against.
+// was audited against. (The Version 1 pin was re-recorded when the walk
+// started including unexported fields — the struct graph itself did not
+// change, only the fingerprint's coverage, so no version bump.)
 var pinnedShape = map[int]digest.Sum{
-	1: 0xb0d4ce9983e357f4,
+	1: 0x85bd4ffe14d3673d,
 }
 
 func TestStructShapePinnedToDigestVersion(t *testing.T) {
@@ -107,8 +118,8 @@ func TestStructShapePinnedToDigestVersion(t *testing.T) {
 	}
 	got := shapeFingerprint()
 	if got != want {
-		t.Fatalf("exported state shape changed: fingerprint %s, pinned %s for digest.Version %d.\n"+
-			"A struct reachable from the digest roots gained or lost an exported field. Decide whether the\n"+
+		t.Fatalf("state shape changed: fingerprint %s, pinned %s for digest.Version %d.\n"+
+			"A struct reachable from the digest roots gained or lost a field. Decide whether the\n"+
 			"field is architectural state: if yes, add it to the component's DigestInto walk; if no, document\n"+
 			"the exclusion in internal/sm/digest.go or DESIGN.md. Then bump digest.Version and re-pin.\n"+
 			"Current shape:\n  %s",
@@ -128,6 +139,11 @@ func TestShapeWalkCoversKnownState(t *testing.T) {
 		"warpedslicer/internal/sm.Stats.Issued uint64",
 		"warpedslicer/internal/warp.Warp.OutstandingLoads int",
 		"warpedslicer/internal/core.Controller.Partition []int",
+		// Unexported architectural state must be in the line set too —
+		// the PR 9 gap this file used to have.
+		"warpedslicer/internal/warp.Warp.fetchReadyAt int64",
+		"warpedslicer/internal/sm.SM.memQLen int",
+		"warpedslicer/internal/cache.Cache.tick uint64",
 	} {
 		found := false
 		for _, l := range lines {
@@ -139,5 +155,54 @@ func TestShapeWalkCoversKnownState(t *testing.T) {
 		if !found {
 			t.Errorf("shape walk lost %q — walker no longer descends this part of the graph", want)
 		}
+	}
+}
+
+// probeBase and probeGrown differ only by one unexported field; renaming
+// probeGrown's lines to probeBase's name makes the extra field the sole
+// difference between the two shapes.
+type probeBase struct {
+	Counter uint64
+	hidden  int64
+}
+
+type probeGrown struct {
+	Counter uint64
+	hidden  int64
+	slipped int64 // the unexported add the fingerprint must catch
+}
+
+// TestShapeFingerprintSeesUnexportedFields demonstrates the closed gap:
+// adding an unexported field to a struct in the walked graph changes the
+// recorded shape, so the pinned fingerprint fails until the addition is
+// audited. reflect cannot synthesize unexported fields (StructOf rejects
+// them), so the probes are declared types.
+func TestShapeFingerprintSeesUnexportedFields(t *testing.T) {
+	base := shapeLines(reflect.TypeOf(probeBase{}))
+	grown := shapeLines(reflect.TypeOf(probeGrown{}))
+	for i, l := range grown {
+		grown[i] = strings.ReplaceAll(l, "probeGrown", "probeBase")
+	}
+
+	wantHidden := false
+	for _, l := range base {
+		if strings.HasSuffix(l, ".probeBase.hidden int64") {
+			wantHidden = true
+		}
+	}
+	if !wantHidden {
+		t.Fatalf("unexported field not recorded by the shape walk:\n  %s", strings.Join(base, "\n  "))
+	}
+
+	hash := func(lines []string) digest.Sum {
+		h := digest.NewHasher()
+		h.Int(len(lines))
+		for _, l := range lines {
+			h.Str(l)
+		}
+		return h.Sum()
+	}
+	if hash(base) == hash(grown) {
+		t.Fatal("adding an unexported field did not change the shape fingerprint")
 	}
 }

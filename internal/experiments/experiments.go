@@ -154,6 +154,7 @@ func (o Options) Instrument(g *gpu.GPU) { o.instrument(g, o.Events) }
 func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
 	g.Log = log
 	if o.ProfPeriod > 0 {
+		//simlint:allow determtaint -- profiler construction: the epoch stamp inside is metering state, not simulator state
 		g.Prof = prof.New(o.ProfPeriod)
 	}
 	if o.DigestEvery > 0 {

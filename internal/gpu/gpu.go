@@ -319,6 +319,7 @@ func (g *GPU) Step() {
 		// phase on every firing: a sampled Mark here essentially never
 		// coincided with a monitor cycle and reported obs_drain as a
 		// constant 0.
+		//simlint:allow determtaint -- rare-phase stamp: opaque token handed back to RareEnd, never compared to sim state
 		t0 := p.RareStart()
 		g.Monitor(g)
 		p.RareEnd(prof.ObsDrain, t0)
@@ -331,6 +332,7 @@ func (g *GPU) Step() {
 		}
 	}
 	if g.DigestEvery > 0 && g.now%g.DigestEvery == 0 {
+		//simlint:allow determtaint -- rare-phase stamp: opaque token handed back to RareEnd, never compared to sim state
 		t0 := p.RareStart()
 		g.recordDigest()
 		p.RareEnd(prof.Digest, t0)

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The interprocedural analyzers (statecov, wakehook, determtaint) share a
+// static call graph over the whole loaded package set. Nodes are keyed by
+// string ("pkgpath.Recv.Name" for methods, "pkgpath.Name" for functions)
+// rather than by *types.Func identity: the loader type-checks each
+// directly-loaded package with a source importer, so a dependency that is
+// also loaded directly exists twice as distinct types.Object trees — the
+// string key unifies the two views.
+
+// fnNode is one function declaration in the analyzed set.
+type fnNode struct {
+	key  string
+	pkg  *Package
+	decl *ast.FuncDecl
+	obj  *types.Func
+	// calls lists static call sites inside the body (including calls from
+	// function literals declared in it — a closure's effects belong to the
+	// function that runs it or stores it).
+	calls []callEdge
+}
+
+// callEdge is one call site.
+type callEdge struct {
+	callee string // funcKey of the resolved callee
+	pos    token.Pos
+}
+
+// suite is the call graph plus indexes the interprocedural analyzers need.
+type suite struct {
+	pkgs []*Package
+	// fns maps funcKey -> node for every FuncDecl with a body in pkgs.
+	fns map[string]*fnNode
+	// order lists the keys of fns in deterministic (package, file,
+	// position) order so analyzer output never depends on map iteration.
+	order []string
+	// callers indexes reverse edges: callee key -> caller keys (deduped,
+	// sorted). Only calls resolved to suite functions appear.
+	callers map[string][]string
+}
+
+func newSuite(pkgs []*Package) *suite {
+	s := &suite{pkgs: pkgs, fns: make(map[string]*fnNode), callers: make(map[string][]string)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				key := funcKey(obj)
+				node := &fnNode{key: key, pkg: p, decl: fd, obj: obj}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeFunc(p, call); callee != nil {
+						node.calls = append(node.calls, callEdge{callee: funcKey(callee), pos: call.Pos()})
+					}
+					return true
+				})
+				s.fns[key] = node
+				s.order = append(s.order, key)
+			}
+		}
+	}
+	seen := make(map[[2]string]bool)
+	for _, key := range s.order {
+		for _, e := range s.fns[key].calls {
+			if _, inSuite := s.fns[e.callee]; !inSuite {
+				continue
+			}
+			pair := [2]string{e.callee, key}
+			if seen[pair] {
+				continue
+			}
+			seen[pair] = true
+			s.callers[e.callee] = append(s.callers[e.callee], key)
+		}
+	}
+	for _, cs := range s.callers {
+		sort.Strings(cs)
+	}
+	return s
+}
+
+// reachable returns the set of suite functions reachable from start by
+// following static call edges, including start itself.
+func (s *suite) reachable(start string) map[string]bool {
+	seen := map[string]bool{start: true}
+	work := []string{start}
+	for len(work) > 0 {
+		key := work[len(work)-1]
+		work = work[:len(work)-1]
+		node := s.fns[key]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.calls {
+			if !seen[e.callee] {
+				seen[e.callee] = true
+				work = append(work, e.callee)
+			}
+		}
+	}
+	return seen
+}
+
+// funcKey builds the suite-wide string key for a function object:
+// "pkgpath.Recv.Name" for methods (pointerness erased), "pkgpath.Name"
+// otherwise.
+func funcKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return pkg + "." + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// shortKey trims the import-path prefix of a funcKey or typeKey down to
+// the last path element, for readable messages: "warpedslicer/internal/sm.SM.markStale"
+// -> "sm.SM.markStale".
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// typeKey is the suite-wide key of a named type: "pkgpath.Name".
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "." + obj.Name()
+}
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldOwner resolves a selector expression that denotes a struct field
+// access to ("pkgpath.Type", fieldName). It returns ok=false for method
+// selections, package-qualified identifiers, and fields of unnamed types.
+func fieldOwner(p *Package, sel *ast.SelectorExpr) (typ string, field string, ok bool) {
+	selection, found := p.Info.Selections[sel]
+	if !found || selection.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	if _, isVar := selection.Obj().(*types.Var); !isVar {
+		return "", "", false
+	}
+	// Walk the selection's index path from the receiver type so embedded
+	// promotions attribute the field to the struct that declares it.
+	t := selection.Recv()
+	idx := selection.Index()
+	for i, fi := range idx {
+		owner := namedOf(t)
+		st, isStruct := derefStruct(t)
+		if !isStruct || fi >= st.NumFields() {
+			return "", "", false
+		}
+		f := st.Field(fi)
+		if i == len(idx)-1 {
+			if owner == nil {
+				return "", "", false
+			}
+			return typeKey(owner), f.Name(), true
+		}
+		t = f.Type()
+	}
+	return "", "", false
+}
+
+// derefStruct unwraps one level of pointer, then named, down to a struct.
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}

@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetermTaint upgrades the determinism analyzer from per-call-site bans to
+// interprocedural taint. The per-site rules catch a time.Now in a
+// simulator package, but not a helper that wraps it: once `func now()
+// int64 { return time.Now().UnixNano() }` exists anywhere in the analyzed
+// set, every caller launders wall-clock state past the ban. This pass
+// computes, to a fixpoint over the whole package set, which functions
+// *return* values derived from a nondeterminism source — wall clock,
+// environment, or map iteration order — and flags every call to such a
+// function from a simulator package, with the taint chain in the message.
+//
+// Scope (documented, deliberate): taint propagates through return values
+// only. Writes of tainted values into struct fields or globals are not
+// tracked — the runtime digest/schedref cross-checks cover state-borne
+// nondeterminism — and a tainted argument does not taint the callee's
+// result. This keeps the analysis precise enough that a finding is always
+// actionable: some function in the chain really does return clock-,
+// env-, or map-order-derived data.
+var DetermTaint = &Analyzer{
+	Name: "determtaint",
+	Doc: "flag calls to functions that (transitively) return wall-clock, environment, " +
+		"or map-iteration-order derived values in simulator packages",
+	RunAll: runDetermTaint,
+}
+
+const mapOrderSource = "map iteration order"
+
+func runDetermTaint(pkgs []*Package) []Diagnostic {
+	s := newSuite(pkgs)
+
+	// tainted maps funcKey -> the immediate source of its taint: a banned
+	// call key ("time.Now"), mapOrderSource, or the funcKey of a tainted
+	// callee whose result flows to this function's return.
+	tainted := make(map[string]string)
+	for changed := true; changed; {
+		changed = false
+		for _, key := range s.order {
+			if _, done := tainted[key]; done {
+				continue
+			}
+			if via, ok := returnsTaint(s.fns[key], tainted); ok {
+				tainted[key] = via
+				changed = true
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, key := range s.order {
+		node := s.fns[key]
+		if !node.pkg.Sim {
+			continue
+		}
+		for _, e := range node.calls {
+			if e.callee == key {
+				continue // recursion: the definition site carries the chain already
+			}
+			if _, ok := tainted[e.callee]; !ok {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  node.pkg.Fset.Position(e.pos),
+				Rule: "determtaint",
+				Msg: fmt.Sprintf("call to %s returns a nondeterminism-derived value (taint: %s); "+
+					"derive it from simulation state instead, or waive with //simlint:allow determtaint -- <reason>",
+					shortKey(e.callee), taintChain(e.callee, tainted)),
+			})
+		}
+	}
+	return diags
+}
+
+// taintChain renders the via links from a tainted function down to the
+// root source, e.g. "prof.Profiler.RareStart <- prof.Profiler.now <-
+// time.Since (wall clock)".
+func taintChain(key string, tainted map[string]string) string {
+	var parts []string
+	for hops := 0; hops < 16; hops++ {
+		parts = append(parts, shortKey(key))
+		via, ok := tainted[key]
+		if !ok {
+			break
+		}
+		if _, isFn := tainted[via]; !isFn {
+			parts = append(parts, sourceLabel(via))
+			break
+		}
+		key = via
+	}
+	return strings.Join(parts, " <- ")
+}
+
+func sourceLabel(src string) string {
+	switch {
+	case src == mapOrderSource:
+		return src
+	case strings.HasPrefix(src, "time."):
+		return src + " (wall clock)"
+	case strings.HasPrefix(src, "os."):
+		return src + " (environment)"
+	}
+	return src
+}
+
+// returnsTaint reports whether fn returns a value derived from a
+// nondeterminism source, and names the immediate source. The per-function
+// analysis is flow-insensitive: local variables assigned from a tainted
+// expression become tainted anywhere in the body, iterated to a fixpoint.
+func returnsTaint(fn *fnNode, tainted map[string]string) (string, bool) {
+	p := fn.pkg
+	local := make(map[types.Object]string)
+
+	// exprTaint returns the immediate taint source of an expression, or "".
+	var exprTaint func(e ast.Expr) string
+	exprTaint = func(e ast.Expr) string {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return exprTaint(e.X)
+		case *ast.Ident:
+			if obj := p.Info.Uses[e]; obj != nil {
+				return local[obj]
+			}
+		case *ast.CallExpr:
+			// Conversion int64(x) passes taint through.
+			if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				return exprTaint(e.Args[0])
+			}
+			if callee := calleeFunc(p, e); callee != nil && callee.Pkg() != nil {
+				if _, banned := bannedCalls[callee.Pkg().Path()+"."+callee.Name()]; banned {
+					return callee.Pkg().Path() + "." + callee.Name()
+				}
+				ck := funcKey(callee)
+				if _, ok := tainted[ck]; ok && ck != fn.key {
+					return ck
+				}
+			}
+			// A method or function applied to a tainted operand keeps the
+			// taint: time.Now().UnixNano(), tainted.Truncate(...), and
+			// append(taintedSlice, x).
+			if isBuiltinAppend(p, e) {
+				for _, a := range e.Args {
+					if via := exprTaint(a); via != "" {
+						return via
+					}
+				}
+				return ""
+			}
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				return exprTaint(sel.X)
+			}
+		case *ast.SelectorExpr:
+			// Field reads are untracked (see analyzer doc); but a
+			// selector over a tainted local (x.field where x is tainted)
+			// keeps the taint.
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					return local[obj]
+				}
+			}
+		case *ast.UnaryExpr:
+			return exprTaint(e.X)
+		case *ast.StarExpr:
+			return exprTaint(e.X)
+		case *ast.IndexExpr:
+			return exprTaint(e.X)
+		case *ast.BinaryExpr:
+			if via := exprTaint(e.X); via != "" {
+				return via
+			}
+			return exprTaint(e.Y)
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if via := exprTaint(elt); via != "" {
+					return via
+				}
+			}
+		}
+		return ""
+	}
+
+	taintObj := func(e ast.Expr, via string) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil || local[obj] != "" {
+			return false
+		}
+		local[obj] = via
+		return true
+	}
+
+	// Local fixpoint: propagate taint through assignments and map-order
+	// slice accumulation until stable.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					if via := exprTaint(n.Rhs[0]); via != "" {
+						for _, lhs := range n.Lhs {
+							if taintObj(lhs, via) {
+								changed = true
+							}
+						}
+					}
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if via := exprTaint(rhs); via != "" {
+						if taintObj(n.Lhs[i], via) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// Appending to an outer slice while ranging a map bakes
+				// iteration order into the slice — unless the collect-
+				// then-sort idiom cleans it up later in the file.
+				if tv, ok := p.Info.Types[n.X]; !ok || tv.Type == nil {
+					return true
+				} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				file := fileOf(p, n.Pos())
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					as, ok := m.(*ast.AssignStmt)
+					if !ok {
+						return true
+					}
+					if kind, target := orderDependentAssign(p, n, as); kind != "" && target != nil {
+						if file != nil && sortedLater(p, file, target) {
+							return true
+						}
+						if local[target] == "" {
+							local[target] = mapOrderSource
+							changed = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	// A function is tainted if any returned expression is, including the
+	// named results of a naked return.
+	var via string
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if via != "" {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // a closure's returns are not this function's returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			if res := fn.decl.Type.Results; res != nil {
+				for _, f := range res.List {
+					for _, name := range f.Names {
+						if obj := p.Info.Defs[name]; obj != nil && local[obj] != "" {
+							via = local[obj]
+							return false
+						}
+					}
+				}
+			}
+			return true
+		}
+		for _, r := range ret.Results {
+			if v := exprTaint(r); v != "" {
+				via = v
+				return false
+			}
+		}
+		return true
+	})
+	return via, via != ""
+}
+
+// fileOf finds the *ast.File in p containing pos.
+func fileOf(p *Package, pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,61 +1,160 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
-// directives indexes //simlint:allow waivers by file and line. A waiver on
-// line N suppresses findings of the named rule on line N (trailing comment)
-// and on line N+1 (comment above the statement). The rule name "all"
-// waives every analyzer.
-type directives struct {
-	// byLine maps filename -> line -> set of waived rule names.
-	byLine map[string]map[int]map[string]bool
+// Directive comment prefixes. //simlint:allow waives named rules on the
+// same or the next line; //simlint:nodigest is the field-level form of a
+// statecov waiver (it sits on a struct field declaration and documents why
+// the field is deliberately outside the canonical-state traversal). The
+// marker directives //simlint:readiness and //simlint:wakehook are not
+// waivers — they declare contract surface and are parsed by the wakehook
+// analyzer itself.
+const (
+	directivePrefix = "//simlint:allow"
+	nodigestPrefix  = "//simlint:nodigest"
+)
+
+// waiver is one parsed suppression directive. Each rule named by an
+// //simlint:allow comment gets its own waiver so staleness is tracked per
+// rule, not per comment.
+type waiver struct {
+	pos    token.Position // of the directive comment
+	rule   string         // analyzer name, or "all"
+	kind   string         // "allow" or "nodigest"
+	reason string         // the human justification after "--" (allow) or the trailing text (nodigest)
+	used   bool           // set when the waiver suppresses at least one finding
 }
 
-const directivePrefix = "//simlint:allow"
+// directives indexes waivers by file and line, suite-wide. A waiver on
+// line N suppresses findings of the named rule on line N (trailing
+// comment) and on line N+1 (comment above the statement). The rule name
+// "all" waives every analyzer. //simlint:nodigest parses as a statecov
+// waiver: the statecov analyzer reports undigested fields at their
+// declaration, which is exactly where the directive sits.
+type directives struct {
+	// byLine maps filename -> line -> waivers declared there.
+	byLine map[string]map[int][]*waiver
+	// order keeps every waiver in deterministic (position) order for the
+	// stale audit.
+	order []*waiver
+}
 
-func collectDirectives(p *Package) directives {
-	d := directives{byLine: make(map[string]map[int]map[string]bool)}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, directivePrefix)
-				if !ok {
-					continue
-				}
-				// Everything after "--" is the human justification.
-				text, _, _ = strings.Cut(text, "--")
-				pos := p.Fset.Position(c.Pos())
-				lines := d.byLine[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					d.byLine[pos.Filename] = lines
-				}
-				rules := lines[pos.Line]
-				if rules == nil {
-					rules = make(map[string]bool)
-					lines[pos.Line] = rules
-				}
-				for _, r := range strings.Fields(text) {
-					rules[r] = true
+func collectDirectives(pkgs []*Package) *directives {
+	d := &directives{byLine: make(map[string]map[int][]*waiver)}
+	add := func(w *waiver) {
+		lines := d.byLine[w.pos.Filename]
+		if lines == nil {
+			lines = make(map[int][]*waiver)
+			d.byLine[w.pos.Filename] = lines
+		}
+		lines[w.pos.Line] = append(lines[w.pos.Line], w)
+		d.order = append(d.order, w)
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := p.Fset.Position(c.Pos())
+					if text, ok := strings.CutPrefix(c.Text, nodigestPrefix); ok {
+						add(&waiver{
+							pos:    pos,
+							rule:   "statecov",
+							kind:   "nodigest",
+							reason: trimReason(text),
+						})
+						continue
+					}
+					text, ok := strings.CutPrefix(c.Text, directivePrefix)
+					if !ok {
+						continue
+					}
+					// Everything after "--" is the human justification.
+					rules, reason, _ := strings.Cut(text, "--")
+					for _, r := range strings.Fields(rules) {
+						add(&waiver{pos: pos, rule: r, kind: "allow", reason: strings.TrimSpace(reason)})
+					}
 				}
 			}
 		}
 	}
+	sort.Slice(d.order, func(i, j int) bool { return posLess(d.order[i].pos, d.order[j].pos) })
 	return d
 }
 
-func (d directives) allowed(pos token.Position, rule string) bool {
+// trimReason normalizes the free text after a nodigest directive: both
+// "//simlint:nodigest -- reason" and "//simlint:nodigest reason" carry the
+// justification.
+func trimReason(text string) string {
+	text = strings.TrimSpace(text)
+	text = strings.TrimPrefix(text, "--")
+	return strings.TrimSpace(text)
+}
+
+// allowed reports whether a finding of rule at pos is waived, marking any
+// matching waiver as used (the stale audit reports the rest).
+func (d *directives) allowed(pos token.Position, rule string) bool {
 	lines := d.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if rules := lines[line]; rules != nil && (rules[rule] || rules["all"]) {
-			return true
+		for _, w := range lines[line] {
+			if w.rule == rule || w.rule == "all" {
+				w.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// audit returns one "stalewaiver" diagnostic per waiver that suppressed
+// nothing (restricted to rules that actually ran, so a -rules subset does
+// not misreport the others' waivers) and per waiver lacking a written
+// justification. Stale waivers are how contract rot hides: the code they
+// excused has moved or been fixed, and the blanket suppression is waiting
+// to swallow the next genuine finding on that line.
+func (d *directives) audit(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, w := range d.order {
+		covered := ran[w.rule] || (w.rule == "all" && len(ran) > 0)
+		if !covered {
+			continue
+		}
+		name := directivePrefix
+		if w.kind == "nodigest" {
+			name = nodigestPrefix
+		}
+		switch {
+		case w.reason == "":
+			out = append(out, Diagnostic{
+				Pos:  w.pos,
+				Rule: "stalewaiver",
+				Msg:  fmt.Sprintf("%s %s has no written justification; add one after \"--\"", name, w.rule),
+			})
+		case !w.used:
+			msg := fmt.Sprintf("%s %s suppresses no finding; the code it excused has moved or been fixed — remove it", name, w.rule)
+			if w.kind == "nodigest" {
+				msg = fmt.Sprintf("%s marks a field statecov does not flag (it is digested, or its type has no digest method); remove the directive", name)
+			}
+			out = append(out, Diagnostic{Pos: w.pos, Rule: "stalewaiver", Msg: msg})
+		}
+	}
+	return out
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
 }

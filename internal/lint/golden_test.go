@@ -40,8 +40,11 @@ func TestGolden(t *testing.T) {
 			// its location under internal/lint.
 			p.Sim = true
 
+			// Goldens pin findings and the stale-waiver audit together, so
+			// fixtures exercise both sides of every directive.
+			findings, stale := RunAudited([]*Package{p}, Analyzers())
 			var b strings.Builder
-			for _, d := range Run([]*Package{p}, Analyzers()) {
+			for _, d := range append(findings, stale...) {
 				fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n",
 					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 			}

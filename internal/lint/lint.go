@@ -1,27 +1,45 @@
 // Package lint is simlint's analysis engine: a stdlib-only (go/parser,
 // go/ast, go/types — no module dependencies) static-analysis suite that
-// machine-checks the two contracts this repository's results rest on:
+// machine-checks the contracts this repository's results rest on:
 //
 //   - byte-identical reproducibility: the parallel experiment runner and
 //     every figure sweep assume a simulation is a pure function of its
 //     inputs, so wall-clock reads, ambient environment, global PRNGs,
 //     unsanctioned goroutines, and order-dependent map iteration are
-//     forbidden in the simulator packages (analyzer "determinism");
+//     forbidden in the simulator packages (analyzer "determinism"); the
+//     interprocedural companion "determtaint" propagates the same sources
+//     through return values, so a wrapper helper cannot launder a
+//     time.Now past the per-call-site bans;
 //   - counter conservation: every counter a package increments must be
 //     registered on that package's observability surface (obs.go), or the
 //     per-kernel/SM-wide conservation invariants and the Prometheus
 //     endpoint silently under-report (analyzer "obsregister"); and
 //     divisions by cycle or instruction counts must be zero-guarded, the
 //     bug class that produced NaN rows in early CSV output (analyzer
-//     "cycleguard").
+//     "cycleguard");
+//   - canonical state: every field of a type with a DigestInto (or future
+//     WriteState serializer) method is read inside that method's call
+//     closure or carries a //simlint:nodigest directive naming why it is
+//     outside the architectural state (analyzer "statecov");
+//   - readiness maintenance: fields tagged //simlint:readiness may only be
+//     written by functions that transitively reach a //simlint:wakehook
+//     function, so a new state transition cannot forget the ready-set
+//     update (analyzer "wakehook").
 //
 // Findings can be waived with an explicit justification comment on the
 // offending line (or the line above):
 //
 //	//simlint:allow <rule> -- <reason>
 //
-// The cmd/simlint driver runs every analyzer over a package pattern and
-// exits non-zero on any unwaived finding.
+// and struct fields deliberately excluded from digesting carry the
+// field-level form:
+//
+//	//simlint:nodigest <reason>
+//
+// Waivers that suppress nothing are themselves reported by the
+// "stalewaiver" audit (cmd/simlint -strict-waivers). The cmd/simlint
+// driver runs every analyzer over a package pattern and exits non-zero on
+// any unwaived finding.
 package lint
 
 import (
@@ -69,35 +87,66 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 }
 
-// Analyzer is one named analysis pass.
+// Analyzer is one named analysis pass. Per-package passes set Run;
+// interprocedural passes that need the whole loaded package set at once
+// (call graphs, cross-package taint) set RunAll instead.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Package) []Diagnostic
+	// RunAll receives every loaded package in one call; diagnostics are
+	// waiver-filtered exactly like Run's.
+	RunAll func([]*Package) []Diagnostic
 }
 
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, ObsRegister, CycleGuard}
+	return []*Analyzer{Determinism, ObsRegister, CycleGuard, StateCov, WakeHook, DetermTaint}
 }
 
 // Run applies the given analyzers to every package, drops findings waived
 // by //simlint:allow directives, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, p := range pkgs {
-		dirs := collectDirectives(p)
-		for _, a := range analyzers {
-			for _, d := range a.Run(p) {
-				if dirs.allowed(d.Pos, a.Name) {
-					continue
-				}
-				out = append(out, d)
+	findings, _ := RunAudited(pkgs, analyzers)
+	return findings
+}
+
+// RunAudited is Run plus the waiver audit: the second slice reports
+// directives that suppressed no finding of any analyzer that ran (rule
+// "stalewaiver"), for -strict-waivers mode. Both slices are sorted by
+// position.
+func RunAudited(pkgs []*Package, analyzers []*Analyzer) (findings, stale []Diagnostic) {
+	dirs := collectDirectives(pkgs)
+	ran := make(map[string]bool, len(analyzers))
+	emit := func(name string, ds []Diagnostic) {
+		for _, d := range ds {
+			if dirs.allowed(d.Pos, name) {
+				continue
 			}
+			findings = append(findings, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.RunAll != nil {
+			emit(a.Name, a.RunAll(pkgs))
+			continue
+		}
+		for _, p := range pkgs {
+			emit(a.Name, a.Run(p))
+		}
+	}
+	stale = dirs.audit(ran)
+	SortDiagnostics(findings)
+	SortDiagnostics(stale)
+	return findings, stale
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, then rule —
+// the canonical output order for the CLI and golden fixtures.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -109,5 +158,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
 }

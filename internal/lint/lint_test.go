@@ -57,7 +57,7 @@ func TestDirectiveParsing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := collectDirectives(p)
+	d := collectDirectives([]*Package{p})
 	var file string
 	for f := range d.byLine {
 		file = f

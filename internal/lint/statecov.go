@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// StateCov enforces the canonical-state traversal contract (DESIGN §4):
+// every field — exported and unexported — of a type with a digest or
+// serializer method must be read somewhere in that method's static call
+// closure, or carry a //simlint:nodigest directive naming why it is
+// outside the architectural state. This closes the blind spot in the
+// reflection shape test, which can fingerprint struct layout but cannot
+// see whether DigestInto actually visits a field, and it is the coverage
+// checker for the future checkpoint serializer: WriteState methods are
+// held to the same rule the moment they exist.
+var StateCov = &Analyzer{
+	Name: "statecov",
+	Doc: "every field of a type with a DigestInto/WriteState method must be read " +
+		"in that method's call closure or carry //simlint:nodigest <reason>",
+	RunAll: runStateCov,
+}
+
+// digestMethodNames are the method names held to full-field coverage.
+// Unexported spellings are included because gpu.Kernel's digest hook is
+// digestInto (called from the GPU's own DigestInto).
+var digestMethodNames = map[string]bool{
+	"DigestInto": true, "digestInto": true,
+	"WriteState": true, "writeState": true,
+}
+
+func runStateCov(pkgs []*Package) []Diagnostic {
+	s := newSuite(pkgs)
+	var diags []Diagnostic
+	// checked dedupes (type, field) pairs so a type with several digest
+	// methods in the set reports each uncovered field once, attributed to
+	// the first method in suite order.
+	checked := make(map[string]bool)
+	for _, key := range s.order {
+		node := s.fns[key]
+		if !node.pkg.Sim || !digestMethodNames[node.decl.Name.Name] || node.decl.Recv == nil {
+			continue
+		}
+		sig, ok := node.obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		recv := namedOf(sig.Recv().Type())
+		if recv == nil {
+			continue
+		}
+		st, ok := derefStruct(recv)
+		if !ok {
+			continue
+		}
+		recvKey := typeKey(recv)
+
+		// Collect every field of the receiver type mentioned anywhere in
+		// the method's call closure. A mention is any selector that
+		// resolves to the field — reads and writes both count; a digest
+		// method that writes its own state would be caught by review, not
+		// this analyzer.
+		mentioned := make(map[string]bool)
+		for reached := range s.reachable(key) {
+			rn := s.fns[reached]
+			if rn == nil {
+				continue
+			}
+			ast.Inspect(rn.decl.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if typ, field, ok := fieldOwner(rn.pkg, sel); ok && typ == recvKey {
+					mentioned[field] = true
+				}
+				return true
+			})
+		}
+
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if mentioned[f.Name()] {
+				continue
+			}
+			pair := recvKey + "." + f.Name()
+			if checked[pair] {
+				continue
+			}
+			checked[pair] = true
+			diags = append(diags, Diagnostic{
+				Pos:  node.pkg.Fset.Position(f.Pos()),
+				Rule: "statecov",
+				Msg: fmt.Sprintf("field %s.%s is not read in %s (or its callees); digest it or mark the field //simlint:nodigest <reason>",
+					shortKey(recvKey), f.Name(), node.decl.Name.Name),
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,59 @@
+// Package determtaint_bad seeds the laundering patterns the
+// interprocedural taint pass exists to catch: the per-call-site
+// determinism rules flag only the innermost read (time.Now, os.Getenv,
+// the map range), while every wrapper above it slips through. determtaint
+// taints each function that returns a nondeterminism-derived value and
+// flags its call sites, so the two-level wrapper chain below produces a
+// finding at every link.
+package determtaint_bad
+
+import (
+	"os"
+	"time"
+)
+
+// stamp is the direct read: determinism flags the time.Now call site.
+func stamp() time.Time {
+	return time.Now()
+}
+
+// nowNanos launders the clock one level up: no banned call appears here,
+// but the returned value derives from stamp — determtaint flags the call.
+func nowNanos() int64 {
+	return stamp().UnixNano()
+}
+
+// jitter is the second wrapper level: still tainted, still flagged.
+func jitter() int64 {
+	return nowNanos() % 1024
+}
+
+// seedLatency feeds the laundered clock into a quantity the simulation
+// would consume; the call to jitter is the actionable finding.
+func seedLatency() int64 {
+	return jitter() + 100
+}
+
+// tenant wraps an environment read; callers inherit the taint.
+func tenant() string {
+	return os.Getenv("TENANT")
+}
+
+func cacheKey() string {
+	return "run:" + tenant()
+}
+
+// keysOf bakes map iteration order into the returned slice (determinism
+// flags the range); firstKey inherits the order-taint through the return
+// value.
+func keysOf(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func firstKey(m map[string]int) string {
+	return keysOf(m)[0]
+}

@@ -1,0 +1,46 @@
+// Package determtaint_ok pins the sanctioned shapes: a wall-clock helper
+// whose read and whose single consumer both carry written waivers (the
+// internal/prof metering pattern), and the collect-keys-then-sort idiom
+// that makes a map-derived slice order-independent again — no taint, no
+// findings.
+package determtaint_ok
+
+import (
+	"sort"
+	"time"
+)
+
+// hostNanos is host-cost metering: the clock read itself is waived, and
+// because the function returns the value, every caller needs either a fix
+// or a justified determtaint waiver.
+func hostNanos() int64 {
+	//simlint:allow determinism -- host-cost metering stamp; exported to telemetry, never read by the model
+	return time.Now().UnixNano()
+}
+
+// meter is the one sanctioned consumer; the waiver names why the taint
+// stops here.
+func meter() int64 {
+	//simlint:allow determtaint -- host-cost metering; the value feeds counters exported after the run, never simulation state
+	return hostNanos()
+}
+
+// sortedKeys is the canonical cleanup: collecting into a slice is fine
+// once the slice is sorted before use, so neither determinism (map range)
+// nor determtaint (return taint) fires.
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func first(m map[string]int) string {
+	ks := sortedKeys(m)
+	if len(ks) == 0 {
+		return ""
+	}
+	return ks[0]
+}

@@ -1,0 +1,46 @@
+// Package stalewaiver exercises the waiver audit: directives that
+// suppress no finding are themselves findings (rule "stalewaiver"), and
+// so are waivers with no written justification. Stale waivers are how
+// contract rot hides — the code they excused has moved or been fixed, and
+// the leftover suppression is waiting to swallow the next real finding on
+// that line.
+package stalewaiver
+
+type hasher struct{ acc uint64 }
+
+func (h *hasher) U64(v uint64) { h.acc = h.acc*31 + v }
+
+type counter struct {
+	ticks uint64
+	//simlint:nodigest -- stale: the field IS digested below, so this directive suppresses nothing
+	beats uint64
+}
+
+func (c *counter) DigestInto(h *hasher) {
+	h.U64(c.ticks)
+	h.U64(c.beats)
+}
+
+// rate already guards the denominator, so the waiver below it suppresses
+// nothing — reported as stale.
+func rate(done, cycles uint64) uint64 {
+	if cycles == 0 {
+		return 0
+	}
+	//simlint:allow cycleguard -- stale: the guard above already handles zero
+	return done / cycles
+}
+
+// perCycle's waiver does suppress a real cycleguard finding, but carries
+// no justification — reported for the missing reason.
+func perCycle(done, cycles uint64) uint64 {
+	//simlint:allow cycleguard
+	return done / cycles
+}
+
+// frac shows the healthy case: a used waiver with a reason produces no
+// audit finding.
+func frac(part, cycles uint64) uint64 {
+	//simlint:allow cycleguard -- caller validates cycles > 0 at config parse time
+	return part / cycles
+}

@@ -1,0 +1,42 @@
+// Package statecov_bad seeds the violations the statecov analyzer exists
+// to catch: a field of a digested type that the digest method never reads
+// (the "removed a field read" regression), and a serializer WriteState
+// method with the same gap. Both fields lack //simlint:nodigest, so both
+// must be flagged.
+package statecov_bad
+
+// hasher stands in for digest.Hasher; statecov matches digest methods by
+// name, not by parameter type, so fixtures stay dependency-free.
+type hasher struct{ acc uint64 }
+
+func (h *hasher) U64(v uint64) { h.acc = h.acc*31 + v }
+
+// core is architectural state: pc and stall are digested (stall through a
+// helper, pinning the transitive-read rule), but scratch is silently
+// skipped — exactly the drift DigestInto reviews miss.
+type core struct {
+	pc      uint64
+	stall   uint64
+	scratch uint64
+}
+
+func (c *core) DigestInto(h *hasher) {
+	h.U64(c.pc)
+	c.digestRest(h)
+}
+
+func (c *core) digestRest(h *hasher) {
+	h.U64(c.stall)
+}
+
+// snap is a future-serializer shape: WriteState methods are held to the
+// same coverage rule the moment they exist, so the unwritten note field
+// is flagged too.
+type snap struct {
+	cycles uint64
+	note   string
+}
+
+func (s *snap) WriteState(h *hasher) {
+	h.U64(s.cycles)
+}

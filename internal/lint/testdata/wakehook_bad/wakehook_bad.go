@@ -1,0 +1,61 @@
+// Package wakehook_bad seeds the readiness-contract violations: a state
+// transition on a //simlint:readiness field performed by a function that
+// neither reaches the //simlint:wakehook hook nor is shielded by hooked
+// callers. This is the PR 7 bug class — the ready set silently diverges
+// from a rescan until the schedref cross-check catches a byte divergence.
+package wakehook_bad
+
+type warp struct {
+	//simlint:readiness
+	state int
+	pc    uint64
+}
+
+type sched struct {
+	warps []*warp
+	ready []int
+}
+
+// markStale is the registered wake hook.
+//
+//simlint:wakehook
+func (s *sched) markStale(i int) {
+	s.ready = append(s.ready, i)
+}
+
+// block performs the transition and the readiness update — legal.
+func (s *sched) block(i int) {
+	s.warps[i].state = 1
+	s.markStale(i)
+}
+
+// silentTransition forgets the readiness update entirely — flagged.
+func (s *sched) silentTransition(i int) {
+	s.warps[i].state = 2
+}
+
+// bump mutates through an IncDecStmt, still without a hook — flagged.
+func (s *sched) bump(i int) {
+	s.warps[i].state++
+}
+
+// transition is a leaf mutator: it would be legal if every caller were
+// hooked, but drain below is not, so the write is flagged (the unhooked
+// path exists).
+func (w *warp) transition(v int) {
+	w.state = v
+}
+
+func (s *sched) wake(i int) {
+	s.warps[i].transition(0)
+	s.markStale(i)
+}
+
+func (s *sched) drain(i int) {
+	s.warps[i].transition(3)
+}
+
+// advance writes an untagged field; no hook required.
+func (s *sched) advance(i int) {
+	s.warps[i].pc++
+}

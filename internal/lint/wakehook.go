@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WakeHook enforces the ready-set maintenance contract from the PR 7
+// scheduler rewrite: every mutation of scheduler-visible warp/resident
+// state must be followed by a readiness update (markStale and friends), or
+// the incrementally-maintained ready set silently diverges from a rescan —
+// the bug class the schedref cross-check catches only after the fact, as a
+// byte divergence.
+//
+// The contract surface is declared in source with two markers:
+//
+//	//simlint:readiness   on a struct field: writes to it require a hook
+//	//simlint:wakehook    on a function: this is a readiness-update hook
+//
+// A write to a readiness field is legal inside a function that (a) is a
+// hook, (b) transitively calls a hook over the static call graph, or (c)
+// has at least one caller and every caller is itself hooked — case (c)
+// covers leaf mutators like warp.Issue whose sm-side callers perform the
+// markStale. Composite-literal initialization (constructors) is exempt:
+// a brand-new object is not yet scheduler-visible.
+var WakeHook = &Analyzer{
+	Name: "wakehook",
+	Doc: "fields tagged //simlint:readiness may only be written by functions that " +
+		"transitively reach a //simlint:wakehook function",
+	RunAll: runWakeHook,
+}
+
+const (
+	readinessMarker = "//simlint:readiness"
+	wakehookMarker  = "//simlint:wakehook"
+)
+
+func runWakeHook(pkgs []*Package) []Diagnostic {
+	s := newSuite(pkgs)
+	readiness := readinessFields(pkgs)
+	if len(readiness) == 0 {
+		return nil
+	}
+
+	// Seed: explicitly tagged hook functions.
+	hooked := make(map[string]bool)
+	for _, key := range s.order {
+		if hasMarker(s.fns[key].decl.Doc, wakehookMarker) {
+			hooked[key] = true
+		}
+	}
+
+	// Case (b): reverse-reachability over the caller index — a function
+	// from which some hook is reachable by forward calls is exactly a
+	// function reachable from that hook by reverse (caller) edges.
+	work := make([]string, 0, len(hooked))
+	for k := range hooked {
+		work = append(work, k)
+	}
+	for len(work) > 0 {
+		k := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range s.callers[k] {
+			if !hooked[caller] {
+				hooked[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+
+	// Case (c) fixpoint: a function whose every caller is hooked inherits
+	// hooked-ness (the readiness update happens around the call).
+	for changed := true; changed; {
+		changed = false
+		for _, k := range s.order {
+			if hooked[k] {
+				continue
+			}
+			callers := s.callers[k]
+			if len(callers) == 0 {
+				continue
+			}
+			all := true
+			for _, c := range callers {
+				if !hooked[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				hooked[k] = true
+				changed = true
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, key := range s.order {
+		node := s.fns[key]
+		if !node.pkg.Sim || hooked[key] {
+			continue
+		}
+		reportWrite := func(pos token.Pos, field string) {
+			diags = append(diags, Diagnostic{
+				Pos:  node.pkg.Fset.Position(pos),
+				Rule: "wakehook",
+				Msg: fmt.Sprintf("readiness field %s is written in %s, which neither reaches a wake hook nor is called only from hooked functions; "+
+					"add the readiness update or tag the hook with %s", shortKey(field), shortKey(key), wakehookMarker),
+			})
+		}
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if f, ok := writtenReadinessField(node.pkg, lhs, readiness); ok {
+						reportWrite(lhs.Pos(), f)
+					}
+				}
+			case *ast.IncDecStmt:
+				if f, ok := writtenReadinessField(node.pkg, n.X, readiness); ok {
+					reportWrite(n.Pos(), f)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// writtenReadinessField resolves an assignment target down to a readiness
+// field key, peeling index expressions (s.have[i] = v mutates field have).
+func writtenReadinessField(p *Package, lhs ast.Expr, readiness map[string]bool) (string, bool) {
+	e := ast.Unparen(lhs)
+	for {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	typ, field, ok := fieldOwner(p, sel)
+	if !ok {
+		return "", false
+	}
+	key := typ + "." + field
+	if !readiness[key] {
+		return "", false
+	}
+	return key, true
+}
+
+// readinessFields collects "pkgpath.Type.field" keys for every struct
+// field carrying the //simlint:readiness marker (in its doc comment or
+// trailing line comment).
+func readinessFields(pkgs []*Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := tn.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					tkey := typeKey(named)
+					for _, field := range st.Fields.List {
+						if !hasMarker(field.Doc, readinessMarker) && !hasMarker(field.Comment, readinessMarker) {
+							continue
+						}
+						for _, name := range field.Names {
+							out[tkey+"."+name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasMarker reports whether any comment in the group is the given marker
+// (alone or followed by explanatory text).
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}

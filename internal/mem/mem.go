@@ -62,10 +62,10 @@ func (s Stats) BandwidthUtil() float64 {
 
 // Subsystem is the complete below-SM memory system.
 type Subsystem struct {
-	cfg config.GPU
+	cfg config.GPU //simlint:nodigest -- config: fixed at construction, never mutates during a run
 
 	reqNet   []timed
-	reqCap   int
+	reqCap   int //simlint:nodigest -- config: queue capacity derived from cfg at construction
 	replyNet []timed
 
 	// replyPending counts, per SM, read replies sitting in the reply
@@ -89,19 +89,23 @@ type Subsystem struct {
 	// l1RT is the L1-miss round-trip latency histogram in core cycles:
 	// from the SM submitting the miss to the reply leaving the reply
 	// network (the quantity every partitioning decision trades against).
+	//simlint:nodigest -- observability: exported histogram, never read by the model
 	l1RT obs.Hist
 	// l2Wait is the L2-bank input-queue wait in core cycles: time between
 	// a request finishing its interconnect traversal and the bank
 	// consuming it.
+	//simlint:nodigest -- observability: exported histogram, never read by the model
 	l2Wait obs.Hist
 	// retryWait is the time requests spend parked in a partition's retry
 	// slice because the DRAM scheduling queue was full, in core cycles.
 	// Invisible to l2Wait (the bank already consumed the request), it is
 	// the queue-side signature of DRAM backpressure.
+	//simlint:nodigest -- observability: exported histogram, never read by the model
 	retryWait obs.Hist
 
 	// Spans traces a deterministic sample of L1-miss round trips through
 	// every stage of the hierarchy (see package span).
+	//simlint:nodigest -- observability: span-trace hook, never read by the model
 	Spans *span.Collector
 }
 

@@ -20,5 +20,6 @@ type Request struct {
 	Issued int64
 	// Span is the request's trace handle; zero (the common case) means
 	// the request was not sampled and every recording call ignores it.
+	//simlint:nodigest -- observability: sampling identity for the span tracer, not architectural state
 	Span span.Handle
 }

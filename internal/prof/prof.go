@@ -135,6 +135,7 @@ func (p *Profiler) StartCycle() bool {
 	p.active = elect
 	if elect {
 		p.sampled++
+		//simlint:allow determtaint -- sampled-cycle boundary stamp: feeds phaseNs metering only, never simulator state
 		p.last = p.now()
 	}
 	return elect
@@ -148,6 +149,7 @@ func (p *Profiler) Mark(ph Phase) {
 	if p == nil || !p.active {
 		return
 	}
+	//simlint:allow determtaint -- phase boundary stamp: feeds phaseNs metering only, never simulator state
 	now := p.now()
 	p.phaseNs[ph] += now - p.last
 	p.last = now
@@ -161,6 +163,7 @@ func (p *Profiler) RareStart() int64 {
 	if p == nil {
 		return 0
 	}
+	//simlint:allow determtaint -- rare-phase start stamp: returned only to RareEnd for host-cost metering
 	return p.now()
 }
 
@@ -172,6 +175,7 @@ func (p *Profiler) RareEnd(ph Phase, start int64) {
 	if p == nil {
 		return
 	}
+	//simlint:allow determtaint -- rare-phase end stamp: feeds rareNs metering only, never simulator state
 	end := p.now()
 	p.rareNs[ph] += end - start
 	if p.active {

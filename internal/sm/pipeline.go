@@ -192,6 +192,8 @@ func (s *SM) schedule(now, lat int64, ev wbEvent) {
 // warp per cycle. An i-buffer-blocked warp's unblock time is its fetch
 // timer, which is known now — a wake event is scheduled for it so no
 // further polling is needed.
+//
+//simlint:wakehook
 func (s *SM) refresh(q *schedQ, now int64) {
 	if len(q.staleQ) == 0 {
 		return

@@ -62,7 +62,9 @@ type cta struct {
 	shm     int
 	threads int
 
+	//simlint:readiness
 	warpsLeft int // warps not yet Done
+	//simlint:readiness
 	atBarrier int
 	numWarps  int
 	warpRefs  []*resident
@@ -106,10 +108,17 @@ type resident struct {
 	ctaSlot int
 	threads int // active threads (last warp of a CTA may be partial)
 
-	cls   warp.Block
-	in    isa.Instr
+	// The four fields below are the scheduler's cached view of the warp;
+	// every write must be paired with a readiness update (markStale /
+	// refresh / resyncSched), or the ready set diverges from a rescan.
+	//simlint:readiness
+	cls warp.Block
+	//simlint:readiness
+	in isa.Instr
+	//simlint:readiness
 	stale bool
-	gone  bool
+	//simlint:readiness
+	gone bool
 }
 
 // stallClass labels the outcome of one stalled issue slot (the Figure 1
@@ -196,13 +205,13 @@ type Stats struct {
 
 // SM is one streaming multiprocessor.
 type SM struct {
-	ID  int
-	cfg config.GPU
+	ID  int        //simlint:nodigest -- identity: fixed at construction; the GPU digest walks SMs in ID order
+	cfg config.GPU //simlint:nodigest -- config: fixed at construction, never mutates during a run
 
 	Sched SchedulerKind
 
 	l1  *cache.Cache
-	sub *mem.Subsystem
+	sub *mem.Subsystem //simlint:nodigest -- owned elsewhere: digested as the GPU's icnt/l2/dram components
 
 	warps []*resident
 	ctas  []*cta
@@ -234,7 +243,7 @@ type SM struct {
 	memQLen  int
 
 	ring     [][]wbEvent
-	ringMask int64
+	ringMask int64 //simlint:nodigest -- config: derived from the fixed ringSize at construction
 
 	waiters map[uint64][]*loadTracker
 
@@ -244,6 +253,7 @@ type SM struct {
 
 	// OnCTAComplete, if set, is invoked when a thread block finishes
 	// (used by the GPU dispatcher to launch replacement CTAs).
+	//simlint:nodigest -- control plumbing: dispatcher callback, not architectural state
 	OnCTAComplete func(smID, kernel, gridID int)
 }
 
@@ -438,6 +448,8 @@ func (s *SM) Launch(kernel int, spec *kernels.Spec, base uint64, gridID int) boo
 // next refresh. Every warp state transition must be followed by a
 // markStale of the affected resident (the wake-up hook contract; see
 // DESIGN.md) — missing one would freeze the warp's cached class.
+//
+//simlint:wakehook
 func (s *SM) markStale(r *resident) {
 	q := &s.scheds[r.sched]
 	q.attrValid = false
@@ -480,6 +492,8 @@ func (s *SM) dropResidents(drop func(*resident) bool) {
 // recounts ready warps from the cached classes (removal cannot change the
 // class of a surviving warp), and rescans for the greedy warp in case the
 // previous one was removed.
+//
+//simlint:wakehook
 func (s *SM) resyncSched(q *schedQ) {
 	kept := q.list[:0]
 	ready := 0

@@ -54,26 +54,39 @@ type Warp struct {
 	// oldest scheduling).
 	Age int64
 
+	// State and the fields below through LastIssued are scheduler-visible:
+	// the SM caches a classification derived from them, so every write
+	// outside a constructor must reach a wake hook (markStale) — the
+	// //simlint:readiness markers make the wakehook analyzer enforce it.
+	//simlint:readiness
 	State State
 
 	stream *kernels.Stream
 	r      rng.Stream
 
-	have         bool
-	cur          isa.Instr
+	//simlint:readiness
+	have bool
+	//simlint:readiness
+	//simlint:nodigest -- derived: folded into DigestLogical's prefetched stream position (see digest.go)
+	cur isa.Instr
+	//simlint:readiness
 	fetchReadyAt int64
 
 	// pend counts outstanding writers per register; pendLoad counts the
 	// subset that are global loads (long-latency producers).
-	pend     [MaxRegs]uint8
+	//simlint:readiness
+	pend [MaxRegs]uint8
+	//simlint:readiness
 	pendLoad [MaxRegs]uint8
 	// OutstandingLoads counts global loads in flight for this warp.
+	//simlint:readiness
 	OutstandingLoads int
 
 	// LastIssued is the cycle this warp last issued (GTO greediness).
 	// -1 until the first issue: cycle numbers start at 0, so a zero
 	// initialization would be indistinguishable from "issued at cycle 0"
 	// and would deny greedy priority to a warp that legitimately did.
+	//simlint:readiness
 	LastIssued int64
 }
 
