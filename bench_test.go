@@ -26,6 +26,7 @@ import (
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/power"
 	"warpedslicer/internal/prof"
+	"warpedslicer/internal/runlog"
 	"warpedslicer/internal/sm"
 	"warpedslicer/internal/span"
 )
@@ -327,7 +328,9 @@ func median(vs []float64) float64 {
 
 // mergeBenchJSON merges updates into the JSON object at path, preserving
 // keys written by other test configurations (e.g. the simassert-on and
-// simassert-off overhead runs both contribute to BENCH_obs.json).
+// simassert-off overhead runs both contribute to BENCH_obs.json). The
+// write is atomic (temp file + rename): two test configurations racing on
+// the same file lose an update at worst, never tear the JSON.
 func mergeBenchJSON(t *testing.T, path string, updates map[string]any) {
 	t.Helper()
 	out := map[string]any{}
@@ -344,7 +347,7 @@ func mergeBenchJSON(t *testing.T, path string, updates map[string]any) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := runlog.AtomicWriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -607,7 +610,15 @@ func TestEngineProfileBudget(t *testing.T) {
 		budget = 0.15
 	)
 
-	// Baseline from the committed file, honored only if recorded here.
+	// Two baselines gate this test. The legacy one is the single
+	// ns_per_cycle in the committed BENCH_obs.json; the trajectory one is
+	// the median of the last trajectoryTailK same-fingerprint points in
+	// BENCH_trajectory.jsonl, so one historically noisy run cannot move
+	// the gate. Both are honored only under a matching fingerprint.
+	const (
+		trajectoryPath  = "BENCH_trajectory.jsonl"
+		trajectoryTailK = 5
+	)
 	prior := map[string]any{}
 	if data, err := os.ReadFile("BENCH_obs.json"); err == nil {
 		_ = json.Unmarshal(data, &prior)
@@ -617,7 +628,14 @@ func TestEngineProfileBudget(t *testing.T) {
 	fp := benchFingerprint(rounds, chunk)
 	comparable := baseline > 0 && priorFP == fp
 
-	measure := func() (float64, prof.Summary) {
+	trajPts, err := runlog.ReadTrajectory(trajectoryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajBase, trajN := runlog.TrajectoryBaseline(trajPts, fp, trajectoryTailK)
+	trajComparable := trajN > 0 && trajBase > 0
+
+	measure := func() (float64, gpu.Profile) {
 		g := gpu.New(config.Baseline(), policy.FCFS{})
 		g.Prof = prof.New(0)
 		g.AddKernel(kernels.ByAbbr("MM"), 0)
@@ -626,28 +644,43 @@ func TestEngineProfileBudget(t *testing.T) {
 		for r := 0; r < rounds; r++ {
 			vs = append(vs, obsTimeRun(g, chunk))
 		}
-		return median(vs), g.Prof.Summary()
+		return median(vs), g.Profile()
+	}
+	regressed := func(ns float64) bool {
+		return (comparable && ns/baseline-1 > budget) ||
+			(trajComparable && ns/trajBase-1 > budget)
 	}
 
-	ns, sum := measure()
-	if comparable {
-		// Re-measure before declaring a regression: a single noisy
-		// stretch must not fail CI.
-		for attempt := 0; attempt < 2 && ns/baseline-1 > budget; attempt++ {
-			ns, sum = measure()
+	ns, gp := measure()
+	// Re-measure before declaring a regression, keeping the fastest
+	// attempt: noise only ever inflates a timing, so the minimum is the
+	// least-noisy estimate and a single slow stretch must not fail CI.
+	for attempt := 0; attempt < 2 && regressed(ns); attempt++ {
+		ns2, gp2 := measure()
+		if ns2 < ns {
+			ns, gp = ns2, gp2
 		}
 	}
 
-	phases := map[string]any{}
-	for _, pc := range sum.Phases {
-		phases[pc.Phase] = pc.NsPerCycle
+	phases := map[string]float64{}
+	if gp.Phases != nil {
+		for _, pc := range gp.Phases.Phases {
+			phases[pc.Phase] = pc.NsPerCycle
+		}
 	}
 
-	if comparable && ns/baseline-1 > budget {
-		// Keep the committed baseline intact so the regression stays
-		// visible on re-runs instead of ratcheting itself away.
-		t.Fatalf("engine throughput regressed: %.1f ns/cycle vs baseline %.1f (%.1f%% > %.0f%% budget)",
-			ns, baseline, (ns/baseline-1)*100, budget*100)
+	if regressed(ns) {
+		// Keep the committed baselines intact (no merge, no trajectory
+		// append) so the regression stays visible on re-runs instead of
+		// ratcheting itself away.
+		switch {
+		case comparable && ns/baseline-1 > budget:
+			t.Fatalf("engine throughput regressed: %.1f ns/cycle vs baseline %.1f (%.1f%% > %.0f%% budget)",
+				ns, baseline, (ns/baseline-1)*100, budget*100)
+		default:
+			t.Fatalf("engine throughput regressed: %.1f ns/cycle vs trajectory median %.1f over last %d points (%.1f%% > %.0f%% budget)",
+				ns, trajBase, trajN, (ns/trajBase-1)*100, budget*100)
+		}
 	}
 
 	// Price the state-digest walk. The plain measurement above *is* the
@@ -689,18 +722,38 @@ func TestEngineProfileBudget(t *testing.T) {
 	}
 
 	mergeBenchJSON(t, "BENCH_obs.json", map[string]any{
-		"ns_per_cycle":           ns,
-		"phase_ns_per_cycle":     phases,
-		"digest_ns_per_record":   digestPerRecord,
-		"digest_ns_per_cycle":    digestAmortized,
-		"digest_budget_frac":     digestBudgetFrac,
-		"regression_budget_frac": budget,
-		"bench_fingerprint":      fp,
+		"ns_per_cycle":                ns,
+		"phase_ns_per_cycle":          phases,
+		"digest_ns_per_record":        digestPerRecord,
+		"digest_ns_per_cycle":         digestAmortized,
+		"digest_budget_frac":          digestBudgetFrac,
+		"regression_budget_frac":      budget,
+		"bench_fingerprint":           fp,
+		"fast_forward_skippable_frac": gp.FFSkippableFrac,
+		"sched_fastpath_frac":         gp.SchedFastFrac,
 	})
-	if comparable {
+	// One fingerprint-keyed point per passing run extends the cross-PR
+	// performance trajectory (charted by wsplot -trajectory; the tail
+	// median becomes the next run's gate).
+	if err := runlog.AppendTrajectory(trajectoryPath, runlog.TrajectoryPoint{
+		Fingerprint:       fp,
+		UnixNs:            time.Now().UnixNano(),
+		NsPerCycle:        ns,
+		PhaseNsPerCycle:   phases,
+		DigestNsPerRecord: digestPerRecord,
+		FFSkippableFrac:   gp.FFSkippableFrac,
+		SchedFastFrac:     gp.SchedFastFrac,
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	switch {
+	case trajComparable:
+		t.Logf("engine %.1f ns/cycle vs trajectory median %.1f over %d points (%+.1f%%, budget %.0f%%)",
+			ns, trajBase, trajN, (ns/trajBase-1)*100, budget*100)
+	case comparable:
 		t.Logf("engine %.1f ns/cycle vs baseline %.1f (%+.1f%%, budget %.0f%%)",
 			ns, baseline, (ns/baseline-1)*100, budget*100)
-	} else {
+	default:
 		t.Logf("engine %.1f ns/cycle; baseline rebased for %s", ns, fp)
 	}
 }
@@ -778,7 +831,7 @@ func TestParallelSpeedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+	if err := runlog.AtomicWriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("%d-pair sweep on %d cores: serial %.2fs, parallel %.2fs, speedup %.2fx",

@@ -31,6 +31,15 @@
 //	                    or self-check serial vs parallel sessions (default)
 //	report              paper-vs-measured claim comparison
 //	all                 everything above, in order
+//
+// Run ledger:
+//
+//	wslicer -ledger DIR <experiment>       record every completed run into a
+//	                                       content-addressed ledger under DIR
+//	wslicer -ledger DIR runs list          sorted run listing with wall cost
+//	wslicer -ledger DIR runs show <key>    canonical RunRecord JSON (key prefixes ok)
+//	wslicer -ledger DIR runs diff <a> <b>  metric/series deltas; with stored digest
+//	                                       trails, hands off to the bisector
 package main
 
 import (
@@ -79,6 +88,8 @@ func main() {
 		chromeTrace = flag.String("chrometrace", "", "timeline: also write Chrome trace-event JSON here (chrome://tracing)")
 		eventsPath  = flag.String("events", "", "write the structured event log as JSONL to this file at exit")
 
+		ledgerDir = flag.String("ledger", "", "record every completed run into this content-addressed ledger dir (also enables the `runs` subcommand)")
+
 		digestPeriod = flag.Int64("digest-period", 0, "state-digest recording period in cycles (0 = off; divergence defaults to 1024)")
 		blackbox     = flag.String("blackbox", "", "arm the flight recorder and dump a black-box JSON report here if a run panics (requires -digest-period)")
 		trailA       = flag.String("trail-a", "", "divergence: first recorded digest trail (JSONL) to compare")
@@ -87,6 +98,10 @@ func main() {
 		divPolicy    = flag.String("policy", "even", "divergence: co-run policy for recorded/self-check trails")
 	)
 	flag.Parse()
+	if flag.Arg(0) == "runs" {
+		runRunsCmd(*ledgerDir, flag.Args()[1:])
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wslicer [flags] <experiment>  (see -h)")
 		os.Exit(2)
@@ -119,6 +134,9 @@ func main() {
 	o.Events = obs.NewEventLog()
 	if *verbose {
 		o.Events.OnEvent = renderEvent
+	}
+	if *ledgerDir != "" {
+		o.Ledger = openLedger(*ledgerDir)
 	}
 	if *metricsAddr != "" {
 		o.Hub = obs.NewHub(o.Events)

@@ -1,9 +1,11 @@
-// Command wsplot renders SVG charts from a wslicer -json results file:
-// the Figure 3a occupancy curves and the Figure 6 policy comparison.
+// Command wsplot renders SVG charts from a wslicer -json results file
+// (the Figure 3a occupancy curves and the Figure 6 policy comparison) and
+// from the cross-PR performance trajectory kept by the bench rig.
 //
 //	go run ./cmd/wslicer -quick -json results.json fig3
 //	go run ./cmd/wslicer -quick -json results.json fig6
 //	go run ./cmd/wsplot -in results.json -out .
+//	go run ./cmd/wsplot -trajectory BENCH_trajectory.jsonl -out .
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 
 	"warpedslicer/internal/experiments"
 	"warpedslicer/internal/plot"
+	"warpedslicer/internal/runlog"
 )
 
 type resultsFile struct {
@@ -25,18 +28,33 @@ type resultsFile struct {
 func main() {
 	in := flag.String("in", "results.json", "wslicer -json output file")
 	out := flag.String("out", ".", "directory for the SVG files")
+	traj := flag.String("trajectory", "", "also chart this BENCH_trajectory.jsonl performance history")
 	flag.Parse()
+
+	wrote := 0
+	if *traj != "" {
+		n, err := plotTrajectory(*traj, *out)
+		if err != nil {
+			fatal(err)
+		}
+		wrote += n
+	}
 
 	raw, err := os.ReadFile(*in)
 	if err != nil {
+		// With -trajectory, the results file is optional: charting the
+		// performance history alone is a valid invocation (the CI bench
+		// job has no results.json).
+		if wrote > 0 {
+			fmt.Fprintf(os.Stderr, "wrote %d chart(s) to %s\n", wrote, *out)
+			return
+		}
 		fatal(err)
 	}
 	var res resultsFile
 	if err := json.Unmarshal(raw, &res); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", *in, err))
 	}
-
-	wrote := 0
 	if len(res.Figure3) > 0 {
 		var series []plot.Series
 		for _, c := range res.Figure3 {
@@ -80,6 +98,43 @@ func main() {
 		fatal(fmt.Errorf("%s contains neither figure3 nor figure6 results", *in))
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d chart(s) to %s\n", wrote, *out)
+}
+
+// plotTrajectory charts ns/cycle over append order, one line per bench
+// fingerprint (points only compare within a fingerprint — different
+// machines and methodologies are different lines, not noise on one).
+// Returns how many charts were written (0 for an empty trajectory).
+func plotTrajectory(path, out string) (int, error) {
+	pts, err := runlog.ReadTrajectory(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(pts) == 0 {
+		fmt.Fprintf(os.Stderr, "wsplot: %s has no trajectory points yet\n", path)
+		return 0, nil
+	}
+	byFP := map[string]*plot.Series{}
+	var order []string
+	for i, p := range pts {
+		s, ok := byFP[p.Fingerprint]
+		if !ok {
+			s = &plot.Series{Name: p.Fingerprint}
+			byFP[p.Fingerprint] = s
+			order = append(order, p.Fingerprint)
+		}
+		s.X = append(s.X, float64(i+1))
+		s.Y = append(s.Y, p.NsPerCycle)
+	}
+	series := make([]plot.Series, len(order))
+	for i, fp := range order {
+		series[i] = *byFP[fp]
+	}
+	svg := plot.LineChart("Performance trajectory: engine ns/cycle across PRs",
+		"trajectory point", "ns per simulated cycle", series)
+	if err := write(filepath.Join(out, "trajectory.svg"), svg); err != nil {
+		return 0, err
+	}
+	return 1, nil
 }
 
 func write(path, content string) error {

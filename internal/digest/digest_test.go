@@ -188,3 +188,19 @@ func TestSumJSONHex(t *testing.T) {
 		t.Fatalf("round trip: %x != %x", uint64(back), uint64(s))
 	}
 }
+
+func TestParseSum(t *testing.T) {
+	s := digest.Sum(0xdeadbeefcafef00d)
+	got, err := digest.ParseSum(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("ParseSum(String) = %x, want %x", uint64(got), uint64(s))
+	}
+	for _, bad := range []string{"", "zz", "not-hex", "deadbeefcafef00d0"} {
+		if _, err := digest.ParseSum(bad); err == nil {
+			t.Errorf("ParseSum(%q) accepted", bad)
+		}
+	}
+}

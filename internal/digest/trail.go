@@ -29,6 +29,17 @@ func (s *Sum) UnmarshalJSON(b []byte) error {
 
 func (s Sum) String() string { return fmt.Sprintf("%016x", uint64(s)) }
 
+// ParseSum parses the fixed-width hex form produced by String — the
+// inverse used by tooling that round-trips sums through text (run keys,
+// CLI arguments).
+func ParseSum(s string) (Sum, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("digest: bad sum %q: %w", s, err)
+	}
+	return Sum(v), nil
+}
+
 // Component is one named component's digest at a recorded cycle.
 // Components appear in a fixed order within a Record; the order is part
 // of the chain.

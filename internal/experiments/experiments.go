@@ -24,6 +24,7 @@ import (
 	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/prof"
+	"warpedslicer/internal/runlog"
 	"warpedslicer/internal/sm"
 	"warpedslicer/internal/span"
 )
@@ -56,6 +57,14 @@ type Options struct {
 	// PublishEvery cycles from each running simulation, for serving over
 	// obs.StartServer.
 	Hub *obs.Hub
+	// Ledger, when non-nil, receives one content-addressed RunRecord per
+	// completed run (isolation references, co-runs, fixed windows, digest
+	// and engine-profile runs): headline metrics plus a windowed counter
+	// series recorded on the Monitor cadence. Identical inputs dedupe to
+	// one entry; records are byte-identical at any Parallelism. When
+	// DigestEvery is also set, each run's digest trail is stored next to
+	// its record for `wslicer runs diff` bisection.
+	Ledger *runlog.Ledger
 	// PublishEvery is the snapshot publication period in cycles when Hub
 	// is set (default 2048).
 	PublishEvery int64
@@ -143,15 +152,18 @@ func Quick() Options {
 }
 
 // Instrument attaches the session's observability sinks to a freshly built
-// GPU: the event log for kernel lifecycle events, and — when a Hub is set —
-// a registry published on a fixed cycle period. With neither configured
-// this is a no-op and the simulation runs with zero monitoring cost.
+// GPU: the event log for kernel lifecycle events, and — when a Hub or
+// Ledger is set — a registry sampled on a fixed cycle period. With none
+// configured this is a no-op and the simulation runs with zero monitoring
+// cost.
 func (o Options) Instrument(g *gpu.GPU) { o.instrument(g, o.Events) }
 
 // instrument is Instrument with an explicit (typically run-scoped) event
 // log, so concurrent simulations sharing one session log stay
-// attributable.
-func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
+// attributable. When a Ledger is configured it returns the run's series
+// recorder (nil otherwise), which the run-completion path folds into the
+// RunRecord.
+func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) *runlog.Recorder {
 	g.Log = log
 	if o.ProfPeriod > 0 {
 		//simlint:allow determtaint -- profiler construction: the epoch stamp inside is metering state, not simulator state
@@ -159,9 +171,14 @@ func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
 	}
 	if o.DigestEvery > 0 {
 		g.ArmFlightRecorder(digest.DefaultFlightDepth, o.DigestEvery, o.BlackBoxPath)
+		if o.Ledger != nil && g.Digests == nil {
+			// Ledger runs keep the full trail (not just the flight ring)
+			// so `runs diff` can hand divergent records to the bisector.
+			g.Digests = &digest.Trail{}
+		}
 	}
-	if o.Hub == nil {
-		return
+	if o.Hub == nil && o.Ledger == nil {
+		return nil
 	}
 	reg := obs.NewRegistry()
 	g.Register(reg)
@@ -170,11 +187,22 @@ func (o Options) instrument(g *gpu.GPU, log *obs.EventLog) {
 	if g.MonitorEvery <= 0 {
 		g.MonitorEvery = 2048
 	}
-	g.Monitor = func(gg *gpu.GPU) {
-		o.Hub.Publish(reg.Snapshot())
-		o.Hub.PublishSpans(gg.Mem.Spans.Summary())
-		o.Hub.PublishProfile(gg.Profile())
+	var rec *runlog.Recorder
+	if o.Ledger != nil {
+		rec = runlog.NewRecorder(runlog.DefaultSeries(), runlog.DefaultMaxPoints)
+		rec.Register(reg)
+		o.Ledger.Register(reg)
 	}
+	g.Monitor = func(gg *gpu.GPU) {
+		snap := reg.Snapshot()
+		rec.Observe(gg.Now(), snap)
+		if o.Hub != nil {
+			o.Hub.Publish(snap)
+			o.Hub.PublishSpans(gg.Mem.Spans.Summary())
+			o.Hub.PublishProfile(gg.Profile())
+		}
+	}
+	return rec
 }
 
 // Isolation is a cached single-kernel run.
@@ -250,9 +278,10 @@ func (s *Session) Isolation(spec *kernels.Spec) Isolation {
 // runIsolation executes the single-kernel reference simulation.
 func (s *Session) runIsolation(spec *kernels.Spec) Isolation {
 	log := s.O.Events.WithRun("iso/" + spec.Abbr)
+	wall0, cpu0 := s.O.ledgerStart()
 	g := gpu.New(s.O.Cfg, greedyFill{})
 	g.SetSchedulers(s.O.Sched)
-	s.O.instrument(g, log)
+	rec := s.O.instrument(g, log)
 	g.AddKernel(spec, 0)
 	g.RunCycles(s.O.IsolationCycles)
 	r := Isolation{
@@ -267,6 +296,10 @@ func (s *Session) runIsolation(spec *kernels.Spec) Isolation {
 	log.Emit(g.Now(), obs.EvIsolationDone, map[string]any{
 		"kernel": spec.Abbr, "insts": r.Insts, "ipc": r.IPC,
 	})
+	s.recordRun(runMeta{
+		kind: "iso", policy: "greedy", specs: []*kernels.Spec{spec},
+		cycles: r.Cycles, ipc: r.IPC, perKernelIPC: []float64{r.IPC},
+	}, g, rec, wall0, cpu0)
 	return r
 }
 
@@ -357,10 +390,11 @@ func (s *Session) CoRunTargets(specs []*kernels.Spec, name string, ctas []int, t
 
 func (s *Session) coRunTargets(kind string, specs []*kernels.Spec, name string, ctas []int, targets []uint64) CoRun {
 	log := s.O.Events.WithRun(runScope(kind, name, ctas, specs))
+	wall0, cpu0 := s.O.ledgerStart()
 	d := s.dispatcher(name, ctas, log)
 	g := gpu.New(s.O.Cfg, d)
 	g.SetSchedulers(s.O.Sched)
-	s.O.instrument(g, log)
+	rec := s.O.instrument(g, log)
 	for i, spec := range specs {
 		g.AddKernel(spec, targets[i])
 	}
@@ -403,6 +437,10 @@ func (s *Session) coRunTargets(kind string, specs []*kernels.Spec, name string, 
 		"policy": name, "workload": WorkloadName(specs),
 		"ipc": r.IPC, "cycles": cycles, "timeout": r.Timeout,
 	})
+	s.recordRun(runMeta{
+		kind: kind, policy: name, ctas: ctas, specs: specs, targets: targets,
+		cycles: cycles, timeout: r.Timeout, ipc: r.IPC, perKernelIPC: r.PerKernelIPC,
+	}, g, rec, wall0, cpu0)
 	return r
 }
 
@@ -412,10 +450,11 @@ func (s *Session) coRunTargets(kind string, specs []*kernels.Spec, name string, 
 // rather than dividing by the cycle count.
 func (s *Session) RunFixedCycles(specs []*kernels.Spec, name string, ctas []int, cycles int64) CoRun {
 	log := s.O.Events.WithRun(runScope("window", name, ctas, specs))
+	wall0, cpu0 := s.O.ledgerStart()
 	d := s.dispatcher(name, ctas, log)
 	g := gpu.New(s.O.Cfg, d)
 	g.SetSchedulers(s.O.Sched)
-	s.O.instrument(g, log)
+	rec := s.O.instrument(g, log)
 	for _, spec := range specs {
 		g.AddKernel(spec, 0)
 	}
@@ -445,6 +484,10 @@ func (s *Session) RunFixedCycles(specs []*kernels.Spec, name string, ctas []int,
 	if cycles > 0 {
 		r.IPC = float64(total) / float64(cycles)
 	}
+	s.recordRun(runMeta{
+		kind: "window", policy: name, ctas: ctas, specs: specs,
+		cycles: cycles, ipc: r.IPC, perKernelIPC: r.PerKernelIPC,
+	}, g, rec, wall0, cpu0)
 	return r
 }
 
@@ -461,10 +504,11 @@ func (s *Session) DigestTrail(specs []*kernels.Spec, name string, ctas []int, ev
 		targets[i] = s.Isolation(specs[i]).Insts
 	})
 	log := s.O.Events.WithRun(runScope("digest", name, ctas, specs))
+	wall0, cpu0 := s.O.ledgerStart()
 	d := s.dispatcher(name, ctas, log)
 	g := gpu.New(s.O.Cfg, d)
 	g.SetSchedulers(s.O.Sched)
-	s.O.instrument(g, log)
+	rec := s.O.instrument(g, log)
 	for i, spec := range specs {
 		g.AddKernel(spec, targets[i])
 	}
@@ -474,6 +518,26 @@ func (s *Session) DigestTrail(specs []*kernels.Spec, name string, ctas []int, ev
 	g.DigestEvery = every
 	g.Digests = &digest.Trail{}
 	g.Run(s.O.MaxCoRunCycles)
+	cycles := g.Now()
+	var total uint64
+	var perIPC []float64
+	for _, k := range g.Kernels {
+		insts := g.KernelInsts(k.Slot)
+		total += insts
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(insts) / float64(cycles)
+		}
+		perIPC = append(perIPC, ipc)
+	}
+	ipc := 0.0
+	if cycles > 0 {
+		ipc = float64(total) / float64(cycles)
+	}
+	s.recordRun(runMeta{
+		kind: "digest", policy: name, ctas: ctas, specs: specs, targets: targets,
+		cycles: cycles, ipc: ipc, perKernelIPC: perIPC,
+	}, g, rec, wall0, cpu0)
 	return g.Digests
 }
 

@@ -82,9 +82,10 @@ func FigEngineProf(s *Session, ws []Workload) []EngineProfRow {
 func (s *Session) engineProfWorkload(w Workload) EngineProfRow {
 	name := w.Name()
 	log := s.O.Events.WithRun("engineprof/" + name)
+	wall0, cpu0 := s.O.ledgerStart()
 	g := gpu.New(s.O.Cfg, policy.Even{})
 	g.SetSchedulers(s.O.Sched)
-	s.O.instrument(g, log)
+	rec := s.O.instrument(g, log)
 	for _, spec := range w.Specs {
 		g.AddKernel(spec, 0)
 	}
@@ -112,6 +113,27 @@ func (s *Session) engineProfWorkload(w Workload) EngineProfRow {
 			r.PhaseShare[i] = pc.Share
 		}
 	}
+
+	cycles := p.Cycles
+	var total uint64
+	var perIPC []float64
+	for _, k := range g.Kernels {
+		insts := g.KernelInsts(k.Slot)
+		total += insts
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(insts) / float64(cycles)
+		}
+		perIPC = append(perIPC, ipc)
+	}
+	ipc := 0.0
+	if cycles > 0 {
+		ipc = float64(total) / float64(cycles)
+	}
+	s.recordRun(runMeta{
+		kind: "engineprof", policy: "even", specs: w.Specs,
+		cycles: cycles, ipc: ipc, perKernelIPC: perIPC,
+	}, g, rec, wall0, cpu0)
 	return r
 }
 

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"warpedslicer/internal/digest"
+	"warpedslicer/internal/gpu"
+	"warpedslicer/internal/kernels"
+	"warpedslicer/internal/runlog"
+)
+
+// runMeta is the identity and outcome a completed run hands to the
+// ledger path. Everything in it is deterministic.
+type runMeta struct {
+	kind    string
+	policy  string
+	ctas    []int
+	specs   []*kernels.Spec
+	targets []uint64
+	cycles  int64
+	timeout bool
+	ipc     float64
+	// perKernelIPC is indexed by kernel slot (nil for runs that report
+	// only the combined IPC).
+	perKernelIPC []float64
+}
+
+// ledgerStart samples the ledger's injected clocks before a run (zeros
+// when no ledger or no clocks are wired), so the journal can report the
+// run's wall/CPU cost without the sim side touching a clock.
+func (o Options) ledgerStart() (wallNs, cpuNs int64) {
+	return o.Ledger.Now()
+}
+
+// recordRun folds one completed simulation into the session's ledger —
+// content-addressed inputs, headline metrics (combined and per-kernel
+// IPC, stall composition, scheduler fast-path and fast-forward meters),
+// the windowed counter series, and the digest-trail summary — then
+// refreshes the Hub's /runs view. No-op without a ledger. Errors are
+// reported on the event log rather than failing the run: provenance is
+// a sink, not a dependency.
+func (s *Session) recordRun(m runMeta, g *gpu.GPU, rec *runlog.Recorder, wall0, cpu0 int64) {
+	led := s.O.Ledger
+	if led == nil {
+		return
+	}
+	in := runlog.Inputs{
+		Schema:        runlog.SchemaVersion,
+		DigestVersion: digest.Version,
+		Kind:          m.kind,
+		Workload:      WorkloadName(m.specs),
+		Policy:        m.policy,
+		CTAs:          m.ctas,
+		Targets:       m.targets,
+		Sched:         s.O.Sched.String(),
+		Windows: runlog.Windows{
+			Isolation:        s.O.IsolationCycles,
+			MaxCoRun:         s.O.MaxCoRunCycles,
+			Warmup:           s.O.Warmup,
+			Sample:           s.O.Sample,
+			AlgDelay:         s.O.AlgDelay,
+			OracleTargetFrac: s.O.OracleTargetFrac,
+			UseScaledIPC:     s.O.UseScaledIPC,
+			SymmetricScaling: s.O.SymmetricScaling,
+		},
+		Config: s.O.Cfg,
+	}
+	for _, spec := range m.specs {
+		in.Kernels = append(in.Kernels, spec.Abbr)
+	}
+
+	rr := &runlog.RunRecord{
+		Inputs:        in,
+		Cycles:        m.cycles,
+		Timeout:       m.timeout,
+		DigestChain:   g.DigestChain(),
+		DigestRecords: g.DigestRecords(),
+		Metrics:       runMetrics(m, g),
+		Series:        rec.Series(),
+	}
+
+	wall1, cpu1 := led.Now()
+	added, err := led.Append(rr, wall1-wall0, cpu1-cpu0)
+	if err != nil {
+		s.O.Events.Emit(m.cycles, "runlog_error", map[string]any{"error": err.Error()})
+		return
+	}
+	if added && g.Digests != nil {
+		if err := led.PutTrail(rr.Key, g.Digests); err != nil {
+			s.O.Events.Emit(m.cycles, "runlog_error", map[string]any{"error": err.Error()})
+		}
+	}
+	if s.O.Hub != nil {
+		s.O.Hub.PublishRuns(led.View())
+	}
+}
+
+// runMetrics assembles the headline metric list in a fixed order:
+// combined IPC, per-kernel IPC, the stall composition as fractions of
+// issue slots, and the engine opportunity meters.
+func runMetrics(m runMeta, g *gpu.GPU) []runlog.Metric {
+	out := []runlog.Metric{{Name: "ipc", Value: m.ipc}}
+	for i, v := range m.perKernelIPC {
+		abbr := ""
+		if i < len(m.specs) {
+			abbr = m.specs[i].Abbr
+		}
+		out = append(out, runlog.Metric{Name: fmt.Sprintf("ipc[%d:%s]", i, abbr), Value: v})
+	}
+	agg := g.AggregateSM()
+	if slots := float64(agg.Slots); slots > 0 {
+		out = append(out,
+			runlog.Metric{Name: "issued_frac", Value: float64(agg.Issued) / slots},
+			runlog.Metric{Name: "stall_mem_frac", Value: float64(agg.StallMem) / slots},
+			runlog.Metric{Name: "stall_raw_frac", Value: float64(agg.StallRAW) / slots},
+			runlog.Metric{Name: "stall_exec_frac", Value: float64(agg.StallExec) / slots},
+			runlog.Metric{Name: "stall_ibuf_frac", Value: float64(agg.StallIBuf) / slots},
+			runlog.Metric{Name: "stall_idle_frac", Value: float64(agg.StallIdle) / slots},
+		)
+	}
+	p := g.Profile()
+	out = append(out,
+		runlog.Metric{Name: "sched_fastpath_frac", Value: p.SchedFastFrac},
+		runlog.Metric{Name: "fast_forward_skippable_frac", Value: p.FFSkippableFrac},
+	)
+	return out
+}

@@ -15,11 +15,13 @@ import (
 	"testing"
 
 	"warpedslicer/internal/config"
+	"warpedslicer/internal/experiments"
 	"warpedslicer/internal/gpu"
 	"warpedslicer/internal/kernels"
 	"warpedslicer/internal/obs"
 	"warpedslicer/internal/policy"
 	"warpedslicer/internal/prof"
+	"warpedslicer/internal/runlog"
 )
 
 // runSim executes a small deterministic co-run and returns the device.
@@ -122,6 +124,86 @@ func TestSpansEndpointShape(t *testing.T) {
 		"kernel", "completed", "mean_end_to_end_cycles",
 		"l2_hits", "l2_misses", "merged",
 		"dram_row_hits", "dram_row_misses", "stages")
+}
+
+// ledgerRun records one small isolation run into a fresh ledger and
+// returns the published /runs view value.
+func ledgerRun(t *testing.T, dir string) runlog.View {
+	t.Helper()
+	led, err := runlog.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := experiments.Quick()
+	o.Events = obs.NewEventLog()
+	o.Hub = obs.NewHub(o.Events)
+	o.Ledger = led
+	s := experiments.NewSession(o)
+	s.Isolation(kernels.ByAbbr("IMG"))
+	v, ok := o.Hub.Runs().(runlog.View)
+	if !ok {
+		t.Fatalf("published runs view is %T, want runlog.View", o.Hub.Runs())
+	}
+	return v
+}
+
+func TestRunsEndpointShape(t *testing.T) {
+	v := ledgerRun(t, t.TempDir())
+	hub := obs.NewHub(nil)
+	hub.PublishRuns(v)
+	srv, err := obs.StartServer("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := getJSON(t, "http://"+srv.Addr()+"/runs")
+	requireKeys(t, m, "/runs", "dir", "appends_total", "dedup_hits_total", "runs")
+	runs, ok := m["runs"].([]any)
+	if !ok || len(runs) == 0 {
+		t.Fatalf("/runs runs empty or wrong type: %v", m["runs"])
+	}
+	r0, ok := runs[0].(map[string]any)
+	if !ok {
+		t.Fatalf("/runs entry is %T", runs[0])
+	}
+	requireKeys(t, r0, "/runs entry", "key", "kind", "workload", "policy", "cycles", "ipc")
+}
+
+func TestRunsEndpointBeforePublish(t *testing.T) {
+	srv, err := obs.StartServer("127.0.0.1:0", obs.NewHub(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/runs before publish: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRunsViewDeterministic: two identical sessions must publish views
+// that are byte-identical once the machine-local ledger directory is
+// dropped (keys, metrics, ordering — everything content-derived).
+func TestRunsViewDeterministic(t *testing.T) {
+	va := ledgerRun(t, t.TempDir())
+	vb := ledgerRun(t, t.TempDir())
+	va.Dir, vb.Dir = "", ""
+	a, err := json.Marshal(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("runs views differ across identical sessions:\n%s\n%s", a, b)
+	}
 }
 
 // TestPublishedViewsDeterministic: two identical runs must publish

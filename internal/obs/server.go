@@ -18,6 +18,7 @@ type Hub struct {
 	snap    *Snapshot
 	spans   any
 	profile any
+	runs    any
 	log     *EventLog
 }
 
@@ -98,6 +99,29 @@ func (h *Hub) Profile() any {
 	return h.profile
 }
 
+// PublishRuns installs the current run-ledger view (any JSON-marshalable
+// value; producers pass a runlog.View). Same contract as PublishSpans:
+// the value must be self-contained. Nil hubs ignore the call.
+func (h *Hub) PublishRuns(v any) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.runs = v
+	h.mu.Unlock()
+}
+
+// Runs returns the last published run-ledger view (nil before the first
+// PublishRuns).
+func (h *Hub) Runs() any {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.runs
+}
+
 // Log returns the hub's event log.
 func (h *Hub) Log() *EventLog {
 	if h == nil {
@@ -151,6 +175,7 @@ func StartServer(addr string, hub *Hub, opts ...ServerOption) (*Server, error) {
 	mux.HandleFunc("/events.jsonl", s.handleEventsJSONL)
 	mux.HandleFunc("/spans", s.handleSpans)
 	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/runs", s.handleRuns)
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -180,7 +205,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/events         event log as JSON (?kind=... / ?run=... to filter)\n"+
 		"/events.jsonl   event log as JSON lines\n"+
 		"/spans          sampled memory-request span decomposition as JSON\n"+
-		"/profile        engine self-profile (phase costs + fast-forward meter) as JSON\n")
+		"/profile        engine self-profile (phase costs + fast-forward meter) as JSON\n"+
+		"/runs           content-addressed run ledger view as JSON\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -249,6 +275,16 @@ func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
 	v := s.hub.Profile()
 	if v == nil {
 		http.Error(w, "no profile published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	v := s.hub.Runs()
+	if v == nil {
+		http.Error(w, "no run ledger view published yet", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,344 @@
+package runlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"warpedslicer/internal/digest"
+)
+
+// journalName is the append-only index file under the ledger dir.
+const journalName = "ledger.jsonl"
+
+// Entry is one journal line: the run's key plus just enough identity to
+// render a listing without opening the record file, and the observed
+// wall/CPU cost. Timing is deliberately journal-only — the journal is
+// the non-canonical side of the ledger (append order and durations vary
+// run to run), while records/<key>.json stays byte-deterministic.
+type Entry struct {
+	Key      string  `json:"key"`
+	Kind     string  `json:"kind"`
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	Cycles   int64   `json:"cycles"`
+	IPC      float64 `json:"ipc"`
+	Timeout  bool    `json:"timeout,omitempty"`
+	WallNs   int64   `json:"wall_ns,omitempty"`
+	CPUNs    int64   `json:"cpu_ns,omitempty"`
+}
+
+// View is the /runs JSON shape served by the obs Hub: the ledger
+// location, its counters, and the sorted run listing.
+type View struct {
+	Dir       string  `json:"dir"`
+	Appends   uint64  `json:"appends_total"`
+	DedupHits uint64  `json:"dedup_hits_total"`
+	Runs      []Entry `json:"runs"`
+}
+
+// Ledger is the on-disk, content-addressed run store:
+//
+//	<dir>/ledger.jsonl        append-only journal (one Entry per append)
+//	<dir>/records/<key>.json  canonical RunRecord, content-addressed
+//	<dir>/trails/<key>.jsonl  digest trail for bisection, when captured
+//
+// Append dedupes by key, so re-running identical inputs leaves one
+// entry — the behavior a memoizing result cache (ROADMAP item 1) will
+// build on. The ledger is safe for concurrent appends from a parallel
+// session's workers; journal line order is the only thing that varies,
+// and List/View sort it away.
+type Ledger struct {
+	// WallNow/CPUNow, when non-nil, supply nanosecond timestamps for the
+	// journal's timing columns. They are injected by non-sim callers
+	// (cmd/wslicer wires time.Now; tests leave them nil for zero timing):
+	// the sim side of the tree takes no clock dependency.
+	WallNow func() int64
+	CPUNow  func() int64
+
+	dir string
+
+	mu        sync.Mutex
+	keys      map[string]bool
+	entries   []Entry
+	appends   uint64
+	dedupHits uint64
+}
+
+// Open creates (or reopens) a ledger directory, loading the journal so
+// dedupe and listings persist across processes.
+func Open(dir string) (*Ledger, error) {
+	for _, sub := range []string{"", "records", "trails"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("runlog: open ledger: %w", err)
+		}
+	}
+	l := &Ledger{dir: dir, keys: make(map[string]bool)}
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return l, nil
+		}
+		return nil, fmt.Errorf("runlog: open journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			// A torn trailing line (crashed writer) must not brick the
+			// ledger; everything before it is intact.
+			continue
+		}
+		if !l.keys[e.Key] {
+			l.keys[e.Key] = true
+			l.entries = append(l.entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runlog: read journal: %w", err)
+	}
+	return l, nil
+}
+
+// Dir returns the ledger directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+// Now reads the injected clocks (zeros when none are wired).
+func (l *Ledger) Now() (wallNs, cpuNs int64) {
+	if l == nil {
+		return 0, 0
+	}
+	if l.WallNow != nil {
+		wallNs = l.WallNow()
+	}
+	if l.CPUNow != nil {
+		cpuNs = l.CPUNow()
+	}
+	return wallNs, cpuNs
+}
+
+// Append stores a run record. The canonical record file is written
+// atomically under records/<key>.json and a journal line is appended;
+// if the key already exists the call is a dedup hit and nothing is
+// written. Returns whether the record was newly added.
+func (l *Ledger) Append(rec *RunRecord, wallNs, cpuNs int64) (bool, error) {
+	if rec.Key == "" {
+		key, err := rec.Inputs.Key()
+		if err != nil {
+			return false, err
+		}
+		rec.Key = key
+	}
+	data, err := MarshalRecord(rec)
+	if err != nil {
+		return false, err
+	}
+	ipc, _ := rec.Metric("ipc")
+	e := Entry{
+		Key:      rec.Key,
+		Kind:     rec.Inputs.Kind,
+		Workload: rec.Inputs.Workload,
+		Policy:   rec.Inputs.Policy,
+		Cycles:   rec.Cycles,
+		IPC:      ipc,
+		Timeout:  rec.Timeout,
+		WallNs:   wallNs,
+		CPUNs:    cpuNs,
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.keys[rec.Key] {
+		l.dedupHits++
+		return false, nil
+	}
+	if err := AtomicWriteFile(l.recordPath(rec.Key), data, 0o644); err != nil {
+		return false, err
+	}
+	if err := l.appendJournal(e); err != nil {
+		return false, err
+	}
+	l.keys[rec.Key] = true
+	l.entries = append(l.entries, e)
+	l.appends++
+	return true, nil
+}
+
+// appendJournal writes one journal line under the held mutex. O_APPEND
+// keeps concurrent processes from interleaving partial lines.
+func (l *Ledger) appendJournal(e Entry) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("runlog: append journal: %w", err)
+	}
+	defer f.Close()
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("runlog: marshal entry: %w", err)
+	}
+	_, err = f.Write(append(data, '\n'))
+	return err
+}
+
+func (l *Ledger) recordPath(key string) string {
+	return filepath.Join(l.dir, "records", key+".json")
+}
+
+// Get loads the record for a key, accepting any unambiguous prefix (so
+// `runs show 9f3a` works like a short git hash).
+func (l *Ledger) Get(keyPrefix string) (*RunRecord, error) {
+	key, err := l.resolve(keyPrefix)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(l.recordPath(key))
+	if err != nil {
+		return nil, fmt.Errorf("runlog: read record %s: %w", key, err)
+	}
+	var rec RunRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("runlog: parse record %s: %w", key, err)
+	}
+	return &rec, nil
+}
+
+// resolve expands a key prefix against the known keys, sorted so the
+// ambiguity report is deterministic.
+func (l *Ledger) resolve(prefix string) (string, error) {
+	if prefix == "" {
+		return "", fmt.Errorf("runlog: empty key")
+	}
+	l.mu.Lock()
+	keys := make([]string, 0, len(l.keys))
+	for k := range l.keys {
+		keys = append(keys, k)
+	}
+	l.mu.Unlock()
+	sort.Strings(keys)
+	var matches []string
+	for _, k := range keys {
+		if k == prefix {
+			return k, nil
+		}
+		if strings.HasPrefix(k, prefix) {
+			matches = append(matches, k)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return "", fmt.Errorf("runlog: no run with key %q", prefix)
+	case 1:
+		return matches[0], nil
+	default:
+		return "", fmt.Errorf("runlog: key %q is ambiguous (%s)", prefix, strings.Join(matches, ", "))
+	}
+}
+
+// List returns the run entries sorted by (kind, workload, policy, key) —
+// a deterministic listing regardless of journal append order.
+func (l *Ledger) List() []Entry {
+	l.mu.Lock()
+	out := append([]Entry(nil), l.entries...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		return a.Key < b.Key
+	})
+	return out
+}
+
+// View assembles the /runs JSON view.
+func (l *Ledger) View() View {
+	runs := l.List()
+	l.mu.Lock()
+	v := View{Dir: l.dir, Appends: l.appends, DedupHits: l.dedupHits, Runs: runs}
+	l.mu.Unlock()
+	return v
+}
+
+func (l *Ledger) trailPath(key string) string {
+	return filepath.Join(l.dir, "trails", key+".jsonl")
+}
+
+// PutTrail stores a run's digest trail next to its record, giving `runs
+// diff` something to hand the divergence bisector.
+func (l *Ledger) PutTrail(key string, t *digest.Trail) error {
+	if t == nil || len(t.Records) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	if err := t.WriteJSONL(&b); err != nil {
+		return fmt.Errorf("runlog: marshal trail %s: %w", key, err)
+	}
+	return AtomicWriteFile(l.trailPath(key), []byte(b.String()), 0o644)
+}
+
+// HasTrail reports whether a trail is stored for the key.
+func (l *Ledger) HasTrail(key string) bool {
+	_, err := os.Stat(l.trailPath(key))
+	return err == nil
+}
+
+// Trail loads the stored digest trail for a key.
+func (l *Ledger) Trail(key string) (*digest.Trail, error) {
+	f, err := os.Open(l.trailPath(key))
+	if err != nil {
+		return nil, fmt.Errorf("runlog: open trail %s: %w", key, err)
+	}
+	defer f.Close()
+	t, err := digest.ReadTrailJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: read trail %s: %w", key, err)
+	}
+	return t, nil
+}
+
+// AtomicWriteFile writes data to path via a temp file in the same
+// directory plus rename, so readers (and interrupted writers) never see
+// a truncated file. Exported for the bench rig's BENCH_*.json writes.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("runlog: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpName, perm)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runlog: atomic write %s: %w", path, werr)
+	}
+	return nil
+}

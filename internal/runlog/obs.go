@@ -1,0 +1,35 @@
+package runlog
+
+import "warpedslicer/internal/obs"
+
+// Register wires the ledger's counters into a registry. A ledger is
+// shared across a session's runs while each run has its own registry, so
+// the closures read under the mutex (snapshots happen on simulation
+// goroutines concurrent with other workers' appends).
+func (l *Ledger) Register(r *obs.Registry) {
+	if l == nil {
+		return
+	}
+	r.Counter("ws_runlog_appends_total", func() uint64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.appends
+	})
+	r.Counter("ws_runlog_dedup_hits_total", func() uint64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.dedupHits
+	})
+}
+
+// Register wires the recorder's counters into its run's registry. The
+// recorder lives on the run's own simulation goroutine (Monitor hook),
+// the same one that takes snapshots, so plain reads suffice.
+func (rec *Recorder) Register(r *obs.Registry) {
+	if rec == nil {
+		return
+	}
+	r.Counter("ws_runlog_series_points_total", func() uint64 { return rec.pointsTotal })
+	r.Counter("ws_runlog_series_downsamples_total", func() uint64 { return rec.downsamplesTotal })
+	r.Counter("ws_runlog_series_windows_total", func() uint64 { return rec.windowsTotal })
+}

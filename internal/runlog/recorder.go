@@ -1,0 +1,154 @@
+package runlog
+
+import "warpedslicer/internal/obs"
+
+// DefaultMaxPoints bounds a recorded series. Even by construction: the
+// downsampler merges adjacent point pairs, so an even capacity always
+// halves cleanly.
+const DefaultMaxPoints = 128
+
+// DefaultSeries is the registry counter set recorded into run records:
+// the device-wide issue/stall composition, the scheduler fast-path and
+// fast-forward opportunity meters, and DRAM bus utilization. All are
+// label-free device aggregates, so the series stays small and its
+// column order is fixed here, not derived from a map.
+func DefaultSeries() []string {
+	return []string{
+		"ws_sm_issued_total",
+		"ws_sm_stall_mem_total",
+		"ws_sm_stall_raw_total",
+		"ws_sm_stall_exec_total",
+		"ws_sm_stall_ibuf_total",
+		"ws_sm_stall_idle_total",
+		"ws_sm_sched_fastpath_total",
+		"ws_gpu_ff_skippable_cycles_total",
+	}
+}
+
+// SeriesPoint is one aggregated window: the cycle at the window's end
+// and the counter deltas accumulated over it, parallel to Series.Names.
+type SeriesPoint struct {
+	Cycle  int64     `json:"cycle"`
+	Values []float64 `json:"values"`
+}
+
+// Series is the bounded per-window time series stored in a RunRecord.
+// Names and each point's Values are parallel slices — explicit order,
+// no map — and WindowsPerPoint reports the downsampling factor the run
+// ended at (1 when the series never hit capacity).
+type Series struct {
+	Names           []string      `json:"names"`
+	WindowsPerPoint int           `json:"windows_per_point"`
+	Downsamples     int           `json:"downsamples"`
+	Points          []SeriesPoint `json:"points"`
+}
+
+// Recorder accumulates registry snapshot diffs into a fixed-size,
+// deterministically downsampled Series. It is driven from the GPU's
+// Monitor hook: each Observe diffs the snapshot against the previous one
+// (one window), windows accumulate until the current windows-per-point
+// factor is reached, and when the series hits capacity adjacent points
+// merge pairwise and the factor doubles. The resulting series depends
+// only on the snapshot sequence, never on wall time or goroutine
+// interleaving.
+type Recorder struct {
+	names  []string
+	max    int
+	factor int
+	points []SeriesPoint
+
+	prev     *obs.Snapshot
+	havePrev bool
+	acc      []float64
+	accN     int
+
+	// ws_runlog_* counters (registered via Register in obs.go).
+	pointsTotal      uint64
+	downsamplesTotal uint64
+	windowsTotal     uint64
+}
+
+// NewRecorder builds a recorder over the named counters with the given
+// point capacity (<= 0 selects DefaultMaxPoints; odd capacities round up
+// so pair-merging always halves cleanly).
+func NewRecorder(names []string, maxPoints int) *Recorder {
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	if maxPoints%2 != 0 {
+		maxPoints++
+	}
+	return &Recorder{
+		names:  append([]string(nil), names...),
+		max:    maxPoints,
+		factor: 1,
+		acc:    make([]float64, len(names)),
+	}
+}
+
+// Observe ingests one monitor firing. The first call establishes the
+// baseline snapshot; every later call closes one window of counter
+// deltas.
+func (r *Recorder) Observe(cycle int64, snap *obs.Snapshot) {
+	if r == nil || snap == nil {
+		return
+	}
+	if !r.havePrev {
+		r.prev = snap
+		r.havePrev = true
+		return
+	}
+	for i, name := range r.names {
+		r.acc[i] += snap.Delta(r.prev, name)
+	}
+	r.prev = snap
+	r.accN++
+	r.windowsTotal++
+	if r.accN < r.factor {
+		return
+	}
+	vals := append([]float64(nil), r.acc...)
+	r.points = append(r.points, SeriesPoint{Cycle: cycle, Values: vals})
+	r.pointsTotal++
+	for i := range r.acc {
+		r.acc[i] = 0
+	}
+	r.accN = 0
+	if len(r.points) >= r.max {
+		r.downsample()
+	}
+}
+
+// downsample merges adjacent point pairs in place and doubles the
+// windows-per-point factor. Capacity is even, so the merge is exact.
+func (r *Recorder) downsample() {
+	half := r.points[:0]
+	for i := 0; i+1 < len(r.points); i += 2 {
+		a, b := r.points[i], r.points[i+1]
+		for j := range b.Values {
+			b.Values[j] += a.Values[j]
+		}
+		half = append(half, b)
+	}
+	r.points = half
+	r.factor *= 2
+	r.downsamplesTotal++
+}
+
+// Series snapshots the recorded series. The returned value owns copies
+// of the points, so a record outlives its recorder.
+func (r *Recorder) Series() *Series {
+	if r == nil || len(r.points) == 0 {
+		return nil
+	}
+	pts := make([]SeriesPoint, len(r.points))
+	for i, p := range r.points {
+		pts[i] = SeriesPoint{Cycle: p.Cycle, Values: append([]float64(nil), p.Values...)}
+	}
+	return &Series{
+		Names:           append([]string(nil), r.names...),
+		WindowsPerPoint: r.factor,
+		Downsamples:     int(r.downsamplesTotal),
+		Points:          pts,
+	}
+}

@@ -1,0 +1,373 @@
+package runlog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"warpedslicer/internal/config"
+	"warpedslicer/internal/digest"
+	"warpedslicer/internal/obs"
+)
+
+func testInputs() Inputs {
+	return Inputs{
+		Schema:        SchemaVersion,
+		DigestVersion: digest.Version,
+		Kind:          "corun",
+		Workload:      "HOT_BLK",
+		Kernels:       []string{"HOT", "BLK"},
+		Policy:        "warped",
+		CTAs:          []int{4, 3},
+		Targets:       []uint64{1000, 2000},
+		Sched:         "gto",
+		Windows:       Windows{Isolation: 10000, MaxCoRun: 50000, Warmup: 500, Sample: 2000},
+		Config:        config.Baseline(),
+	}
+}
+
+func TestInputsKeyDeterministicAndSensitive(t *testing.T) {
+	in := testInputs()
+	k1, err := in.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := in.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("same inputs hashed to %s and %s", k1, k2)
+	}
+	if len(k1) != 16 {
+		t.Fatalf("key %q is not a 16-hex-digit sum", k1)
+	}
+
+	// Every identity-bearing field must move the key.
+	variants := []func(*Inputs){
+		func(in *Inputs) { in.Kind = "iso" },
+		func(in *Inputs) { in.Workload = "HOT" },
+		func(in *Inputs) { in.Kernels = []string{"HOT"} },
+		func(in *Inputs) { in.Policy = "even" },
+		func(in *Inputs) { in.CTAs = []int{3, 4} },
+		func(in *Inputs) { in.Targets = []uint64{1000, 2001} },
+		func(in *Inputs) { in.Sched = "lrr" },
+		func(in *Inputs) { in.Windows.MaxCoRun = 50001 },
+		func(in *Inputs) { in.Config.NumSMs++ },
+		func(in *Inputs) { in.Schema++ },
+		func(in *Inputs) { in.DigestVersion++ },
+	}
+	for i, mutate := range variants {
+		v := testInputs()
+		mutate(&v)
+		kv, err := v.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kv == k1 {
+			t.Errorf("variant %d did not change the key", i)
+		}
+	}
+}
+
+func snapSeq(t *testing.T, vals []uint64) []*obs.Snapshot {
+	t.Helper()
+	var cur uint64
+	reg := obs.NewRegistry()
+	reg.Counter("c", func() uint64 { return cur })
+	snaps := make([]*obs.Snapshot, len(vals))
+	for i, v := range vals {
+		cur = v
+		snaps[i] = reg.Snapshot()
+	}
+	return snaps
+}
+
+func TestRecorderWindowsAndDownsample(t *testing.T) {
+	// Capacity 4: reaching 4 points merges pairs and doubles the stride,
+	// so 9 snapshots (8 windows) downsample twice — once at windows 1-4,
+	// again when windows 5-8 refill the capacity — leaving two 4-window
+	// points whose values telescope exactly (deltas 1..8 sum to 10 + 26).
+	rec := NewRecorder([]string{"c"}, 4)
+	vals := []uint64{0, 1, 3, 6, 10, 15, 21, 28, 36} // deltas 1..8
+	for i, s := range snapSeq(t, vals) {
+		rec.Observe(int64(i*100), s)
+	}
+	got := rec.Series()
+	if got == nil {
+		t.Fatal("no series recorded")
+	}
+	if got.WindowsPerPoint != 4 || got.Downsamples != 2 {
+		t.Fatalf("stride %d downsamples %d, want 4 and 2", got.WindowsPerPoint, got.Downsamples)
+	}
+	want := []SeriesPoint{
+		{Cycle: 400, Values: []float64{10}}, // windows 1-4
+		{Cycle: 800, Values: []float64{26}}, // windows 5-8
+	}
+	if len(got.Points) != len(want) {
+		t.Fatalf("got %d points, want %d: %+v", len(got.Points), len(want), got.Points)
+	}
+	for i := range want {
+		if got.Points[i].Cycle != want[i].Cycle || got.Points[i].Values[0] != want[i].Values[0] {
+			t.Errorf("point %d = %+v, want %+v", i, got.Points[i], want[i])
+		}
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Observe(0, nil)
+	if rec.Series() != nil {
+		t.Fatal("nil recorder produced a series")
+	}
+	live := NewRecorder([]string{"c"}, 4)
+	live.Observe(0, nil) // ignored
+	if live.Series() != nil {
+		t.Fatal("recorder with no windows produced a series")
+	}
+}
+
+func testRecord(key string) *RunRecord {
+	in := testInputs()
+	return &RunRecord{
+		Key:    key,
+		Inputs: in,
+		Cycles: 12345,
+		Metrics: []Metric{
+			{Name: "ipc", Value: 1.5},
+			{Name: "sched_fastpath_frac", Value: 0.62},
+		},
+	}
+}
+
+func TestLedgerRoundTripDedupeReopen(t *testing.T) {
+	dir := t.TempDir()
+	led, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("")
+	added, err := led.Append(rec, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added || rec.Key == "" {
+		t.Fatalf("first append: added=%v key=%q", added, rec.Key)
+	}
+
+	// Identical inputs dedupe to the existing entry.
+	again := testRecord("")
+	added, err = led.Append(again, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Fatal("identical inputs were appended twice")
+	}
+	if again.Key != rec.Key {
+		t.Fatalf("identical inputs keyed %s vs %s", again.Key, rec.Key)
+	}
+	v := led.View()
+	if v.Appends != 1 || v.DedupHits != 1 || len(v.Runs) != 1 {
+		t.Fatalf("view = appends %d dedup %d runs %d", v.Appends, v.DedupHits, len(v.Runs))
+	}
+
+	// Round trip through the record file, including prefix resolution.
+	got, err := led.Get(rec.Key[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != rec.Cycles || len(got.Metrics) != len(rec.Metrics) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	// A reopened ledger still dedupes and lists the run.
+	led2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err = led2.Append(testRecord(""), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Fatal("reopened ledger lost the dedupe set")
+	}
+	if got := led2.List(); len(got) != 1 || got[0].Key != rec.Key {
+		t.Fatalf("reopened listing: %+v", got)
+	}
+}
+
+func TestLedgerTrailRoundTrip(t *testing.T) {
+	led, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &digest.Trail{}
+	tr.Append(100, []digest.Component{{Name: "sm", Sum: 42}}, digest.Counters{Issued: 7})
+	tr.Append(200, []digest.Component{{Name: "sm", Sum: 43}}, digest.Counters{Issued: 9})
+	if err := led.PutTrail("cafe", tr); err != nil {
+		t.Fatal(err)
+	}
+	if !led.HasTrail("cafe") || led.HasTrail("dead") {
+		t.Fatal("HasTrail wrong")
+	}
+	got, err := led.Trail("cafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 || got.Chain() != tr.Chain() {
+		t.Fatalf("trail round trip: %d records chain %s vs %s", len(got.Records), got.Chain(), tr.Chain())
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "two" {
+		t.Fatalf("read %q", data)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestTrajectoryAppendReadBaselineCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.jsonl")
+	pts, err := ReadTrajectory(path)
+	if err != nil || pts != nil {
+		t.Fatalf("missing file: %v %v", pts, err)
+	}
+	for i, ns := range []float64{100, 120, 110} {
+		p := TrajectoryPoint{Fingerprint: "host/8-cores/7x10000-cycles", UnixNs: int64(i + 1), NsPerCycle: ns}
+		if err := AppendTrajectory(path, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := AppendTrajectory(path, TrajectoryPoint{Fingerprint: "other", NsPerCycle: 999}, 0); err != nil {
+		t.Fatal(err)
+	}
+	pts, err = ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+
+	base, n := TrajectoryBaseline(pts, "host/8-cores/7x10000-cycles", 5)
+	if n != 3 || base != 110 {
+		t.Fatalf("baseline = %g over %d points, want median 110 over 3", base, n)
+	}
+	if _, n := TrajectoryBaseline(pts, "unknown", 5); n != 0 {
+		t.Fatalf("unknown fingerprint found %d points", n)
+	}
+
+	// The cap drops oldest points.
+	if err := AppendTrajectory(path, TrajectoryPoint{Fingerprint: "tail", NsPerCycle: 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	pts, err = ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1].Fingerprint != "tail" {
+		t.Fatalf("capped trajectory: %+v", pts)
+	}
+}
+
+func TestDiffAndFormatGolden(t *testing.T) {
+	a := testRecord("aaaa000000000000")
+	a.Series = &Series{
+		Names:           []string{"ws_sm_issued_total"},
+		WindowsPerPoint: 1,
+		Points: []SeriesPoint{
+			{Cycle: 100, Values: []float64{50}},
+			{Cycle: 200, Values: []float64{60}},
+		},
+	}
+	a.DigestChain = 1
+
+	b := testRecord("bbbb000000000000")
+	b.Cycles = 12350
+	b.Metrics = []Metric{
+		{Name: "ipc", Value: 1.25},
+		{Name: "sched_fastpath_frac", Value: 0.62},
+	}
+	b.Series = &Series{
+		Names:           []string{"ws_sm_issued_total"},
+		WindowsPerPoint: 1,
+		Points: []SeriesPoint{
+			{Cycle: 100, Values: []float64{50}},
+			{Cycle: 200, Values: []float64{61}},
+		},
+	}
+	b.DigestChain = 2
+
+	d := Diff(a, b)
+	if d.Identical || d.SameInputs {
+		t.Fatalf("diff verdict: %+v", d)
+	}
+	if d.FirstMetric != "ipc" || len(d.Deltas) != 1 {
+		t.Fatalf("deltas: %+v", d.Deltas)
+	}
+	if d.Series == nil || d.Series.Kind != "value" || d.Series.Index != 1 {
+		t.Fatalf("series diff: %+v", d.Series)
+	}
+	if !d.ChainDiffers {
+		t.Fatal("chain difference missed")
+	}
+
+	const want = `diff aaaa000000000000 vs bbbb000000000000
+cycles: 12345 vs 12350
+metric ipc                              1.5 vs 1.25 (-0.25)
+first differing metric: ipc
+first differing window: point 1 (cycle 200) ws_sm_issued_total: 60 vs 61
+digest chains differ: run the bisector for the first divergent cycle
+`
+	if got := FormatDiff(d); got != want {
+		t.Fatalf("FormatDiff:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Identical records say so.
+	same := Diff(a, a)
+	if !same.Identical {
+		t.Fatalf("self diff not identical: %+v", same)
+	}
+	if got := FormatDiff(same); !bytes.Contains([]byte(got), []byte("records identical")) {
+		t.Fatalf("self diff output: %q", got)
+	}
+}
+
+func TestMarshalRecordStable(t *testing.T) {
+	r := testRecord("feed000000000000")
+	d1, err := MarshalRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := MarshalRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("record marshal not byte-stable")
+	}
+	if d1[len(d1)-1] != '\n' {
+		t.Fatal("record file missing trailing newline")
+	}
+}

@@ -1,0 +1,123 @@
+package runlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+)
+
+// DefaultTrajectoryCap bounds BENCH_trajectory.jsonl: appends beyond it
+// drop the oldest points, so the file stays a bounded sliding window of
+// the repo's performance history.
+const DefaultTrajectoryCap = 512
+
+// TrajectoryPoint is one cross-PR performance measurement: ns/cycle and
+// its phase split under a named bench fingerprint (host/core/methodology
+// identity — points only compare within a fingerprint). UnixNs is
+// stamped by the non-sim bench caller; zero means unstamped.
+type TrajectoryPoint struct {
+	Fingerprint       string             `json:"fingerprint"`
+	UnixNs            int64              `json:"unix_ns,omitempty"`
+	NsPerCycle        float64            `json:"ns_per_cycle"`
+	PhaseNsPerCycle   map[string]float64 `json:"phase_ns_per_cycle,omitempty"`
+	DigestNsPerRecord float64            `json:"digest_ns_per_record,omitempty"`
+	FFSkippableFrac   float64            `json:"fast_forward_skippable_frac,omitempty"`
+	SchedFastFrac     float64            `json:"sched_fastpath_frac,omitempty"`
+}
+
+// ReadTrajectory parses a trajectory JSONL file in append order. A
+// missing file is an empty trajectory, not an error; torn lines are
+// skipped.
+func ReadTrajectory(path string) ([]TrajectoryPoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runlog: open trajectory: %w", err)
+	}
+	defer f.Close()
+	var pts []TrajectoryPoint
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var p TrajectoryPoint
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runlog: read trajectory: %w", err)
+	}
+	return pts, nil
+}
+
+// AppendTrajectory appends one point, keeping at most cap points (<= 0
+// selects DefaultTrajectoryCap). The whole file is rewritten atomically,
+// so an interrupted append can't tear it.
+func AppendTrajectory(path string, p TrajectoryPoint, capPoints int) error {
+	if capPoints <= 0 {
+		capPoints = DefaultTrajectoryCap
+	}
+	pts, err := ReadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	pts = append(pts, p)
+	if len(pts) > capPoints {
+		pts = pts[len(pts)-capPoints:]
+	}
+	var b strings.Builder
+	for i := range pts {
+		data, err := json.Marshal(&pts[i])
+		if err != nil {
+			return fmt.Errorf("runlog: marshal trajectory point: %w", err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return AtomicWriteFile(path, []byte(b.String()), 0o644)
+}
+
+// TrajectoryTail returns the last k points recorded under the
+// fingerprint, oldest first.
+func TrajectoryTail(pts []TrajectoryPoint, fingerprint string, k int) []TrajectoryPoint {
+	var out []TrajectoryPoint
+	for _, p := range pts {
+		if p.Fingerprint == fingerprint {
+			out = append(out, p)
+		}
+	}
+	if k > 0 && len(out) > k {
+		out = out[len(out)-k:]
+	}
+	return out
+}
+
+// TrajectoryBaseline returns the median ns/cycle of the fingerprint's
+// last k points and how many points backed it (0 means no baseline: a
+// fresh machine or methodology change, the cue to rebase rather than
+// compare). The median makes one noisy historical point unable to move
+// the regression gate.
+func TrajectoryBaseline(pts []TrajectoryPoint, fingerprint string, k int) (float64, int) {
+	tail := TrajectoryTail(pts, fingerprint, k)
+	if len(tail) == 0 {
+		return 0, 0
+	}
+	vs := make([]float64, len(tail))
+	for i, p := range tail {
+		vs[i] = p.NsPerCycle
+	}
+	sort.Float64s(vs)
+	return vs[len(vs)/2], len(tail)
+}
